@@ -1,0 +1,49 @@
+/// Ablation (DESIGN.md §6.1) — the α trade-off knob.
+///
+/// α appears twice in the paper: it scales the FDF's energy-efficiency
+/// offset (offset = α·E_rot/(E_sw−E_hw), §4.1) and it sizes RISPP's area
+/// provisioning (α·GE_max, §2). This bench sweeps both: the FC plan size
+/// and offsets over the AES study, and the area saving of the Fig-1 model.
+
+#include <iostream>
+
+#include "rispp/aes/graph.hpp"
+#include "rispp/forecast/forecast_pass.hpp"
+#include "rispp/hw/area_model.hpp"
+#include "rispp/util/table.hpp"
+
+int main() {
+  using rispp::util::TextTable;
+
+  const auto lib = rispp::aes::si_library();
+  const auto g = rispp::aes::build_graph(1000);
+  const auto area = rispp::hw::AreaModel::h264_default();
+
+  TextTable t{"alpha", "FDF offset (SUBBYTES)", "FC points (AES)",
+              "RISPP GE", "GE saving"};
+  t.set_title("Alpha sweep: energy-efficiency bar vs forecast aggressiveness"
+              " vs area provisioning");
+  for (double alpha : {0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    rispp::forecast::ForecastConfig cfg;
+    cfg.atom_containers = 4;
+    cfg.alpha = alpha;
+    const auto params = rispp::forecast::fdf_params_for(
+        lib, lib.index_of("SUBBYTES"), cfg);
+    const rispp::forecast::Fdf fdf(params);
+    const auto plan = rispp::forecast::run_forecast_pass(g, lib, cfg);
+    // Area model requires α ≥ 1; report from 1.0 upwards.
+    const bool area_valid = alpha >= 1.0;
+    t.add_row({TextTable::num(alpha, 2), TextTable::num(fdf.offset(), 1),
+               std::to_string(plan.total_points()),
+               area_valid ? TextTable::grouped(static_cast<long long>(
+                                area.rispp_ge(alpha)))
+                          : "-",
+               area_valid
+                   ? TextTable::num(area.ge_saving_percent(alpha), 1) + "%"
+                   : "-"});
+  }
+  std::cout << t.str();
+  std::cout << "(higher alpha: stricter energy break-even -> fewer Forecast "
+               "points; larger area headroom -> smaller GE saving)\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Fig 13 — "RISPP SI Trade-off: Performance vs Resources".
+///
+/// The Pareto fronts of all four SIs: execution time vs number of Atom
+/// Container slots, the "highlighted lines of Pareto-optimal Molecules" the
+/// run-time system moves along ("dynamic trade-off"), which a classical
+/// ASIP must pin at design time. Also dumps CSV for plotting.
+
+#include <fstream>
+#include <iostream>
+
+#include "rispp/isa/si_library.hpp"
+#include "rispp/util/csv.hpp"
+#include "rispp/util/table.hpp"
+
+int main() {
+  using rispp::util::TextTable;
+  const auto lib = rispp::isa::SiLibrary::h264();
+  const auto& cat = lib.catalog();
+
+  std::ofstream csv_file("fig13_pareto.csv");
+  rispp::util::CsvWriter csv(csv_file);
+  csv.row("si", "atoms", "cycles", "molecule");
+
+  for (const auto& si : lib.sis()) {
+    const auto front = si.pareto_front(cat);
+    TextTable t{"#Atoms (AC slots)", "cycles", "molecule", "speed-up vs SW"};
+    t.set_title("Fig 13: Pareto front of " + si.name() + "  (" +
+                std::to_string(si.options().size()) + " molecules, " +
+                std::to_string(front.size()) + " Pareto-optimal)");
+    for (const auto& p : front) {
+      t.add_row({std::to_string(p.rotatable_atoms), std::to_string(p.cycles),
+                 p.option->atoms.str(),
+                 TextTable::num(si.speedup(*p.option), 1) + "x"});
+      csv.row(si.name(), std::to_string(p.rotatable_atoms),
+              std::to_string(p.cycles), p.option->atoms.str());
+    }
+    std::cout << t.str() << "\n";
+  }
+
+  // ASCII rendition of the figure: cycles (y) vs atoms (x).
+  std::cout << "ASCII sketch (x = #Atoms 0..16, letters = SIs on their Pareto "
+               "front: S=SATD_4x4 D=DCT_4x4 H=HT_4x4 h=HT_2x2)\n";
+  for (std::uint32_t cycles = 25; cycles >= 5; --cycles) {
+    std::string line = (cycles % 5 == 0 ? std::to_string(cycles) : "  ");
+    while (line.size() < 4) line.insert(line.begin(), ' ');
+    line += " |";
+    for (std::uint64_t atoms = 0; atoms <= 16; ++atoms) {
+      char c = ' ';
+      const struct {
+        const char* name;
+        char mark;
+      } sis[] = {{"SATD_4x4", 'S'}, {"DCT_4x4", 'D'}, {"HT_4x4", 'H'},
+                 {"HT_2x2", 'h'}};
+      for (const auto& s : sis)
+        for (const auto& p : lib.find(s.name).pareto_front(cat))
+          if (p.rotatable_atoms == atoms && p.cycles == cycles) c = s.mark;
+      line += c;
+    }
+    std::cout << line << "\n";
+  }
+  std::cout << "     +-----------------\n      0    5    10   15  [#Atoms]\n";
+  std::cout << "\n(CSV written to fig13_pareto.csv)\n";
+  return 0;
+}

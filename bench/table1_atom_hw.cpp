@@ -1,0 +1,58 @@
+/// Table 1 — "Results for hardware implementation of individual Atoms".
+///
+/// Prints slices, LUTs, AC utilization, bitstream size and rotation time for
+/// the four synthesized Atoms, plus the rotation-time sensitivity to the
+/// reconfiguration-port bandwidth the paper mentions ("our concept would
+/// directly profit from faster rotation time").
+
+#include <iostream>
+
+#include "rispp/hw/atom_hw.hpp"
+#include "rispp/hw/reconfig_port.hpp"
+#include "rispp/util/table.hpp"
+
+int main() {
+  using namespace rispp::hw;
+  using rispp::util::TextTable;
+
+  const auto atoms = table1_atoms();
+  const ReconfigPort port;  // Table-1 measured rate (≈69.2 MB/s)
+
+  TextTable t{"characteristics", "Transform", "SATD", "Pack", "QuadSub"};
+  t.set_title("Table 1: hardware implementation of individual Atoms");
+  auto row = [&](const char* label, auto getter) {
+    std::vector<std::string> r{label};
+    for (const char* n : {"Transform", "SATD", "Pack", "QuadSub"})
+      r.push_back(getter(find_atom(atoms, n)));
+    t.add_row(r);
+  };
+  row("# Slices", [](const AtomHardware& a) { return std::to_string(a.slices); });
+  row("# LUTs", [](const AtomHardware& a) { return std::to_string(a.luts); });
+  row("Utilization", [](const AtomHardware& a) {
+    return TextTable::num(a.utilization() * 100, 1) + "%";
+  });
+  row("Bitstream Size [Byte]", [](const AtomHardware& a) {
+    return TextTable::grouped(a.bitstream_bytes);
+  });
+  row("Rotation Time [us]", [&](const AtomHardware& a) {
+    return TextTable::num(port.rotation_time_us(a.bitstream_bytes), 2);
+  });
+  std::cout << t.str() << "\n";
+  std::cout << "(paper: 857.63 / 840.11 / 949.53 / 848.84 us — Pack covers an"
+               " embedded BlockRAM row, hence the bigger bitstream)\n\n";
+
+  TextTable sweep{"port bandwidth [MB/s]", "Transform rot [us]",
+                  "Pack rot [us]", "rot time @100 MHz [cycles]"};
+  sweep.set_title("Rotation time vs reconfiguration bandwidth");
+  for (double mbps : {33.0, 50.0, 66.0, 69.2, 100.0, 132.0, 264.0, 528.0}) {
+    const ReconfigPort p(mbps);
+    sweep.add_row(
+        {TextTable::num(mbps, 1),
+         TextTable::num(p.rotation_time_us(find_atom(atoms, "Transform").bitstream_bytes), 1),
+         TextTable::num(p.rotation_time_us(find_atom(atoms, "Pack").bitstream_bytes), 1),
+         TextTable::grouped(static_cast<long long>(p.rotation_time_cycles(
+             find_atom(atoms, "Transform").bitstream_bytes, 100.0)))});
+  }
+  std::cout << sweep.str();
+  return 0;
+}

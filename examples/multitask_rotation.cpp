@@ -1,0 +1,62 @@
+/// Multi-task rotation example — the Fig-6 scenario as a library user:
+/// two tasks on one core share six Atom Containers; forecasts reallocate
+/// them at run time, SIs fall back to software when their Atoms are
+/// rotated away, and upgrade again when rotations complete.
+
+#include <iostream>
+
+#include "rispp/sim/simulator.hpp"
+
+int main() {
+  using namespace rispp::sim;
+  const auto lib = rispp::isa::SiLibrary::h264();
+  const auto satd = lib.index_of("SATD_4x4");
+  const auto ht4 = lib.index_of("HT_4x4");
+  const auto ht2 = lib.index_of("HT_2x2");
+
+  SimConfig cfg;
+  cfg.rt.atom_containers = 6;
+  cfg.quantum = 25000;  // round-robin slice
+  Simulator sim(lib, cfg);
+
+  // Task A: a video task hammering SATD_4x4.
+  Trace a;
+  a.push_back(TraceOp::forecast(satd, 4000));
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(TraceOp::compute(8000));
+    a.push_back(TraceOp::si(satd, 40));
+  }
+
+  // Task B: briefly needs HT_4x4 with high priority, then releases it.
+  Trace b;
+  b.push_back(TraceOp::forecast(ht2, 100));
+  b.push_back(TraceOp::compute(600000));
+  b.push_back(TraceOp::si(ht2, 30));
+  b.push_back(TraceOp::label("B: urgent HT_4x4 phase starts"));
+  b.push_back(TraceOp::forecast(ht4, 1500000));
+  for (int i = 0; i < 6; ++i) {
+    b.push_back(TraceOp::compute(30000));
+    b.push_back(TraceOp::si(ht4, 120));
+  }
+  b.push_back(TraceOp::label("B: HT_4x4 phase done, releasing"));
+  b.push_back(TraceOp::release(ht4));
+  b.push_back(TraceOp::si(ht2, 30));
+
+  sim.add_task({"A", std::move(a)});
+  sim.add_task({"B", std::move(b)});
+  const auto result = sim.run();
+
+  std::cout << "total: " << result.total_cycles << " cycles, "
+            << result.rotations << " rotations\n\n";
+  for (const auto& e : result.timeline)
+    std::cout << "@" << e.at << "  [" << e.task << "] " << e.text << "\n";
+  std::cout << "\nexecution mix:\n";
+  for (const auto& [name, st] : result.per_si)
+    std::cout << "  " << name << ": " << st.invocations << " invocations ("
+              << st.hw_invocations << " hw / " << st.sw_invocations
+              << " sw)\n";
+  std::cout << "\nNote how SATD_4x4 shows software executions in the middle "
+               "of the run: Task B's forecast reallocated the containers "
+               "(Fig 6, T1), and Task A recovered after the release (T2-T5).\n";
+  return 0;
+}

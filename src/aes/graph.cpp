@@ -1,0 +1,100 @@
+#include "rispp/aes/graph.hpp"
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::aes {
+
+isa::SiLibrary si_library() {
+  // Synthetic synthesis characteristics, sized like the Table-1 Atoms
+  // (the paper does not synthesize the AES data paths).
+  auto hw = [](const char* name, unsigned slices, std::uint32_t bytes) {
+    return hw::AtomHardware{.name = name, .slices = slices,
+                            .luts = slices * 2, .bitstream_bytes = bytes};
+  };
+  isa::AtomCatalog catalog({
+      {.name = "SBox", .hardware = hw("SBox", 420, 58600), .rotatable = true},
+      {.name = "XorNet", .hardware = hw("XorNet", 260, 57600), .rotatable = true},
+      {.name = "MixCol", .hardware = hw("MixCol", 480, 59100), .rotatable = true},
+      {.name = "KeyMix", .hardware = hw("KeyMix", 300, 57900), .rotatable = true},
+  });
+
+  // Catalog order: 0 SBox | 1 XorNet | 2 MixCol | 3 KeyMix
+  auto mol = [](atom::Count sbox, atom::Count xornet, atom::Count mixcol,
+                atom::Count keymix) {
+    return atom::Molecule{sbox, xornet, mixcol, keymix};
+  };
+
+  std::vector<isa::SpecialInstruction> sis;
+  sis.emplace_back("SUBBYTES", /*software_cycles=*/128,
+                   std::vector<isa::MoleculeOption>{
+                       {mol(1, 1, 0, 0), 18},
+                       {mol(2, 1, 0, 0), 10},
+                       {mol(2, 2, 0, 0), 9},
+                       {mol(4, 2, 0, 0), 6},
+                   });
+  sis.emplace_back("MIXCOLUMNS", /*software_cycles=*/160,
+                   std::vector<isa::MoleculeOption>{
+                       {mol(0, 1, 1, 0), 14},
+                       {mol(0, 1, 2, 0), 9},
+                       {mol(0, 2, 2, 0), 8},
+                       {mol(0, 4, 4, 0), 5},
+                   });
+  sis.emplace_back("KEYEXPAND", /*software_cycles=*/90,
+                   std::vector<isa::MoleculeOption>{
+                       {mol(1, 0, 0, 1), 12},
+                       {mol(1, 0, 0, 2), 8},
+                       {mol(2, 0, 0, 2), 6},
+                   });
+  return isa::SiLibrary(std::move(catalog), std::move(sis));
+}
+
+cfg::BBGraph build_graph(std::uint64_t blocks, AesGraphIds* ids_out) {
+  RISPP_REQUIRE(blocks > 0, "need at least one AES block");
+  const auto lib = si_library();
+  const auto subbytes = lib.index_of("SUBBYTES");
+  const auto mixcolumns = lib.index_of("MIXCOLUMNS");
+  const auto keyexpand = lib.index_of("KEYEXPAND");
+
+  const std::uint64_t n = blocks;
+  cfg::BBGraph g;
+  AesGraphIds ids{};
+
+  // Shape mirrors aes128.cpp; cycles are the per-execution body costs of a
+  // scalar embedded core, profile counts those of encrypting n blocks.
+  ids.entry = g.add_block("entry", 50, 1);
+  ids.key_expand_loop = g.add_block("key_expand_loop", 80, 40);
+  ids.block_loop_head = g.add_block("block_loop_head", 40, n);
+  ids.round_loop_head = g.add_block("round_loop_head", 10, 9 * n);
+  ids.subbytes_shiftrows = g.add_block("subbytes_shiftrows", 120, 9 * n);
+  ids.mixcolumns = g.add_block("mixcolumns", 150, 9 * n);
+  ids.addroundkey = g.add_block("addroundkey", 60, 9 * n);
+  ids.round_latch = g.add_block("round_latch", 10, 9 * n);
+  ids.final_round = g.add_block("final_round", 180, n);
+  ids.output = g.add_block("output", 70, n);
+  ids.done = g.add_block("done", 10, 1);
+
+  g.set_entry(ids.entry);
+  g.add_edge(ids.entry, ids.key_expand_loop, 1);
+  g.add_edge(ids.key_expand_loop, ids.key_expand_loop, 39);
+  g.add_edge(ids.key_expand_loop, ids.block_loop_head, 1);
+  g.add_edge(ids.block_loop_head, ids.round_loop_head, n);
+  g.add_edge(ids.round_loop_head, ids.subbytes_shiftrows, 9 * n);
+  g.add_edge(ids.subbytes_shiftrows, ids.mixcolumns, 9 * n);
+  g.add_edge(ids.mixcolumns, ids.addroundkey, 9 * n);
+  g.add_edge(ids.addroundkey, ids.round_latch, 9 * n);
+  g.add_edge(ids.round_latch, ids.round_loop_head, 8 * n);
+  g.add_edge(ids.round_latch, ids.final_round, n);
+  g.add_edge(ids.final_round, ids.output, n);
+  g.add_edge(ids.output, ids.block_loop_head, n - 1);
+  g.add_edge(ids.output, ids.done, 1);
+
+  g.add_si_usage(ids.key_expand_loop, keyexpand, 1);
+  g.add_si_usage(ids.subbytes_shiftrows, subbytes, 1);
+  g.add_si_usage(ids.mixcolumns, mixcolumns, 1);
+  g.add_si_usage(ids.final_round, subbytes, 1);
+
+  if (ids_out) *ids_out = ids;
+  return g;
+}
+
+}  // namespace rispp::aes

@@ -1,0 +1,48 @@
+#pragma once
+/// \file aes128.hpp
+/// \brief AES-128 (FIPS-197) — the application whose BB graph the paper uses
+/// to illustrate Forecast-point placement (Fig 3).
+///
+/// This is a complete, test-vector-verified implementation: the BB-graph
+/// artifact in graph.hpp derives its profile weights from actually running
+/// this code, not from made-up numbers.
+
+#include <array>
+#include <cstdint>
+
+namespace rispp::aes {
+
+using Block = std::array<std::uint8_t, 16>;
+using Key = std::array<std::uint8_t, 16>;
+
+/// Expanded key schedule: 11 round keys of 16 bytes.
+using KeySchedule = std::array<std::uint8_t, 176>;
+
+KeySchedule expand_key(const Key& key);
+
+Block encrypt_block(const Block& plaintext, const KeySchedule& ks);
+Block decrypt_block(const Block& ciphertext, const KeySchedule& ks);
+
+/// ECB convenience over whole buffers (length must be a multiple of 16).
+void encrypt_ecb(const std::uint8_t* in, std::uint8_t* out, std::size_t len,
+                 const Key& key);
+void decrypt_ecb(const std::uint8_t* in, std::uint8_t* out, std::size_t len,
+                 const Key& key);
+
+/// Execution profile of an instrumented run — the ground truth the Fig-3
+/// BB-graph artifact (graph.hpp) is validated against. Counts basic-block
+/// executions, not byte operations.
+struct StageCounters {
+  std::uint64_t blocks = 0;            ///< block_loop_head executions
+  std::uint64_t rounds = 0;            ///< round bodies (SubBytes/ShiftRows)
+  std::uint64_t mixcolumns = 0;        ///< MixColumns executions
+  std::uint64_t final_rounds = 0;      ///< final (MixColumns-free) rounds
+  std::uint64_t key_schedule_words = 0;///< key-expansion loop iterations
+};
+
+/// encrypt_ecb with basic-block-level instrumentation.
+void encrypt_ecb_counted(const std::uint8_t* in, std::uint8_t* out,
+                         std::size_t len, const Key& key,
+                         StageCounters& counters);
+
+}  // namespace rispp::aes

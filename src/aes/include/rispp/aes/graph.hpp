@@ -1,0 +1,40 @@
+#pragma once
+/// \file graph.hpp
+/// \brief The AES application as a profiled BB-graph artifact with its own
+/// Special Instruction library — the input of the paper's Fig-3 Forecast
+/// study.
+///
+/// The paper shows the AES BB graph "as it is automatically generated from
+/// our tool-chain", colored with profiling info, with SI usage sites and the
+/// computed FC candidates. We construct the same artifact: the control-flow
+/// skeleton of aes128.cpp (key expansion, the per-block loop, the nine
+/// MixColumns rounds, the final round), profile weights for encrypting
+/// `blocks` 16-byte blocks, and usage sites of three AES SIs.
+///
+/// The AES SI library exercises the framework's generality: a different Atom
+/// catalog (SBox, XorNet, MixCol, KeyMix) with its own (synthetic but
+/// Table-2-shaped) Molecule latencies.
+
+#include <cstdint>
+
+#include "rispp/cfg/graph.hpp"
+#include "rispp/isa/si_library.hpp"
+
+namespace rispp::aes {
+
+/// Atom catalog + SIs for AES: SUBBYTES (S-box substitution of the state),
+/// MIXCOLUMNS (GF(2^8) column mix), and KEYEXPAND (one key-schedule word).
+isa::SiLibrary si_library();
+
+/// Block ids of the constructed graph, for tests and the Fig-3 bench.
+struct AesGraphIds {
+  cfg::BlockId entry, key_expand_loop, block_loop_head, round_loop_head,
+      subbytes_shiftrows, mixcolumns, addroundkey, round_latch, final_round,
+      output, done;
+};
+
+/// Builds the profiled AES BB graph for encrypting `blocks` blocks.
+/// SI usage sites reference si_library() indices.
+cfg::BBGraph build_graph(std::uint64_t blocks, AesGraphIds* ids = nullptr);
+
+}  // namespace rispp::aes

@@ -1,0 +1,60 @@
+#include "rispp/baseline/asip.hpp"
+
+#include <algorithm>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::baseline {
+
+Asip::Asip(const isa::SiLibrary& lib, AsipDesign design) : lib_(&lib) {
+  for (const auto& si : lib.sis()) {
+    const auto it = design.find(si.name());
+    if (it != design.end()) {
+      RISPP_REQUIRE(it->second < si.options().size(),
+                    "design chooses a non-existent molecule for " + si.name());
+      choice_[si.name()] = it->second;
+    } else {
+      // Default: fastest Molecule.
+      const auto& opts = si.options();
+      const auto best = std::min_element(
+          opts.begin(), opts.end(),
+          [](const isa::MoleculeOption& a, const isa::MoleculeOption& b) {
+            return a.cycles < b.cycles;
+          });
+      choice_[si.name()] =
+          static_cast<std::size_t>(best - opts.begin());
+    }
+  }
+}
+
+const isa::MoleculeOption& Asip::chosen(const std::string& si_name) const {
+  const auto it = choice_.find(si_name);
+  RISPP_REQUIRE(it != choice_.end(), "unknown SI: " + si_name);
+  return lib_->find(si_name).options()[it->second];
+}
+
+std::uint32_t Asip::cycles(const std::string& si_name) const {
+  return chosen(si_name).cycles;
+}
+
+atom::Molecule Asip::dedicated_atoms() const {
+  atom::Molecule total = lib_->catalog().zero();
+  for (const auto& si : lib_->sis())
+    total = total.plus(lib_->catalog().project_rotatable(chosen(si.name()).atoms));
+  return total;
+}
+
+std::uint64_t Asip::dedicated_slices() const {
+  const auto atoms = dedicated_atoms();
+  std::uint64_t slices = 0;
+  for (std::size_t i = 0; i < atoms.dimension(); ++i)
+    slices += static_cast<std::uint64_t>(atoms[i]) *
+              lib_->catalog().at(i).hardware.slices;
+  return slices;
+}
+
+std::uint64_t Asip::dedicated_atom_count() const {
+  return dedicated_atoms().determinant();
+}
+
+}  // namespace rispp::baseline

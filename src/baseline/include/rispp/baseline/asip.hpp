@@ -1,0 +1,54 @@
+#pragma once
+/// \file asip.hpp
+/// \brief The extensible-processor (ASIP) baseline: Special Instruction
+/// hardware fixed at design time (paper §2, Fig 1).
+///
+/// An ASIP designer chooses one Molecule per SI when the chip is made; that
+/// hardware is *dedicated* — every SI's Atoms coexist permanently, nothing
+/// is shared or rotated. Executions are always at the chosen Molecule's
+/// latency (no software fallback needed, no rotation stalls), but the area
+/// is the SUM over all SIs' Atom requirements, and the hardware of idle hot
+/// spots burns area and leakage the whole run (the Fig 1 critique).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "rispp/isa/si_library.hpp"
+
+namespace rispp::baseline {
+
+/// Design-time Molecule choice per SI (index into SpecialInstruction::
+/// options()); SIs not present fall back to the fastest option.
+using AsipDesign = std::map<std::string, std::size_t>;
+
+class Asip {
+ public:
+  /// `design` defaults to "fastest Molecule per SI" — the performance-
+  /// optimal (area-maximal) extensible processor.
+  explicit Asip(const isa::SiLibrary& lib, AsipDesign design = {});
+
+  /// Latency of one SI execution — always the design-time Molecule.
+  std::uint32_t cycles(const std::string& si_name) const;
+
+  /// Dedicated Atom hardware of the whole design: per-SI requirements
+  /// summed (NOT united — nothing is shared between SIs).
+  atom::Molecule dedicated_atoms() const;
+
+  /// Total dedicated slices of the design (rotatable compute Atoms only;
+  /// static data movers exist in both architectures).
+  std::uint64_t dedicated_slices() const;
+
+  /// Total Atom instances the design dedicates (the "#Atoms" axis an
+  /// equivalent RISPP would need only the maximum of, not the sum).
+  std::uint64_t dedicated_atom_count() const;
+
+  const isa::SiLibrary& library() const { return *lib_; }
+  const isa::MoleculeOption& chosen(const std::string& si_name) const;
+
+ private:
+  const isa::SiLibrary* lib_;
+  std::map<std::string, std::size_t> choice_;
+};
+
+}  // namespace rispp::baseline

@@ -1,0 +1,142 @@
+#include "rispp/cfg/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "rispp/cfg/scc.hpp"
+#include "rispp/util/error.hpp"
+
+namespace rispp::cfg {
+
+std::vector<double> min_distance_cycles(const BBGraph& g,
+                                        const std::vector<BlockId>& targets) {
+  std::vector<double> dist(g.block_count(), kUnreachable);
+  using Item = std::pair<double, BlockId>;  // (distance, block)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (auto t : targets) {
+    RISPP_REQUIRE(t < g.block_count(), "target block out of range");
+    dist[t] = 0.0;
+    pq.push({0.0, t});
+  }
+  // Dijkstra walking edges backwards: the cost of stepping from a
+  // predecessor u to the current frontier is u's own body cycles (the
+  // cycles spent strictly between u's entry and the target's entry).
+  while (!pq.empty()) {
+    const auto [d, b] = pq.top();
+    pq.pop();
+    if (d > dist[b]) continue;
+    for (auto ei : g.in_edges(b)) {
+      const BlockId u = g.edges()[ei].from;
+      const double nd = d + static_cast<double>(g.block(u).cycles);
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        pq.push({nd, u});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> expected_distance_cycles(
+    const BBGraph& g, const std::vector<BlockId>& targets,
+    const std::vector<double>& reach_probability) {
+  RISPP_REQUIRE(reach_probability.size() == g.block_count(),
+                "reach probability vector size mismatch");
+  std::vector<bool> is_target(g.block_count(), false);
+  for (auto t : targets) is_target[t] = true;
+
+  std::vector<double> d(g.block_count(), 0.0);
+  constexpr double kEps = 1e-12;
+  double max_delta = 0.0;
+  for (std::size_t iter = 0; iter < 20000; ++iter) {
+    max_delta = 0.0;
+    for (BlockId b = 0; b < g.block_count(); ++b) {
+      if (is_target[b]) continue;
+      const double pb = reach_probability[b];
+      if (pb <= kEps) continue;  // finalized to kUnreachable below
+      double acc = 0.0;
+      for (auto ei : g.out_edges(b)) {
+        const BlockId v = g.edges()[ei].to;
+        const double pv = is_target[v] ? 1.0 : reach_probability[v];
+        const double dv = is_target[v] ? 0.0 : d[v];
+        acc += g.edge_probability(ei) * pv * dv;
+      }
+      const double nd = static_cast<double>(g.block(b).cycles) + acc / pb;
+      max_delta = std::max(max_delta, std::abs(nd - d[b]));
+      d[b] = nd;
+    }
+    if (max_delta < 1e-9) break;
+  }
+  for (BlockId b = 0; b < g.block_count(); ++b)
+    if (!is_target[b] && reach_probability[b] <= kEps) d[b] = kUnreachable;
+  return d;
+}
+
+std::vector<double> max_distance_cycles(const BBGraph& g,
+                                        const std::vector<BlockId>& targets) {
+  const auto scc = tarjan_scc(g);
+  const auto cond = condense(g, scc);
+  const auto k = scc.component_count();
+
+  // Weight of a component: cycles one *visit* of the component contributes.
+  // Acyclic components contribute their block body; cyclic components their
+  // full profiled work divided by the number of profiled entries (loops run
+  // their trip count before control moves on).
+  std::vector<double> weight(k, 0.0);
+  std::vector<bool> has_target(k, false);
+  std::vector<bool> is_target_block(g.block_count(), false);
+  for (auto t : targets) is_target_block[t] = true;
+
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const auto& members = scc.members[c];
+    const bool cyclic = members.size() > 1 || scc.in_cycle(g, members.front());
+    if (!cyclic) {
+      weight[c] = static_cast<double>(g.block(members.front()).cycles);
+    } else {
+      double total_work = 0.0;
+      for (auto b : members)
+        total_work += static_cast<double>(g.block(b).cycles) *
+                      static_cast<double>(std::max<std::uint64_t>(
+                          g.block(b).exec_count, 1));
+      std::uint64_t entries = 0;
+      for (auto ei : cond.in[c]) entries += cond.edges[ei].count;
+      weight[c] = total_work / static_cast<double>(std::max<std::uint64_t>(entries, 1));
+    }
+    for (auto b : members)
+      if (is_target_block[b]) has_target[c] = true;
+  }
+
+  // Longest path to a target component over the condensation DAG, walked in
+  // reverse topological order (ascending Tarjan id = sinks first).
+  std::vector<double> comp_dist(k, kUnreachable);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    if (has_target[c]) {
+      comp_dist[c] = 0.0;
+      continue;
+    }
+    double best = kUnreachable;
+    for (auto ei : cond.out[c]) {
+      const auto succ = cond.edges[ei].to;
+      if (comp_dist[succ] == kUnreachable) continue;
+      const double cand = comp_dist[succ] + weight[succ];
+      if (best == kUnreachable || cand > best) best = cand;
+    }
+    comp_dist[c] = best;
+  }
+
+  std::vector<double> dist(g.block_count(), kUnreachable);
+  for (BlockId b = 0; b < g.block_count(); ++b) {
+    const auto c = scc.component_of[b];
+    if (is_target_block[b]) dist[b] = 0.0;
+    else if (comp_dist[c] != kUnreachable)
+      // Within the component the block still has to run its own body (plus,
+      // for cyclic components, the component's remaining work estimate).
+      dist[b] = comp_dist[c] +
+                (has_target[c] ? static_cast<double>(g.block(b).cycles)
+                               : weight[c]);
+  }
+  return dist;
+}
+
+}  // namespace rispp::cfg

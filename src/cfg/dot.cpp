@@ -1,0 +1,77 @@
+#include "rispp/cfg/dot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rispp::cfg {
+
+namespace {
+
+/// Heat shade (0 = cold/white, 9 = hot/red-ish) from relative execution
+/// weight, log-compressed like the paper's coloring.
+int heat_level(std::uint64_t count, std::uint64_t max_count) {
+  if (count == 0 || max_count == 0) return 0;
+  double rel = static_cast<double>(count) / static_cast<double>(max_count);
+  int level = 9;
+  while (level > 0 && rel < 1.0) {
+    rel *= 3.0;
+    --level;
+  }
+  return level;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const BBGraph& g, const DotOptions& options) {
+  std::uint64_t max_exec = 0;
+  for (BlockId b = 0; b < g.block_count(); ++b)
+    max_exec = std::max(max_exec, g.block(b).exec_count);
+
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n"
+     << "  node [shape=box, style=filled, fontname=\"Helvetica\"];\n";
+
+  for (BlockId b = 0; b < g.block_count(); ++b) {
+    const auto& blk = g.block(b);
+    std::ostringstream label;
+    label << blk.name << "\\n" << blk.exec_count << "x, " << blk.cycles
+          << " cyc";
+    for (const auto& u : blk.si_usages) {
+      const std::string si =
+          options.si_name ? options.si_name(u.si_index)
+                          : ("SI" + std::to_string(u.si_index));
+      label << "\\n" << si << " x" << u.per_execution;
+    }
+    const int heat = heat_level(blk.exec_count, max_exec);
+    // White → warm orange ramp.
+    const int rg = 255 - heat * 14;
+    std::ostringstream fill;
+    fill << "#ff" << std::hex << rg << rg;
+
+    os << "  b" << b << " [label=\"" << escape(label.str()) << "\", fillcolor=\""
+       << fill.str() << "\"";
+    if (options.highlight.count(b))
+      os << ", penwidth=3, color=\"#1047a9\"";
+    if (b == g.entry()) os << ", shape=oval";
+    os << "];\n";
+  }
+
+  for (const auto& e : g.edges()) {
+    os << "  b" << e.from << " -> b" << e.to;
+    if (e.count > 0) os << " [label=\"" << e.count << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rispp::cfg

@@ -1,0 +1,132 @@
+#include "rispp/cfg/graph.hpp"
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::cfg {
+
+BlockId BBGraph::add_block(std::string name, std::uint64_t cycles,
+                           std::uint64_t exec_count) {
+  RISPP_REQUIRE(cycles > 0, "block cycle count must be positive");
+  blocks_.push_back(BasicBlock{std::move(name), cycles, exec_count, {}});
+  out_.emplace_back();
+  in_.emplace_back();
+  const auto id = static_cast<BlockId>(blocks_.size() - 1);
+  if (entry_ == kInvalidBlock) entry_ = id;
+  return id;
+}
+
+void BBGraph::require_block(BlockId b) const {
+  RISPP_REQUIRE(b < blocks_.size(), "block id out of range");
+}
+
+void BBGraph::add_edge(BlockId from, BlockId to, std::uint64_t count) {
+  require_block(from);
+  require_block(to);
+  edges_.push_back(Edge{from, to, count});
+  out_[from].push_back(edges_.size() - 1);
+  in_[to].push_back(edges_.size() - 1);
+}
+
+void BBGraph::set_entry(BlockId b) {
+  require_block(b);
+  entry_ = b;
+}
+
+void BBGraph::add_si_usage(BlockId b, std::size_t si_index,
+                           std::uint32_t per_execution) {
+  require_block(b);
+  RISPP_REQUIRE(per_execution > 0, "SI usage count must be positive");
+  blocks_[b].si_usages.push_back(SiUsage{si_index, per_execution});
+}
+
+void BBGraph::set_exec_count(BlockId b, std::uint64_t count) {
+  require_block(b);
+  blocks_[b].exec_count = count;
+}
+
+void BBGraph::set_edge_count(std::size_t edge_index, std::uint64_t count) {
+  RISPP_REQUIRE(edge_index < edges_.size(), "edge index out of range");
+  edges_[edge_index].count = count;
+}
+
+std::optional<std::size_t> BBGraph::find_edge(BlockId from, BlockId to) const {
+  require_block(from);
+  require_block(to);
+  for (auto ei : out_[from])
+    if (edges_[ei].to == to) return ei;
+  return std::nullopt;
+}
+
+const BasicBlock& BBGraph::block(BlockId b) const {
+  require_block(b);
+  return blocks_[b];
+}
+
+BasicBlock& BBGraph::block(BlockId b) {
+  require_block(b);
+  return blocks_[b];
+}
+
+const std::vector<std::size_t>& BBGraph::out_edges(BlockId b) const {
+  require_block(b);
+  return out_[b];
+}
+
+const std::vector<std::size_t>& BBGraph::in_edges(BlockId b) const {
+  require_block(b);
+  return in_[b];
+}
+
+double BBGraph::edge_probability(std::size_t edge_index) const {
+  RISPP_REQUIRE(edge_index < edges_.size(), "edge index out of range");
+  const Edge& e = edges_[edge_index];
+  std::uint64_t total = 0;
+  for (auto ei : out_[e.from]) total += edges_[ei].count;
+  if (total == 0) {
+    // Unprofiled branch: assume uniform outcome distribution.
+    return 1.0 / static_cast<double>(out_[e.from].size());
+  }
+  return static_cast<double>(e.count) / static_cast<double>(total);
+}
+
+BBGraph BBGraph::transposed() const {
+  BBGraph t;
+  for (const auto& b : blocks_) {
+    const auto id = t.add_block(b.name, b.cycles, b.exec_count);
+    t.blocks_[id].si_usages = b.si_usages;
+  }
+  for (const auto& e : edges_) t.add_edge(e.to, e.from, e.count);
+  if (entry_ != kInvalidBlock) t.set_entry(entry_);
+  return t;
+}
+
+std::vector<BlockId> BBGraph::usage_sites(std::size_t si_index) const {
+  std::vector<BlockId> sites;
+  for (BlockId b = 0; b < blocks_.size(); ++b)
+    for (const auto& u : blocks_[b].si_usages)
+      if (u.si_index == si_index) {
+        sites.push_back(b);
+        break;
+      }
+  return sites;
+}
+
+std::uint64_t BBGraph::total_si_invocations(std::size_t si_index) const {
+  std::uint64_t total = 0;
+  for (const auto& b : blocks_)
+    for (const auto& u : b.si_usages)
+      if (u.si_index == si_index) total += b.exec_count * u.per_execution;
+  return total;
+}
+
+void BBGraph::validate() const {
+  RISPP_REQUIRE(!blocks_.empty(), "graph has no blocks");
+  RISPP_REQUIRE(entry_ != kInvalidBlock && entry_ < blocks_.size(),
+                "graph entry not set");
+  for (const auto& e : edges_) {
+    RISPP_REQUIRE(e.from < blocks_.size() && e.to < blocks_.size(),
+                  "edge endpoint out of range");
+  }
+}
+
+}  // namespace rispp::cfg

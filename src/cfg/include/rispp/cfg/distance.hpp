@@ -1,0 +1,44 @@
+#pragma once
+/// \file distance.hpp
+/// \brief Temporal distance analysis (§4.1): how many cycles lie between a
+/// basic block and the next execution of an SI.
+///
+/// The forecast pass needs, per block B and SI S, "the minimal, typical, and
+/// maximal temporal distance between B and any usage of S": too close and a
+/// rotation cannot finish in time; too far and the rotation would block Atom
+/// Containers unproductively.
+
+#include <limits>
+#include <vector>
+
+#include "rispp/cfg/graph.hpp"
+
+namespace rispp::cfg {
+
+constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Minimal cycles from each block to the nearest target block, counting the
+/// body cycles of every block strictly between them (Dijkstra on the
+/// transposed graph). Targets themselves have distance 0; blocks from which
+/// no target is reachable get kUnreachable.
+std::vector<double> min_distance_cycles(const BBGraph& g,
+                                        const std::vector<BlockId>& targets);
+
+/// Expected ("typical") cycles until the next target execution, conditioned
+/// on actually reaching one: the Markov hitting-time system
+///   d(t) = 0,  d(u) = cycles(u) + Σ P(u→v)·p(v)·d(v) / p(u)
+/// solved by damped fixed-point iteration with the reach probabilities `p`.
+/// Blocks with p(u) = 0 get kUnreachable.
+std::vector<double> expected_distance_cycles(
+    const BBGraph& g, const std::vector<BlockId>& targets,
+    const std::vector<double>& reach_probability);
+
+/// Pessimistic ("maximal") cycles: longest path in the SCC condensation,
+/// where each cyclic component is weighted with its *profiled* total cycles
+/// per entry (loops contribute their full profiled iteration count). An
+/// upper estimate, not a hard bound — exactly what the FDF's long-distance
+/// penalty needs.
+std::vector<double> max_distance_cycles(const BBGraph& g,
+                                        const std::vector<BlockId>& targets);
+
+}  // namespace rispp::cfg

@@ -1,0 +1,32 @@
+#pragma once
+/// \file dot.hpp
+/// \brief Graphviz DOT export of profiled BB graphs — the rendering behind
+/// the paper's Fig 3 ("BB-graph for AES with profiling info, SI usages and
+/// computed FC Candidates").
+///
+/// Blocks are shaded by profiled execution count (the paper's "coloring
+/// visualizes profiling information for the execution time"), SI usage
+/// sites are marked, and an optional highlight set draws FC candidates with
+/// a distinct border.
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "rispp/cfg/graph.hpp"
+
+namespace rispp::cfg {
+
+struct DotOptions {
+  /// Optional label per SI index (e.g. the SiLibrary names); defaults to
+  /// "SI<k>".
+  std::function<std::string(std::size_t)> si_name;
+  /// Blocks drawn with a bold border (FC candidates / chosen FCs).
+  std::set<BlockId> highlight;
+  std::string graph_name = "bb_graph";
+};
+
+/// Renders the graph as DOT text (pipe through `dot -Tsvg`).
+std::string to_dot(const BBGraph& g, const DotOptions& options = {});
+
+}  // namespace rispp::cfg

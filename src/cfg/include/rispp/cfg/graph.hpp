@@ -1,0 +1,97 @@
+#pragma once
+/// \file graph.hpp
+/// \brief Profiled basic-block graphs — the compile-time substrate on which
+/// Forecast points are placed (paper §4, Fig 3).
+///
+/// The paper's tool-chain emits a BB graph annotated with profiling
+/// information (execution counts, per-block cycles) and the usage sites of
+/// each Special Instruction. We reproduce that artifact directly: workloads
+/// (AES, H.264) construct a BBGraph with profile weights; the forecast pass
+/// reads it.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rispp::cfg {
+
+using BlockId = std::uint32_t;
+constexpr BlockId kInvalidBlock = static_cast<BlockId>(-1);
+
+/// Use of one SI type inside a basic block.
+struct SiUsage {
+  std::size_t si_index = 0;       ///< index into the SiLibrary
+  std::uint32_t per_execution = 1; ///< SI invocations per block execution
+};
+
+struct BasicBlock {
+  std::string name;
+  /// Average non-SI cycles one execution of the block body takes.
+  std::uint64_t cycles = 1;
+  /// Profiled number of executions of this block.
+  std::uint64_t exec_count = 0;
+  std::vector<SiUsage> si_usages;
+};
+
+struct Edge {
+  BlockId from = kInvalidBlock;
+  BlockId to = kInvalidBlock;
+  /// Profiled taken count of this edge.
+  std::uint64_t count = 0;
+};
+
+class BBGraph {
+ public:
+  /// Adds a block and returns its id (ids are dense, insertion-ordered).
+  BlockId add_block(std::string name, std::uint64_t cycles = 1,
+                    std::uint64_t exec_count = 0);
+  void add_edge(BlockId from, BlockId to, std::uint64_t count = 0);
+  void set_entry(BlockId b);
+  void add_si_usage(BlockId b, std::size_t si_index,
+                    std::uint32_t per_execution = 1);
+  void set_exec_count(BlockId b, std::uint64_t count);
+  /// Overwrite an edge's profiled taken-count (profilers fill counts after
+  /// static construction).
+  void set_edge_count(std::size_t edge_index, std::uint64_t count);
+  /// Index of the edge from→to, if present.
+  std::optional<std::size_t> find_edge(BlockId from, BlockId to) const;
+
+  std::size_t block_count() const { return blocks_.size(); }
+  const BasicBlock& block(BlockId b) const;
+  BasicBlock& block(BlockId b);
+  BlockId entry() const { return entry_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Outgoing / incoming edge indices of a block (indices into edges()).
+  const std::vector<std::size_t>& out_edges(BlockId b) const;
+  const std::vector<std::size_t>& in_edges(BlockId b) const;
+
+  /// Probability that control leaving `from` takes the edge to `to`,
+  /// derived from profiled edge counts. Blocks without profiled outgoing
+  /// flow distribute uniformly.
+  double edge_probability(std::size_t edge_index) const;
+
+  /// The transposed graph (all edges reversed, same blocks/profile) — §4.2
+  /// runs its FC placement DFS on this.
+  BBGraph transposed() const;
+
+  /// All blocks using the given SI.
+  std::vector<BlockId> usage_sites(std::size_t si_index) const;
+
+  /// Total profiled invocations of an SI across the whole graph.
+  std::uint64_t total_si_invocations(std::size_t si_index) const;
+
+  /// Structural sanity: entry set, edge endpoints valid. Throws on failure.
+  void validate() const;
+
+ private:
+  void require_block(BlockId b) const;
+  std::vector<BasicBlock> blocks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> out_;
+  std::vector<std::vector<std::size_t>> in_;
+  BlockId entry_ = kInvalidBlock;
+};
+
+}  // namespace rispp::cfg

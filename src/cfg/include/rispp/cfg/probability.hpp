@@ -1,0 +1,47 @@
+#pragma once
+/// \file probability.hpp
+/// \brief Reach-probability analysis: for every basic block B and SI S, the
+/// probability that an execution passing through B goes on to execute S.
+///
+/// The paper (§4.1) computes this with "a recursive algorithm that segments
+/// the BB graph into a tree of strongly connected components, recursively
+/// calls itself to compute the probability values of the SCCs and finally
+/// executes the algorithm proposed by Li/Hauck to compute the probability in
+/// the resulting tree". We provide exactly that (reach_probability_scc) and,
+/// as a cross-check, a direct fixed-point solve of the underlying Markov
+/// system (reach_probability_iterative). Tests assert the two agree; the
+/// forecast pass uses the SCC variant.
+
+#include <vector>
+
+#include "rispp/cfg/graph.hpp"
+#include "rispp/cfg/scc.hpp"
+
+namespace rispp::cfg {
+
+/// Per-block probability of reaching any block in `targets`, treating branch
+/// behaviour as a Markov chain with profiled edge probabilities.
+///
+/// SCC-structured algorithm: process the condensation in reverse topological
+/// order; acyclic components take the Li/Hauck tree recurrence
+/// p(u) = Σ P(u→v)·p(v); cyclic components solve their small internal linear
+/// system with the already-known probabilities at their exit edges as
+/// boundary values (the paper's "recursive addition").
+std::vector<double> reach_probability_scc(const BBGraph& g,
+                                          const std::vector<BlockId>& targets);
+
+/// Reference implementation: global Gauss–Seidel sweep over the whole graph
+/// until the largest per-block update falls below `tol`.
+std::vector<double> reach_probability_iterative(
+    const BBGraph& g, const std::vector<BlockId>& targets,
+    double tol = 1e-12, std::size_t max_sweeps = 100000);
+
+/// Profile-derived estimator of the number of S-executions that follow once
+/// S's region is reached from block `from` (§4.1: "the expected number of
+/// executions when S is reached"): total profiled invocations of the SI
+/// divided by the profiled execution count of `from`. Returns 0 when the
+/// block never executed in the profile.
+double expected_si_executions(const BBGraph& g, std::size_t si_index,
+                              BlockId from);
+
+}  // namespace rispp::cfg

@@ -1,0 +1,54 @@
+#pragma once
+/// \file scc.hpp
+/// \brief Strongly connected components and the SCC condensation of a BB
+/// graph (Tarjan), used by the paper's recursive probability algorithm:
+/// "a recursive algorithm that segments the BB graph into a tree of strongly
+/// connected components, recursively calls itself ... and finally executes
+/// the algorithm proposed by Li/Hauck ... in the resulting tree" (§4.1).
+
+#include <cstdint>
+#include <vector>
+
+#include "rispp/cfg/graph.hpp"
+
+namespace rispp::cfg {
+
+/// Result of Tarjan's algorithm over a BBGraph.
+struct SccResult {
+  /// Component id per block. Component ids are a reverse topological order
+  /// of the condensation (Tarjan's natural output): if C(u) < C(v) then
+  /// there is no path from the component of u to the component of v other
+  /// than inside one component.
+  std::vector<std::uint32_t> component_of;
+  /// Blocks grouped per component.
+  std::vector<std::vector<BlockId>> members;
+
+  std::size_t component_count() const { return members.size(); }
+  /// True iff the block's component has more than one member or a self loop
+  /// (i.e. it participates in a cycle — a loop or recursive region).
+  bool in_cycle(const BBGraph& g, BlockId b) const;
+};
+
+/// Iterative Tarjan SCC (no recursion — BB graphs of real applications can
+/// be deep).
+SccResult tarjan_scc(const BBGraph& g);
+
+/// Condensation DAG of the graph: one node per SCC, aggregated edge counts
+/// between distinct components. Node k of the condensation corresponds to
+/// component k of `scc`.
+struct Condensation {
+  struct CEdge {
+    std::uint32_t from = 0, to = 0;
+    std::uint64_t count = 0;  ///< summed profiled counts of member edges
+  };
+  std::vector<CEdge> edges;
+  std::vector<std::vector<std::size_t>> out;  ///< edge indices per component
+  std::vector<std::vector<std::size_t>> in;
+
+  /// Components in topological order (sources first).
+  std::vector<std::uint32_t> topo_order;
+};
+
+Condensation condense(const BBGraph& g, const SccResult& scc);
+
+}  // namespace rispp::cfg

@@ -1,0 +1,104 @@
+#include "rispp/cfg/probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::cfg {
+
+namespace {
+
+std::vector<bool> target_mask(const BBGraph& g,
+                              const std::vector<BlockId>& targets) {
+  std::vector<bool> mask(g.block_count(), false);
+  for (auto t : targets) {
+    RISPP_REQUIRE(t < g.block_count(), "target block out of range");
+    mask[t] = true;
+  }
+  return mask;
+}
+
+/// One Gauss–Seidel sweep over `blocks` (any order); returns max update.
+/// Targets must already be pinned to 1 (see pin_targets) so the very first
+/// sweep propagates from them regardless of iteration order.
+double sweep(const BBGraph& g, const std::vector<bool>& is_target,
+             const std::vector<BlockId>& blocks, std::vector<double>& p) {
+  double max_delta = 0.0;
+  for (auto b : blocks) {
+    if (is_target[b]) continue;
+    double acc = 0.0;
+    for (auto ei : g.out_edges(b))
+      acc += g.edge_probability(ei) * p[g.edges()[ei].to];
+    acc = std::min(acc, 1.0);
+    max_delta = std::max(max_delta, std::abs(acc - p[b]));
+    p[b] = acc;
+  }
+  return max_delta;
+}
+
+}  // namespace
+
+std::vector<double> reach_probability_iterative(
+    const BBGraph& g, const std::vector<BlockId>& targets, double tol,
+    std::size_t max_sweeps) {
+  const auto is_target = target_mask(g, targets);
+  std::vector<double> p(g.block_count(), 0.0);
+  for (auto t : targets) p[t] = 1.0;
+  std::vector<BlockId> all(g.block_count());
+  for (BlockId b = 0; b < g.block_count(); ++b) all[b] = b;
+  for (std::size_t s = 0; s < max_sweeps; ++s)
+    if (sweep(g, is_target, all, p) < tol) break;
+  return p;
+}
+
+std::vector<double> reach_probability_scc(const BBGraph& g,
+                                          const std::vector<BlockId>& targets) {
+  const auto is_target = target_mask(g, targets);
+  const auto scc = tarjan_scc(g);
+  const auto cond = condense(g, scc);
+
+  std::vector<double> p(g.block_count(), 0.0);
+  for (auto t : targets) p[t] = 1.0;
+
+  // Reverse topological order of the condensation = ascending Tarjan
+  // component id: successors of a component always have a *smaller* id, so
+  // their probabilities are final when the component is processed.
+  for (std::uint32_t comp = 0; comp < scc.component_count(); ++comp) {
+    const auto& members = scc.members[comp];
+    const bool cyclic =
+        members.size() > 1 || scc.in_cycle(g, members.front());
+    if (!cyclic) {
+      // Li/Hauck tree recurrence on a single acyclic node.
+      const BlockId b = members.front();
+      if (is_target[b]) {
+        p[b] = 1.0;
+      } else {
+        double acc = 0.0;
+        for (auto ei : g.out_edges(b))
+          acc += g.edge_probability(ei) * p[g.edges()[ei].to];
+        p[b] = std::min(acc, 1.0);
+      }
+      continue;
+    }
+    // Cyclic component: solve the internal linear system with the (already
+    // final) probabilities outside the component as boundary values. The
+    // system is small — Gauss–Seidel converges geometrically because every
+    // cycle has positive exit probability in a profiled graph; if it does
+    // not (an actual infinite loop), the sweep converges to the correct
+    // absorbing values as well.
+    for (std::size_t iter = 0; iter < 100000; ++iter)
+      if (sweep(g, is_target, members, p) < 1e-13) break;
+  }
+  return p;
+}
+
+double expected_si_executions(const BBGraph& g, std::size_t si_index,
+                              BlockId from) {
+  const auto total = g.total_si_invocations(si_index);
+  const auto from_count = g.block(from).exec_count;
+  if (from_count == 0) return 0.0;
+  return static_cast<double>(total) / static_cast<double>(from_count);
+}
+
+}  // namespace rispp::cfg

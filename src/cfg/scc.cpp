@@ -1,0 +1,116 @@
+#include "rispp/cfg/scc.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::cfg {
+
+bool SccResult::in_cycle(const BBGraph& g, BlockId b) const {
+  const auto comp = component_of.at(b);
+  if (members.at(comp).size() > 1) return true;
+  for (auto ei : g.out_edges(b))
+    if (g.edges()[ei].to == b) return true;  // self loop
+  return false;
+}
+
+SccResult tarjan_scc(const BBGraph& g) {
+  const auto n = g.block_count();
+  constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<BlockId> stack;
+  SccResult result;
+  result.component_of.assign(n, kUnvisited);
+  std::uint32_t next_index = 0;
+
+  // Explicit DFS frame: block + position within its out-edge list.
+  struct Frame {
+    BlockId b;
+    std::size_t edge_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (BlockId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      auto& f = frames.back();
+      const auto& outs = g.out_edges(f.b);
+      if (f.edge_pos < outs.size()) {
+        const BlockId w = g.edges()[outs[f.edge_pos]].to;
+        ++f.edge_pos;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.b] = std::min(lowlink[f.b], index[w]);
+        }
+      } else {
+        const BlockId b = f.b;
+        frames.pop_back();
+        if (!frames.empty())
+          lowlink[frames.back().b] = std::min(lowlink[frames.back().b], lowlink[b]);
+        if (lowlink[b] == index[b]) {
+          // b is the root of a new SCC; pop its members.
+          std::vector<BlockId> comp;
+          while (true) {
+            const BlockId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component_of[w] =
+                static_cast<std::uint32_t>(result.members.size());
+            comp.push_back(w);
+            if (w == b) break;
+          }
+          result.members.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+  RISPP_ENSURE(std::none_of(result.component_of.begin(), result.component_of.end(),
+                            [](std::uint32_t c) { return c == kUnvisited; }),
+               "every block must be assigned to a component");
+  return result;
+}
+
+Condensation condense(const BBGraph& g, const SccResult& scc) {
+  Condensation c;
+  const auto k = scc.component_count();
+  c.out.assign(k, {});
+  c.in.assign(k, {});
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> edge_index;
+  for (const auto& e : g.edges()) {
+    const auto cf = scc.component_of[e.from];
+    const auto ct = scc.component_of[e.to];
+    if (cf == ct) continue;  // intra-component edge
+    const auto key = std::make_pair(cf, ct);
+    auto it = edge_index.find(key);
+    if (it == edge_index.end()) {
+      it = edge_index.emplace(key, c.edges.size()).first;
+      c.edges.push_back({cf, ct, 0});
+      c.out[cf].push_back(it->second);
+      c.in[ct].push_back(it->second);
+    }
+    c.edges[it->second].count += e.count;
+  }
+
+  // Tarjan component ids are a reverse topological order of the
+  // condensation, so topological order is descending component id.
+  c.topo_order.resize(k);
+  for (std::size_t i = 0; i < k; ++i)
+    c.topo_order[i] = static_cast<std::uint32_t>(k - 1 - i);
+  return c;
+}
+
+}  // namespace rispp::cfg

@@ -1,0 +1,177 @@
+#include "rispp/dlx/cfg_extract.hpp"
+
+#include <map>
+#include <set>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::dlx {
+
+namespace {
+
+bool is_conditional_branch(Op op) {
+  return op == Op::Beq || op == Op::Bne || op == Op::Blt || op == Op::Bge;
+}
+
+bool ends_block(Op op) {
+  return is_conditional_branch(op) || op == Op::J || op == Op::Jal ||
+         op == Op::Jr || op == Op::Halt;
+}
+
+}  // namespace
+
+DlxCfg extract_cfg(const Program& program, const isa::SiLibrary& lib) {
+  RISPP_REQUIRE(!program.code.empty(), "empty program");
+  const auto& code = program.code;
+  const auto n = code.size();
+
+  // --- leaders: entry, control-transfer targets, and instructions after a
+  // block-ending instruction. Return points of `jal` are leaders too (they
+  // are the only statically known `jr` targets).
+  std::set<std::size_t> leaders{0};
+  std::set<std::size_t> jal_returns;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& ins = code[i];
+    if (is_conditional_branch(ins.op) || ins.op == Op::J || ins.op == Op::Jal) {
+      RISPP_REQUIRE(ins.imm >= 0 && static_cast<std::size_t>(ins.imm) < n,
+                    "control transfer target out of range");
+      leaders.insert(static_cast<std::size_t>(ins.imm));
+    }
+    if (ends_block(ins.op) && i + 1 < n) leaders.insert(i + 1);
+    if (ins.op == Op::Jal && i + 1 < n) jal_returns.insert(i + 1);
+  }
+
+  DlxCfg out;
+  out.block_of_instr.assign(n, 0);
+  std::map<std::size_t, cfg::BlockId> block_at;
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    const std::size_t start = *it;
+    const std::size_t end = std::next(it) != leaders.end()
+                                ? *std::next(it)
+                                : n;
+    std::uint64_t cycles = 0;
+    for (std::size_t i = start; i < end; ++i) cycles += base_cycles(code[i].op);
+    const auto b = out.graph.add_block("bb" + std::to_string(start),
+                                       std::max<std::uint64_t>(cycles, 1));
+    block_at[start] = b;
+    out.leader_of_block.push_back(start);
+    for (std::size_t i = start; i < end; ++i) {
+      out.block_of_instr[i] = b;
+      if (code[i].op == Op::Si)
+        out.graph.add_si_usage(b, lib.index_of(code[i].si_name));
+    }
+  }
+
+  // --- edges from each block's terminator.
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    const std::size_t start = *it;
+    const std::size_t end =
+        std::next(it) != leaders.end() ? *std::next(it) : n;
+    const auto from = block_at.at(start);
+    const auto& last = code[end - 1];
+    const auto target = [&](std::size_t instr) {
+      return block_at.at(*--leaders.upper_bound(instr));
+    };
+    if (is_conditional_branch(last.op)) {
+      out.graph.add_edge(from, target(static_cast<std::size_t>(last.imm)));
+      if (end < n) out.graph.add_edge(from, block_at.at(end));
+    } else if (last.op == Op::J || last.op == Op::Jal) {
+      out.graph.add_edge(from, target(static_cast<std::size_t>(last.imm)));
+    } else if (last.op == Op::Jr) {
+      // Statically unknown; approximate with all jal return points.
+      for (auto r : jal_returns) out.graph.add_edge(from, block_at.at(r));
+    } else if (last.op == Op::Halt) {
+      // program exit — no successors
+    } else if (end < n) {
+      out.graph.add_edge(from, block_at.at(end));
+    }
+  }
+  out.graph.set_entry(block_at.at(0));
+  return out;
+}
+
+std::uint64_t profile_cfg(DlxCfg& cfg, Cpu& cpu) {
+  RISPP_REQUIRE(!cpu.halted(), "cpu must be freshly loaded");
+  std::map<std::pair<cfg::BlockId, cfg::BlockId>, std::uint64_t> edge_counts;
+  std::vector<std::uint64_t> exec(cfg.graph.block_count(), 0);
+
+  auto block_of = [&](std::uint32_t pc) { return cfg.block_of_instr.at(pc); };
+  cfg::BlockId current = block_of(cpu.pc());
+  ++exec[current];
+  std::uint64_t steps = 0;
+
+  while (cpu.step()) {
+    ++steps;
+    const auto pc = cpu.pc();
+    const auto b = block_of(pc);
+    // Landing on a leader is a block entry: control transfers (including
+    // self-loops) always target leaders, and sequential flow only touches
+    // one when it crosses into the next block.
+    if (pc == cfg.leader_of_block.at(b)) {
+      ++edge_counts[{current, b}];
+      ++exec[b];
+      current = b;
+    }
+  }
+  ++steps;  // the halt instruction itself
+
+  for (cfg::BlockId b = 0; b < cfg.graph.block_count(); ++b)
+    cfg.graph.set_exec_count(b, exec[b]);
+  for (const auto& [edge, count] : edge_counts) {
+    auto idx = cfg.graph.find_edge(edge.first, edge.second);
+    if (!idx) {
+      // Dynamic edge the static approximation missed (e.g. jr): add it.
+      cfg.graph.add_edge(edge.first, edge.second, 0);
+      idx = cfg.graph.find_edge(edge.first, edge.second);
+    }
+    cfg.graph.set_edge_count(*idx, count);
+  }
+  return steps;
+}
+
+Program inject_forecasts(const Program& program, const DlxCfg& cfg,
+                         const forecast::FcPlan& plan,
+                         const isa::SiLibrary& lib) {
+  const auto n = program.code.size();
+  RISPP_REQUIRE(cfg.block_of_instr.size() == n,
+                "cfg does not match the program");
+
+  // Forecast instructions to insert before each original instruction.
+  std::vector<std::vector<Instruction>> inserts(n);
+  for (const auto& fb : plan.blocks) {
+    RISPP_REQUIRE(fb.block < cfg.leader_of_block.size(),
+                  "plan references a block outside the program");
+    const auto leader = cfg.leader_of_block[fb.block];
+    for (const auto& p : fb.points) {
+      Instruction ins;
+      ins.op = Op::Forecast;
+      ins.si_name = lib.at(p.si_index).name();
+      ins.si_index = p.si_index;
+      ins.imm = static_cast<std::int32_t>(p.expected_executions);
+      inserts[leader].push_back(ins);
+    }
+  }
+
+  // Old index → new index of the first instruction of its insert group:
+  // a control transfer to a leader lands on its forecasts, so FCs execute
+  // before the block body on every entry.
+  std::vector<std::int32_t> new_index(n);
+  std::size_t inserted_before = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    new_index[i] = static_cast<std::int32_t>(i + inserted_before);
+    inserted_before += inserts[i].size();
+  }
+
+  Program out;
+  out.data = program.data;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& fc : inserts[i]) out.code.push_back(fc);
+    Instruction ins = program.code[i];
+    if (is_conditional_branch(ins.op) || ins.op == Op::J || ins.op == Op::Jal)
+      ins.imm = new_index[static_cast<std::size_t>(ins.imm)];
+    out.code.push_back(ins);
+  }
+  return out;
+}
+
+}  // namespace rispp::dlx

@@ -1,0 +1,211 @@
+#include "rispp/dlx/cpu.hpp"
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::dlx {
+
+std::uint32_t base_cycles(Op op) {
+  switch (op) {
+    case Op::Lw:
+    case Op::Sw:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Slt: return "slt";
+    case Op::Sll: return "sll";
+    case Op::Srl: return "srl";
+    case Op::Sra: return "sra";
+    case Op::Mul: return "mul";
+    case Op::Addi: return "addi";
+    case Op::Andi: return "andi";
+    case Op::Ori: return "ori";
+    case Op::Xori: return "xori";
+    case Op::Slti: return "slti";
+    case Op::Lui: return "lui";
+    case Op::Lw: return "lw";
+    case Op::Sw: return "sw";
+    case Op::Beq: return "beq";
+    case Op::Bne: return "bne";
+    case Op::Blt: return "blt";
+    case Op::Bge: return "bge";
+    case Op::J: return "j";
+    case Op::Jal: return "jal";
+    case Op::Jr: return "jr";
+    case Op::Si: return "si";
+    case Op::Forecast: return "forecast";
+    case Op::Release: return "release";
+    case Op::Nop: return "nop";
+    case Op::Print: return "print";
+    case Op::Halt: return "halt";
+  }
+  return "?";
+}
+
+Cpu::Cpu(const isa::SiLibrary& lib, rt::RisppManager* manager, CpuConfig config)
+    : lib_(&lib), manager_(manager), cfg_(config) {
+  RISPP_REQUIRE(cfg_.memory_words > 0, "memory must be non-empty");
+  mem_.assign(cfg_.memory_words, 0);
+}
+
+void Cpu::load(const Program& program) {
+  RISPP_REQUIRE(!program.code.empty(), "empty program");
+  RISPP_REQUIRE(program.data.size() <= mem_.size(),
+                "data segment exceeds memory");
+  code_ = program.code;
+  // Resolve SI names against the library once.
+  for (auto& ins : code_) {
+    if (ins.op == Op::Si || ins.op == Op::Forecast || ins.op == Op::Release) {
+      RISPP_REQUIRE(lib_->contains(ins.si_name),
+                    "program references unknown SI: " + ins.si_name);
+      ins.si_index = lib_->index_of(ins.si_name);
+    }
+  }
+  mem_.assign(cfg_.memory_words, 0);
+  std::copy(program.data.begin(), program.data.end(), mem_.begin());
+  regs_.fill(0);
+  pc_ = 0;
+  cycles_ = 0;
+  instructions_ = 0;
+  prints_.clear();
+  si_usage_.clear();
+  halted_ = false;
+}
+
+void Cpu::bind_si(const std::string& si_name, SiExecutor executor) {
+  RISPP_REQUIRE(lib_->contains(si_name), "unknown SI: " + si_name);
+  executors_[lib_->index_of(si_name)] = std::move(executor);
+}
+
+std::uint32_t Cpu::reg(std::uint8_t r) const {
+  RISPP_REQUIRE(r < 32, "register index out of range");
+  return r == 0 ? 0 : regs_[r];
+}
+
+void Cpu::set_reg(std::uint8_t r, std::uint32_t value) {
+  RISPP_REQUIRE(r < 32, "register index out of range");
+  if (r != 0) regs_[r] = value;  // r0 is hardwired to zero
+}
+
+std::uint32_t Cpu::load_word(std::uint32_t byte_addr) const {
+  RISPP_REQUIRE(byte_addr % 4 == 0, "unaligned word access");
+  const auto w = byte_addr / 4;
+  RISPP_REQUIRE(w < mem_.size(), "load outside memory");
+  return mem_[w];
+}
+
+void Cpu::store_word(std::uint32_t byte_addr, std::uint32_t value) {
+  RISPP_REQUIRE(byte_addr % 4 == 0, "unaligned word access");
+  const auto w = byte_addr / 4;
+  RISPP_REQUIRE(w < mem_.size(), "store outside memory");
+  mem_[w] = value;
+}
+
+bool Cpu::step() {
+  if (halted_) return false;
+  RISPP_REQUIRE(pc_ < code_.size(), "pc ran off the end of the program");
+  const Instruction& ins = code_[pc_];
+  std::uint32_t next_pc = pc_ + 1;
+  cycles_ += base_cycles(ins.op);
+  ++instructions_;
+
+  const auto s = [&] { return reg(ins.rs); };
+  const auto t = [&] { return reg(ins.rt); };
+  const auto sgn = [](std::uint32_t v) { return static_cast<std::int32_t>(v); };
+
+  switch (ins.op) {
+    case Op::Add: set_reg(ins.rd, s() + t()); break;
+    case Op::Sub: set_reg(ins.rd, s() - t()); break;
+    case Op::And: set_reg(ins.rd, s() & t()); break;
+    case Op::Or: set_reg(ins.rd, s() | t()); break;
+    case Op::Xor: set_reg(ins.rd, s() ^ t()); break;
+    case Op::Mul: set_reg(ins.rd, s() * t()); break;
+    case Op::Slt: set_reg(ins.rd, sgn(s()) < sgn(t()) ? 1 : 0); break;
+    case Op::Sll: set_reg(ins.rd, s() << (t() & 31)); break;
+    case Op::Srl: set_reg(ins.rd, s() >> (t() & 31)); break;
+    case Op::Sra:
+      set_reg(ins.rd, static_cast<std::uint32_t>(sgn(s()) >> (t() & 31)));
+      break;
+    case Op::Addi:
+      set_reg(ins.rd, s() + static_cast<std::uint32_t>(ins.imm));
+      break;
+    case Op::Andi: set_reg(ins.rd, s() & static_cast<std::uint32_t>(ins.imm)); break;
+    case Op::Ori: set_reg(ins.rd, s() | static_cast<std::uint32_t>(ins.imm)); break;
+    case Op::Xori: set_reg(ins.rd, s() ^ static_cast<std::uint32_t>(ins.imm)); break;
+    case Op::Slti: set_reg(ins.rd, sgn(s()) < ins.imm ? 1 : 0); break;
+    case Op::Lui:
+      set_reg(ins.rd, static_cast<std::uint32_t>(ins.imm) << 16);
+      break;
+    case Op::Lw:
+      set_reg(ins.rd, load_word(s() + static_cast<std::uint32_t>(ins.imm)));
+      break;
+    case Op::Sw:
+      store_word(s() + static_cast<std::uint32_t>(ins.imm), reg(ins.rd));
+      break;
+    case Op::Beq: if (s() == t()) next_pc = static_cast<std::uint32_t>(ins.imm); break;
+    case Op::Bne: if (s() != t()) next_pc = static_cast<std::uint32_t>(ins.imm); break;
+    case Op::Blt: if (sgn(s()) < sgn(t())) next_pc = static_cast<std::uint32_t>(ins.imm); break;
+    case Op::Bge: if (sgn(s()) >= sgn(t())) next_pc = static_cast<std::uint32_t>(ins.imm); break;
+    case Op::J: next_pc = static_cast<std::uint32_t>(ins.imm); break;
+    case Op::Jal:
+      set_reg(31, next_pc);
+      next_pc = static_cast<std::uint32_t>(ins.imm);
+      break;
+    case Op::Jr: next_pc = s(); break;
+
+    case Op::Si: {
+      const auto it = executors_.find(ins.si_index);
+      RISPP_REQUIRE(it != executors_.end(),
+                    "no functional executor bound for SI " + ins.si_name);
+      const auto result = it->second(*this, s(), t());
+      set_reg(ins.rd, result);
+      auto& usage = si_usage_[ins.si_name];
+      if (manager_) {
+        const auto exec = manager_->execute(ins.si_index, cycles_);
+        cycles_ += exec.cycles;
+        exec.hardware ? ++usage.hw : ++usage.sw;
+      } else {
+        cycles_ += lib_->at(ins.si_index).software_cycles();
+        ++usage.sw;
+      }
+      break;
+    }
+    case Op::Forecast:
+      if (manager_)
+        manager_->forecast(ins.si_index, static_cast<double>(ins.imm), 1.0,
+                           cycles_);
+      break;
+    case Op::Release:
+      if (manager_) manager_->forecast_release(ins.si_index, cycles_);
+      break;
+
+    case Op::Nop: break;
+    case Op::Print: prints_.push_back(s()); break;
+    case Op::Halt:
+      halted_ = true;
+      return false;
+  }
+  pc_ = next_pc;
+  return true;
+}
+
+std::uint64_t Cpu::run() {
+  std::uint64_t executed = 0;
+  while (!halted_ && instructions_ < cfg_.max_instructions) {
+    if (!step()) break;
+    ++executed;
+  }
+  RISPP_REQUIRE(halted_, "instruction limit reached before halt");
+  return executed;
+}
+
+}  // namespace rispp::dlx

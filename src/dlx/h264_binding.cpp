@@ -1,0 +1,58 @@
+#include "rispp/dlx/h264_binding.hpp"
+
+#include "rispp/h264/kernels.hpp"
+
+namespace rispp::dlx {
+
+namespace {
+
+h264::Block4x4 read_block(const Cpu& cpu, std::uint32_t addr) {
+  h264::Block4x4 b{};
+  for (int i = 0; i < 16; ++i)
+    b[i] = static_cast<std::int32_t>(cpu.load_word(addr + 4 * i));
+  return b;
+}
+
+void write_block(Cpu& cpu, std::uint32_t addr, const h264::Block4x4& b) {
+  for (int i = 0; i < 16; ++i)
+    cpu.store_word(addr + 4 * i, static_cast<std::uint32_t>(b[i]));
+}
+
+}  // namespace
+
+void bind_h264_sis(Cpu& cpu, const isa::SiLibrary& lib) {
+  if (lib.contains("SATD_4x4"))
+    cpu.bind_si("SATD_4x4", [](Cpu& c, std::uint32_t rs, std::uint32_t rt) {
+      return static_cast<std::uint32_t>(
+          h264::satd_4x4(read_block(c, rs), read_block(c, rt)));
+    });
+  if (lib.contains("SAD_4x4"))
+    cpu.bind_si("SAD_4x4", [](Cpu& c, std::uint32_t rs, std::uint32_t rt) {
+      return static_cast<std::uint32_t>(
+          h264::sad_4x4(read_block(c, rs), read_block(c, rt)));
+    });
+  if (lib.contains("DCT_4x4"))
+    cpu.bind_si("DCT_4x4", [](Cpu& c, std::uint32_t rs, std::uint32_t rt) {
+      const auto out = h264::dct_4x4(read_block(c, rs));
+      write_block(c, rt, out);
+      return static_cast<std::uint32_t>(out[0]);
+    });
+  if (lib.contains("HT_4x4"))
+    cpu.bind_si("HT_4x4", [](Cpu& c, std::uint32_t rs, std::uint32_t rt) {
+      const auto out = h264::ht_4x4(read_block(c, rs));
+      write_block(c, rt, out);
+      return static_cast<std::uint32_t>(out[0]);
+    });
+  if (lib.contains("HT_2x2"))
+    cpu.bind_si("HT_2x2", [](Cpu& c, std::uint32_t rs, std::uint32_t rt) {
+      h264::Block2x2 in{};
+      for (int i = 0; i < 4; ++i)
+        in[i] = static_cast<std::int32_t>(c.load_word(rs + 4 * i));
+      const auto out = h264::ht_2x2(in);
+      for (int i = 0; i < 4; ++i)
+        c.store_word(rt + 4 * i, static_cast<std::uint32_t>(out[i]));
+      return static_cast<std::uint32_t>(out[0]);
+    });
+}
+
+}  // namespace rispp::dlx

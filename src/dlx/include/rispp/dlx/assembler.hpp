@@ -1,0 +1,43 @@
+#pragma once
+/// \file assembler.hpp
+/// \brief Two-pass assembler for the DLX-like core.
+///
+/// Syntax (one instruction per line, `;` or `#` start a comment):
+///
+/// ```
+///         .data 1 2 3 4          ; words appended to the data segment
+/// loop:   addi r1, r1, -1        ; labels end with ':'
+///         lw   r2, 8(r3)         ; word load, byte offset
+///         si   SATD_4x4 r4, r5, r6
+///         forecast SATD_4x4, 256
+///         bne  r1, r0, loop
+///         halt
+/// ```
+///
+/// Registers are r0…r31 (r0 reads as zero, writes ignored). Branch/jump
+/// targets are labels. SI names resolve against the SiLibrary at load time
+/// (see Cpu::load), not at assembly time.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "rispp/dlx/isa.hpp"
+
+namespace rispp::dlx {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+Program assemble(std::istream& in);
+Program assemble(const std::string& source);
+
+}  // namespace rispp::dlx

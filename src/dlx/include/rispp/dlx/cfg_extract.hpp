@@ -1,0 +1,48 @@
+#pragma once
+/// \file cfg_extract.hpp
+/// \brief The tool-chain front end: basic-block extraction and profiling of
+/// DLX programs.
+///
+/// The paper's Fig 3 shows "the BB-graph … as it is automatically generated
+/// from our tool-chain" with profiling info and SI usages. This module does
+/// that for real binaries: leaders are branch targets and fall-throughs,
+/// blocks carry their base cycle cost and `si` usage sites, and a profiling
+/// run (instruction-level stepping of the Cpu) fills in execution and edge
+/// counts. The result feeds forecast::run_forecast_pass unchanged — the
+/// complete compile-time flow of §4 over actual code.
+
+#include <vector>
+
+#include "rispp/cfg/graph.hpp"
+#include "rispp/dlx/cpu.hpp"
+#include "rispp/forecast/forecast_pass.hpp"
+
+namespace rispp::dlx {
+
+struct DlxCfg {
+  cfg::BBGraph graph;
+  /// Instruction index → block id.
+  std::vector<cfg::BlockId> block_of_instr;
+  /// Block id → first instruction index (leader).
+  std::vector<std::size_t> leader_of_block;
+};
+
+/// Static extraction: blocks, edges (unprofiled), per-block base cycles and
+/// SI usage sites. SI names must resolve against `lib`.
+DlxCfg extract_cfg(const Program& program, const isa::SiLibrary& lib);
+
+/// Dynamic profiling: steps `cpu` (already load()ed with the same program
+/// and with SIs bound) to halt, filling block execution counts and edge
+/// taken-counts. Returns the number of instructions executed.
+std::uint64_t profile_cfg(DlxCfg& cfg, Cpu& cpu);
+
+/// The back end of §4: rewrites the binary so that every Forecast point of
+/// `plan` becomes a `forecast` instruction at its block's leader (executing
+/// on every entry of the block, before its body — maximal lead time).
+/// Branch/jump targets and the CFG mapping are relocated accordingly.
+/// Returns the instrumented program; `cfg` is the extraction of `program`.
+Program inject_forecasts(const Program& program, const DlxCfg& cfg,
+                         const forecast::FcPlan& plan,
+                         const isa::SiLibrary& lib);
+
+}  // namespace rispp::dlx

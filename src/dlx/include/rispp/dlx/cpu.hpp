@@ -1,0 +1,94 @@
+#pragma once
+/// \file cpu.hpp
+/// \brief The DLX-like core: a single-issue in-order interpreter whose `si`
+/// opcode is served by the RISPP run-time manager — the cycle-level
+/// co-simulation of core + rotating instruction set.
+///
+/// Semantics of an SI come from a registered SiExecutor (a functional model
+/// operating on CPU registers/memory, e.g. SATD_4x4 over two 4x4 pixel
+/// blocks); its *latency* comes from the manager: the software Molecule
+/// when nothing is loaded, the fastest loaded hardware Molecule otherwise.
+/// One binary, one semantics — only time changes, exactly the platform's
+/// contract.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rispp/dlx/isa.hpp"
+#include "rispp/isa/si_library.hpp"
+#include "rispp/rt/manager.hpp"
+
+namespace rispp::dlx {
+
+class Cpu;
+
+/// Functional model of one SI: reads operands (register indices rs/rt of
+/// the instruction resolve to values, typically memory addresses), returns
+/// the value written to rd.
+using SiExecutor =
+    std::function<std::uint32_t(Cpu&, std::uint32_t rs_value,
+                                std::uint32_t rt_value)>;
+
+struct CpuConfig {
+  std::size_t memory_words = 1 << 16;
+  std::uint64_t max_instructions = 100'000'000;
+};
+
+class Cpu {
+ public:
+  /// `manager` may be null: SIs then cost their software-Molecule latency
+  /// (a pure extensible-ISA core without reconfiguration).
+  Cpu(const isa::SiLibrary& lib, rt::RisppManager* manager,
+      CpuConfig config = {});
+
+  /// Loads a program: code, data segment at word address 0, SI name
+  /// resolution against the library. Resets registers/pc/cycles.
+  void load(const Program& program);
+
+  /// Registers the functional model for an SI (by name).
+  void bind_si(const std::string& si_name, SiExecutor executor);
+
+  /// Executes one instruction; returns false when halted.
+  bool step();
+  /// Runs to halt (or the instruction limit). Returns executed instructions.
+  std::uint64_t run();
+
+  bool halted() const { return halted_; }
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint32_t pc() const { return pc_; }
+
+  std::uint32_t reg(std::uint8_t r) const;
+  void set_reg(std::uint8_t r, std::uint32_t value);
+  std::uint32_t load_word(std::uint32_t byte_addr) const;
+  void store_word(std::uint32_t byte_addr, std::uint32_t value);
+
+  /// Values emitted by `print` instructions, in order (for tests).
+  const std::vector<std::uint32_t>& prints() const { return prints_; }
+
+  /// Per-SI invocation counts (hardware vs software).
+  struct SiUsage {
+    std::uint64_t hw = 0, sw = 0;
+  };
+  const std::map<std::string, SiUsage>& si_usage() const { return si_usage_; }
+
+ private:
+  const isa::SiLibrary* lib_;
+  rt::RisppManager* manager_;
+  CpuConfig cfg_;
+  std::vector<Instruction> code_;
+  std::vector<std::uint32_t> mem_;
+  std::array<std::uint32_t, 32> regs_{};
+  std::map<std::size_t, SiExecutor> executors_;  ///< keyed by SI index
+  std::uint32_t pc_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  bool halted_ = true;
+  std::vector<std::uint32_t> prints_;
+  std::map<std::string, SiUsage> si_usage_;
+};
+
+}  // namespace rispp::dlx

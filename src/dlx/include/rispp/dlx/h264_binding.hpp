@@ -1,0 +1,21 @@
+#pragma once
+/// \file h264_binding.hpp
+/// \brief Functional executors binding the H.264 case-study SIs to DLX
+/// memory: blocks are 16 (or 4 for HT_2x2) consecutive words, row-major,
+/// addressed by the `si` instruction's rs/rt operands.
+///
+///   si SATD_4x4 rd, rs, rt   — rd ← SATD(cur @ rs, ref @ rt)
+///   si SAD_4x4  rd, rs, rt   — rd ← SAD(cur @ rs, ref @ rt)
+///   si DCT_4x4  rd, rs, rt   — transform block @ rs into @ rt; rd ← DC
+///   si HT_4x4   rd, rs, rt   — Hadamard block @ rs into @ rt; rd ← DC
+///   si HT_2x2   rd, rs, rt   — 2x2 Hadamard @ rs into @ rt; rd ← DC
+
+#include "rispp/dlx/cpu.hpp"
+
+namespace rispp::dlx {
+
+/// Binds every SI of SiLibrary::h264() (or a superset) that the binding
+/// knows; SIs present in the library but unknown here are left unbound.
+void bind_h264_sis(Cpu& cpu, const isa::SiLibrary& lib);
+
+}  // namespace rispp::dlx

@@ -1,0 +1,60 @@
+#pragma once
+/// \file isa.hpp
+/// \brief The DLX-like core instruction set (paper §6: "We currently use a
+/// DLX core, but conceptually we are not limited to any specific core").
+///
+/// A small load/store RISC: 32 general registers (r0 hardwired to zero),
+/// word-addressed loads/stores, and the RISPP extension opcodes:
+///
+///  * `si  <NAME> rd, rs, rt` — execute a Special Instruction. Latency comes
+///    from the run-time manager (software Molecule or the fastest loaded
+///    hardware Molecule); semantics come from a registered functional
+///    executor that reads/writes CPU memory (e.g. SATD_4x4 over two 4x4
+///    pixel blocks).
+///  * `forecast <NAME>, imm` — a Forecast point: the SI is expected `imm`
+///    times. Triggers rotations in the manager.
+///  * `release <NAME>` — the forecast states the SI is no longer needed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rispp::dlx {
+
+enum class Op : std::uint8_t {
+  // arithmetic / logic, register-register
+  Add, Sub, And, Or, Xor, Slt, Sll, Srl, Sra, Mul,
+  // immediates
+  Addi, Andi, Ori, Xori, Slti, Lui,
+  // memory (word)
+  Lw, Sw,
+  // control
+  Beq, Bne, Blt, Bge, J, Jal, Jr,
+  // RISPP extension
+  Si, Forecast, Release,
+  // misc
+  Nop, Print, Halt,
+};
+
+struct Instruction {
+  Op op = Op::Nop;
+  std::uint8_t rd = 0, rs = 0, rt = 0;
+  std::int32_t imm = 0;        ///< immediate / branch or jump target (index)
+  std::size_t si_index = 0;    ///< resolved SI for Si/Forecast/Release
+  std::string si_name;         ///< kept for diagnostics
+};
+
+struct Program {
+  std::vector<Instruction> code;
+  /// Initial data segment, loaded at word address 0.
+  std::vector<std::uint32_t> data;
+};
+
+/// Base cycle cost of one instruction (single-issue in-order core):
+/// 1 cycle ALU/control, 2 cycles memory access, 1 cycle extension ops
+/// (the SI itself adds its Molecule latency on top).
+std::uint32_t base_cycles(Op op);
+
+const char* op_name(Op op);
+
+}  // namespace rispp::dlx

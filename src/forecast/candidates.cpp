@@ -1,0 +1,49 @@
+#include "rispp/forecast/candidates.hpp"
+
+#include "rispp/cfg/distance.hpp"
+#include "rispp/cfg/probability.hpp"
+
+namespace rispp::forecast {
+
+std::vector<FcCandidate> determine_candidates(const cfg::BBGraph& g,
+                                              std::size_t si_index,
+                                              const Fdf& fdf) {
+  const auto targets = g.usage_sites(si_index);
+  std::vector<FcCandidate> out;
+  if (targets.empty()) return out;
+
+  const auto prob = cfg::reach_probability_scc(g, targets);
+  const auto dmin = cfg::min_distance_cycles(g, targets);
+  const auto dexp = cfg::expected_distance_cycles(g, targets, prob);
+  const auto dmax = cfg::max_distance_cycles(g, targets);
+
+  for (cfg::BlockId b = 0; b < g.block_count(); ++b) {
+    if (prob[b] <= 0.0) continue;
+    if (dexp[b] == cfg::kUnreachable) continue;
+    // A usage site itself gives zero lead time — rotation must have been
+    // triggered earlier, so usage sites are never candidates for their own
+    // SI (they can still forecast *other* SIs).
+    bool is_own_site = false;
+    for (const auto& u : g.block(b).si_usages)
+      if (u.si_index == si_index) is_own_site = true;
+    if (is_own_site) continue;
+
+    const double expected = cfg::expected_si_executions(g, si_index, b);
+    const double required = fdf(prob[b], dexp[b]);
+    if (expected >= required) {
+      out.push_back(FcCandidate{
+          .block = b,
+          .si_index = si_index,
+          .probability = prob[b],
+          .distance_cycles = dexp[b],
+          .min_distance_cycles = dmin[b],
+          .max_distance_cycles = dmax[b],
+          .expected_executions = expected,
+          .required_executions = required,
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace rispp::forecast

@@ -1,0 +1,46 @@
+#include "rispp/forecast/fdf.hpp"
+
+#include <algorithm>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::forecast {
+
+Fdf::Fdf(const FdfParams& params) : params_(params) {
+  RISPP_REQUIRE(params.t_rot_cycles > 0, "T_Rot must be positive");
+  RISPP_REQUIRE(params.t_sw_cycles > 0, "T_SW must be positive");
+  RISPP_REQUIRE(params.t_hw_cycles >= 0 &&
+                    params.t_hw_cycles < params.t_sw_cycles,
+                "T_HW must be below T_SW (hardware must be faster)");
+  RISPP_REQUIRE(params.alpha >= 0, "alpha must be non-negative");
+  RISPP_REQUIRE(params.far_knee > 0 && params.far_slope >= 0,
+                "far-branch parameters must be sane");
+  const double energy_gain =
+      params.energy_sw_per_exec - params.energy_hw_per_exec;
+  RISPP_REQUIRE(energy_gain > 0,
+                "hardware execution must save energy per execution");
+  offset_ = params.alpha * params.rotation_energy / energy_gain;
+}
+
+double Fdf::operator()(double probability, double distance_cycles) const {
+  RISPP_REQUIRE(probability > 0.0 && probability <= 1.0,
+                "probability must be in (0, 1]");
+  RISPP_REQUIRE(distance_cycles >= 0.0, "distance must be non-negative");
+
+  // Near branch: the part of the rotation that cannot be hidden before the
+  // SI becomes live, expressed in wasted software executions, amortized by
+  // the reach probability: (T_Rot − t) / (T_SW · p).
+  const double near_term =
+      (params_.t_rot_cycles - distance_cycles) / (params_.t_sw_cycles *
+                                                  probability);
+
+  // Far branch: beyond far_knee rotation times the forecast blocks Atom
+  // Containers; demand extra executions growing linearly in t/T_Rot.
+  const double t_rel = distance_cycles / params_.t_rot_cycles;
+  const double far_term =
+      params_.far_slope * (t_rel - params_.far_knee) / probability;
+
+  return offset_ + std::max({near_term, far_term, 0.0});
+}
+
+}  // namespace rispp::forecast

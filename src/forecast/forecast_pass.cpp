@@ -1,0 +1,103 @@
+#include "rispp/forecast/forecast_pass.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::forecast {
+
+std::size_t FcPlan::total_points() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks) n += b.points.size();
+  return n;
+}
+
+const FcBlock* FcPlan::find(cfg::BlockId b) const {
+  const auto it = std::find_if(blocks.begin(), blocks.end(),
+                               [&](const FcBlock& fb) { return fb.block == b; });
+  return it == blocks.end() ? nullptr : &*it;
+}
+
+FdfParams fdf_params_for(const isa::SiLibrary& lib, std::size_t si_index,
+                         const ForecastConfig& cfg) {
+  const auto& si = lib.at(si_index);
+  const auto& cat = lib.catalog();
+
+  // T_Rot: time to rotate in the SI's representative Atom mix — the sum of
+  // the rotatable bitstreams of Rep(S), one Atom at a time over the single
+  // reconfiguration port.
+  const auto rep = si.rep(cat);
+  double rot_us = 0.0;
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    if (!cat.at(i).rotatable) continue;
+    rot_us += static_cast<double>(rep[i]) *
+              cfg.port.rotation_time_us(cat.at(i).hardware.bitstream_bytes);
+  }
+  const double rot_cycles = rot_us * cfg.clock_mhz;
+
+  const double t_sw = si.software_cycles();
+  const double t_hw = si.minimal(cat).cycles;
+  const double us_per_cycle = 1.0 / cfg.clock_mhz;
+
+  FdfParams p;
+  p.t_rot_cycles = rot_cycles;
+  p.t_sw_cycles = t_sw;
+  p.t_hw_cycles = t_hw;
+  // Energy = power × time; only the ratio matters for the offset.
+  p.rotation_energy = cfg.reconfig_power_mw * rot_us;
+  p.energy_sw_per_exec = cfg.core_power_mw * t_sw * us_per_cycle;
+  p.energy_hw_per_exec = cfg.hw_power_mw * t_hw * us_per_cycle;
+  p.alpha = cfg.alpha;
+  p.far_knee = cfg.far_knee;
+  p.far_slope = cfg.far_slope;
+  return p;
+}
+
+FcPlan run_forecast_pass(const cfg::BBGraph& g, const isa::SiLibrary& lib,
+                         const ForecastConfig& cfg) {
+  g.validate();
+
+  // Step 1 (§4.1): FC candidates per SI type.
+  std::vector<std::vector<FcCandidate>> per_si(lib.size());
+  double min_t_rot = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < lib.size(); ++s) {
+    const auto params = fdf_params_for(lib, s, cfg);
+    min_t_rot = std::min(min_t_rot, params.t_rot_cycles);
+    per_si[s] = determine_candidates(g, s, Fdf(params));
+  }
+
+  // Step 2 (§4.2, Fig 5): per-BB trimming of incompatible candidates.
+  std::map<cfg::BlockId, std::vector<FcCandidate>> per_block;
+  for (const auto& cands : per_si)
+    for (const auto& c : cands) per_block[c.block].push_back(c);
+
+  std::vector<std::vector<FcCandidate>> trimmed_per_si(lib.size());
+  for (auto& [block, cands] : per_block) {
+    const auto trim =
+        trim_candidates(cands, lib, cfg.atom_containers, cfg.trim_metric);
+    for (auto idx : trim.kept)
+      trimmed_per_si[cands[idx].si_index].push_back(cands[idx]);
+  }
+
+  // Step 3 (§4.2): collapse candidate chains into actual FCs, per SI type,
+  // on the transposed graph.
+  const double far_chain =
+      cfg.far_chain_cycles > 0 ? cfg.far_chain_cycles : 2.0 * min_t_rot;
+  std::map<cfg::BlockId, FcBlock> fc_blocks;
+  for (std::size_t s = 0; s < lib.size(); ++s) {
+    for (const auto& fc : place_forecasts(g, trimmed_per_si[s], far_chain)) {
+      auto& fb = fc_blocks[fc.block];
+      fb.block = fc.block;
+      fb.points.push_back(fc);
+    }
+  }
+
+  FcPlan plan;
+  plan.blocks.reserve(fc_blocks.size());
+  for (auto& [block, fb] : fc_blocks) plan.blocks.push_back(std::move(fb));
+  return plan;
+}
+
+}  // namespace rispp::forecast

@@ -1,0 +1,37 @@
+#pragma once
+/// \file candidates.hpp
+/// \brief Step 1 of the compile-time forecast pass (§4): for each SI type,
+/// determine the set of basic blocks that qualify as Forecast Candidates.
+
+#include <cstddef>
+#include <vector>
+
+#include "rispp/cfg/graph.hpp"
+#include "rispp/forecast/fdf.hpp"
+
+namespace rispp::forecast {
+
+/// One (block, SI) pair that passed the FDF test, with the profile-derived
+/// annotations that become the run-time system's initial values.
+struct FcCandidate {
+  cfg::BlockId block = cfg::kInvalidBlock;
+  std::size_t si_index = 0;
+  double probability = 0.0;          ///< reach probability of the SI from here
+  double distance_cycles = 0.0;      ///< expected temporal distance
+  double min_distance_cycles = 0.0;  ///< optimistic distance
+  double max_distance_cycles = 0.0;  ///< pessimistic distance
+  double expected_executions = 0.0;  ///< executions once the SI is reached
+  double required_executions = 0.0;  ///< the FDF threshold it had to beat
+};
+
+/// Evaluates every block of `g` against the FDF for one SI type.
+///
+/// A block becomes a candidate iff
+///   * the SI is reachable with positive probability,
+///   * it is not itself (only) an SI usage site with zero lead time, and
+///   * expected executions ≥ FDF(probability, expected distance).
+std::vector<FcCandidate> determine_candidates(const cfg::BBGraph& g,
+                                              std::size_t si_index,
+                                              const Fdf& fdf);
+
+}  // namespace rispp::forecast

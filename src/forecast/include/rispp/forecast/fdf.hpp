@@ -1,0 +1,63 @@
+#pragma once
+/// \file fdf.hpp
+/// \brief The Forecast Decision Function (paper §4.1, Fig 4).
+///
+/// FDF(p, t) answers: given that block B reaches SI S with probability p and
+/// the SI executes t cycles after B, how many expected S-executions must the
+/// profile promise before B becomes a Forecast Candidate?
+///
+/// Shape (Fig 4): for t below one rotation time the requirement explodes —
+/// the rotation cannot finish before the SI is needed, so every execution in
+/// the gap runs in software and must be amortized. Between roughly one and
+/// ten rotation times the requirement bottoms out at the energy-efficiency
+/// offset. Beyond that it climbs again, because a forecast that far ahead
+/// blocks Atom Containers unproductively.
+///
+/// The paper omits "some additional adjustment parameters … for clarity";
+/// the two reconstruction parameters below (far_knee, far_slope) shape the
+/// long-distance branch and are documented in EXPERIMENTS.md.
+///
+/// offset = α · E_rot / (E_sw − E_hw): the number of hardware executions
+/// needed before the rotation's energy investment pays off, scaled by the
+/// energy-vs-speed trade-off knob α.
+
+#include <cstdint>
+
+namespace rispp::forecast {
+
+struct FdfParams {
+  double t_rot_cycles = 0;   ///< average rotation time of the SI's Atoms, T_Rot
+  double t_sw_cycles = 0;    ///< software-Molecule latency, T_SW
+  double t_hw_cycles = 0;    ///< hardware latency of the minimal Molecule, T_HW
+  double rotation_energy = 0;    ///< E_rot — energy for one rotation
+  double energy_sw_per_exec = 0; ///< per-execution software energy
+  double energy_hw_per_exec = 0; ///< per-execution hardware energy
+  double alpha = 1.0;            ///< energy-efficiency vs speed-up trade-off
+  /// Reconstruction parameters for the long-distance penalty branch:
+  /// requirement starts rising at far_knee·T_Rot and grows with slope
+  /// far_slope · (t/T_Rot − far_knee) / p usages per T_Rot.
+  double far_knee = 10.0;
+  double far_slope = 1.1;
+};
+
+class Fdf {
+ public:
+  explicit Fdf(const FdfParams& params);
+
+  /// offset = α · E_rot / (E_sw − E_hw), the minimum executions that make a
+  /// rotation energy-efficient.
+  double offset() const { return offset_; }
+
+  /// Minimal number of expected SI executions required for a block with
+  /// reach probability `probability` ∈ (0,1] and temporal distance
+  /// `distance_cycles` to become a Forecast Candidate.
+  double operator()(double probability, double distance_cycles) const;
+
+  const FdfParams& params() const { return params_; }
+
+ private:
+  FdfParams params_;
+  double offset_;
+};
+
+}  // namespace rispp::forecast

@@ -1,0 +1,64 @@
+#pragma once
+/// \file forecast_pass.hpp
+/// \brief The complete compile-time forecast pass (paper §4): candidate
+/// determination → per-BB trimming → FC placement, for every SI of a
+/// library, producing the FC plan the run-time system executes against.
+
+#include <cstdint>
+#include <vector>
+
+#include "rispp/cfg/graph.hpp"
+#include "rispp/forecast/candidates.hpp"
+#include "rispp/forecast/fdf.hpp"
+#include "rispp/forecast/placement.hpp"
+#include "rispp/forecast/trimming.hpp"
+#include "rispp/hw/reconfig_port.hpp"
+#include "rispp/isa/si_library.hpp"
+
+namespace rispp::forecast {
+
+/// Tunables of the pass. Energies use a simple power×time model: the paper
+/// only needs the *ratio* E_rot/(E_sw−E_hw) for the FDF offset.
+struct ForecastConfig {
+  std::uint64_t atom_containers = 4;  ///< ACs available to trim against
+  double clock_mhz = 100.0;           ///< core clock for rotation-time cycles
+  double alpha = 1.0;                 ///< energy/speed-up trade-off (§4.1)
+  double far_knee = 10.0;             ///< FDF long-distance knee (in T_Rot)
+  double far_slope = 1.1;             ///< FDF long-distance slope
+  double core_power_mw = 200.0;       ///< software execution power
+  double hw_power_mw = 260.0;         ///< SI hardware execution power
+  double reconfig_power_mw = 90.0;    ///< power drawn while rotating
+  /// Chain-collapsing threshold for FC placement; 0 → auto (2 × T_Rot of
+  /// the cheapest SI).
+  double far_chain_cycles = 0.0;
+  /// Container-footprint estimate used by the Fig-5 trimming step.
+  TrimMetric trim_metric = TrimMetric::RepSup;
+  hw::ReconfigPort port{};
+};
+
+/// FCs of one basic block, grouped so the run-time system re-evaluates a
+/// whole block with one lookup ("combine them to FC Blocks, which will ease
+/// the run-time computation effort").
+struct FcBlock {
+  cfg::BlockId block = cfg::kInvalidBlock;
+  std::vector<ForecastPoint> points;
+};
+
+struct FcPlan {
+  std::vector<FcBlock> blocks;
+
+  std::size_t total_points() const;
+  const FcBlock* find(cfg::BlockId b) const;
+};
+
+/// Derives the per-SI FDF parameters (T_Rot from the Rep Molecule's
+/// rotatable bitstreams, T_SW/T_HW from the Molecule library, energies from
+/// the power model).
+FdfParams fdf_params_for(const isa::SiLibrary& lib, std::size_t si_index,
+                         const ForecastConfig& cfg);
+
+/// Runs the full pass over one application graph.
+FcPlan run_forecast_pass(const cfg::BBGraph& g, const isa::SiLibrary& lib,
+                         const ForecastConfig& cfg);
+
+}  // namespace rispp::forecast

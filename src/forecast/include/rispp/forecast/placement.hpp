@@ -1,0 +1,32 @@
+#pragma once
+/// \file placement.hpp
+/// \brief Step 3 of the forecast pass: turning trimmed FC Candidates into
+/// actual Forecast points (paper §4.2, last paragraph).
+///
+/// Every FC invokes the run-time system, so chains of adjacent candidates
+/// must collapse to one point. The paper runs, per SI type, a depth-first
+/// search on the *transposed* BB graph: walking against control flow groups
+/// contiguous suitable candidates, and where suitability ends (and the next
+/// candidate is far, in cycles), the preceding candidate becomes the FC —
+/// i.e. the earliest point of each contiguous suitable chain.
+
+#include <vector>
+
+#include "rispp/cfg/graph.hpp"
+#include "rispp/forecast/candidates.hpp"
+
+namespace rispp::forecast {
+
+/// A Forecast point: an FC Candidate promoted to an actual FC, carrying its
+/// profile annotations "as initial values for the online phase".
+using ForecastPoint = FcCandidate;
+
+/// Collapses candidate chains of ONE SI type into Forecast points.
+///
+/// `far_chain_cycles` is the adjacency threshold: a candidate predecessor
+/// farther than this many cycles counts as "far" and starts a new chain.
+std::vector<ForecastPoint> place_forecasts(
+    const cfg::BBGraph& g, const std::vector<FcCandidate>& candidates,
+    double far_chain_cycles);
+
+}  // namespace rispp::forecast

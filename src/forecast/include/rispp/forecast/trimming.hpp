@@ -1,0 +1,61 @@
+#pragma once
+/// \file trimming.hpp
+/// \brief Step 2 of the forecast pass: per-BB trimming of incompatible
+/// Forecast Candidates (paper §4.2, Fig 5 pseudo-code).
+///
+/// One basic block can accumulate FC candidates for several SIs whose
+/// representing Meta-Molecules can never fit into the available Atom
+/// Containers together. Those contributing the worst expected speed-up per
+/// allocated container are truncated until the supremum fits.
+
+#include <cstddef>
+#include <vector>
+
+#include "rispp/forecast/candidates.hpp"
+#include "rispp/isa/si_library.hpp"
+
+namespace rispp::forecast {
+
+/// How an SI's container footprint is estimated during trimming.
+enum class TrimMetric {
+  /// The paper's choice: the representing Meta-Molecule Rep(S) (ceil of the
+  /// average Atom usage over the SI's Molecules, §3.2). Conservative — Rep
+  /// averages over spatially unrolled Molecules, so SIs whose *minimal*
+  /// Molecules would coexist can still be trimmed.
+  RepSup,
+  /// Extension (DESIGN.md §6): footprint = the minimal hardware Molecule.
+  /// Admits every SI the run-time system could actually support at once;
+  /// the aes_end_to_end bench quantifies the difference.
+  MinimalSup,
+};
+
+/// Outcome of trimming one basic block's candidate set.
+struct TrimResult {
+  /// Indices (into the input vector) of the candidates that survive.
+  std::vector<std::size_t> kept;
+  /// Indices of the candidates removed as worst speed-up per resource.
+  std::vector<std::size_t> removed;
+  /// True when the loop hit the Fig-5 line 11/12 abort: no single removal
+  /// would reduce the container requirement (each SI's Rep is dominated by
+  /// the supremum of the others), so the remaining cluster is kept intact
+  /// rather than truncating the run-time search space wholesale.
+  bool aborted = false;
+};
+
+/// The Fig-5 algorithm, verbatim semantics:
+///
+///   M ← { Rep(S₁), …, Rep(S_k) }
+///   while |sup(M)| > #AvailableAtomContainers ∧ M ≠ ∅:
+///     pick m maximizing (|sup(M)| − |sup(M \ {m})|) / ExpectedSpeedup(m)
+///     if such m frees at least one container, remove it; else break
+///
+/// Container counts consider only rotatable Atoms (static data movers never
+/// occupy a container). ExpectedSpeedup(m) is the speed-up of the SI's
+/// minimal hardware Molecule over its software Molecule — "the difference in
+/// execution speed between the Molecules and the software execution".
+TrimResult trim_candidates(const std::vector<FcCandidate>& in_block,
+                           const isa::SiLibrary& lib,
+                           std::uint64_t available_atom_containers,
+                           TrimMetric metric = TrimMetric::RepSup);
+
+}  // namespace rispp::forecast

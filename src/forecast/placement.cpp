@@ -1,0 +1,89 @@
+#include "rispp/forecast/placement.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::forecast {
+
+std::vector<ForecastPoint> place_forecasts(
+    const cfg::BBGraph& g, const std::vector<FcCandidate>& candidates,
+    double far_chain_cycles) {
+  RISPP_REQUIRE(far_chain_cycles >= 0, "chain threshold must be non-negative");
+  std::vector<ForecastPoint> fcs;
+  if (candidates.empty()) return fcs;
+
+  // All candidates must concern the same SI type — the paper's algorithm
+  // "is executed for each SI-type individually".
+  const auto si = candidates.front().si_index;
+  std::unordered_map<cfg::BlockId, const FcCandidate*> by_block;
+  for (const auto& c : candidates) {
+    RISPP_REQUIRE(c.si_index == si, "placement runs per SI type");
+    by_block.emplace(c.block, &c);
+  }
+
+  // Candidates p and b are chained when the edge p→b exists and executing
+  // p's body leaves fewer than far_chain_cycles before b — i.e. the two
+  // points are so close that separate FCs would just double the run-time
+  // system invocations.
+  auto chained = [&](cfg::BlockId p, cfg::BlockId b) {
+    return by_block.count(p) && by_block.count(b) &&
+           static_cast<double>(g.block(p).cycles) <= far_chain_cycles;
+  };
+
+  // Group candidates into whole chains: DFS over the chained-adjacency in
+  // both directions (walking the transposed graph visits predecessors, and
+  // following successors completes partially-visited chains).
+  std::unordered_set<cfg::BlockId> visited;
+  for (const auto& c : candidates) {
+    if (visited.count(c.block)) continue;
+    std::vector<cfg::BlockId> stack{c.block};
+    std::vector<cfg::BlockId> chain;
+    visited.insert(c.block);
+    while (!stack.empty()) {
+      const auto b = stack.back();
+      stack.pop_back();
+      chain.push_back(b);
+      for (auto ei : g.in_edges(b)) {
+        const auto p = g.edges()[ei].from;
+        if (chained(p, b) && !visited.count(p)) {
+          visited.insert(p);
+          stack.push_back(p);
+        }
+      }
+      for (auto ei : g.out_edges(b)) {
+        const auto s = g.edges()[ei].to;
+        if (chained(b, s) && !visited.count(s)) {
+          visited.insert(s);
+          stack.push_back(s);
+        }
+      }
+    }
+    // Chain heads — members with no chained predecessor — are where
+    // suitability begins; they become the actual FCs (the earliest point
+    // gives the rotation the most lead time).
+    bool emitted = false;
+    for (auto b : chain) {
+      bool head = true;
+      for (auto ei : g.in_edges(b)) {
+        if (chained(g.edges()[ei].from, b)) {
+          head = false;
+          break;
+        }
+      }
+      if (head) {
+        fcs.push_back(*by_block.at(b));
+        emitted = true;
+      }
+    }
+    // A chain that is a pure cycle (every member has a chained predecessor)
+    // has no head; keep one FC anyway — dropping the whole loop would
+    // remove the SI from the run-time search space entirely.
+    if (!emitted) fcs.push_back(*by_block.at(chain.front()));
+  }
+  return fcs;
+}
+
+}  // namespace rispp::forecast

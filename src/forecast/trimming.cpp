@@ -1,0 +1,100 @@
+#include "rispp/forecast/trimming.hpp"
+
+#include <algorithm>
+
+#include "rispp/atom/molecule.hpp"
+#include "rispp/util/error.hpp"
+
+namespace rispp::forecast {
+
+namespace {
+
+/// |sup over the Rep molecules of the still-active candidates|, counting
+/// rotatable atoms only (that is what competes for Atom Containers).
+std::uint64_t sup_containers(const std::vector<atom::Molecule>& reps,
+                             const std::vector<bool>& active,
+                             const isa::AtomCatalog& cat,
+                             std::size_t skip = static_cast<std::size_t>(-1)) {
+  atom::Molecule sup = cat.zero();
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    if (!active[i] || i == skip) continue;
+    sup = sup.unite(reps[i]);
+  }
+  return cat.rotatable_determinant(sup);
+}
+
+}  // namespace
+
+TrimResult trim_candidates(const std::vector<FcCandidate>& in_block,
+                           const isa::SiLibrary& lib,
+                           std::uint64_t available_atom_containers,
+                           TrimMetric metric) {
+  const auto& cat = lib.catalog();
+  TrimResult result;
+
+  // Line 1–2: M ← ∪ᵢ {footprint(Sᵢ)} (Rep per the paper, or the minimal
+  // Molecule for the extension metric). Also pre-compute each SI's expected
+  // speed-up of its minimal hardware Molecule vs software.
+  std::vector<atom::Molecule> reps;
+  std::vector<double> speedup;
+  reps.reserve(in_block.size());
+  for (const auto& c : in_block) {
+    const auto& si = lib.at(c.si_index);
+    reps.push_back(metric == TrimMetric::RepSup ? si.rep(cat)
+                                                : si.minimal(cat).atoms);
+    speedup.push_back(si.speedup(si.minimal(cat)));
+  }
+  std::vector<bool> active(in_block.size(), true);
+
+  // Line 3: while sup(M) needs more containers than available …
+  while (true) {
+    std::size_t active_count =
+        static_cast<std::size_t>(std::count(active.begin(), active.end(), true));
+    if (active_count == 0) break;
+    if (sup_containers(reps, active, cat) <= available_atom_containers) break;
+
+    // Lines 4–10: candidate ← argmax over m of
+    //   (|sup(M)| − |sup(M\{m})|) / ExpectedSpeedup(m)
+    // i.e. the SI freeing the most containers per unit of speed-up lost —
+    // "the worst relation of speed-up and additional needed hardware
+    // resources".
+    const auto sup_all = sup_containers(reps, active, cat);
+    double best_relation = 0.0;
+    std::size_t candidate = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < in_block.size(); ++i) {
+      if (!active[i]) continue;
+      const auto sup_without = sup_containers(reps, active, cat, i);
+      const auto freed = static_cast<double>(sup_all - sup_without);
+      RISPP_ENSURE(speedup[i] > 0, "hardware molecule must have speed-up");
+      const double relation = freed / speedup[i];
+      if (relation > best_relation) {
+        best_relation = relation;
+        candidate = i;
+      }
+    }
+
+    // Lines 11–12: if no removal frees a container (∀m: Rep(m) ≤
+    // sup(M\{m})), abort rather than truncating a whole cluster of SIs.
+    if (candidate == static_cast<std::size_t>(-1)) {
+      result.aborted = true;
+      break;
+    }
+    // Same rationale as the abort, beyond the paper's verbatim pseudo-code:
+    // when a *single* SI's Rep exceeds the container count (common — Rep
+    // averages over spatially unrolled Molecules), removing it would leave
+    // the block with no forecast at all even though the SI's minimal
+    // Molecule fits. Keep the last candidate instead of emptying M.
+    if (active_count == 1) {
+      result.aborted = true;
+      break;
+    }
+    active[candidate] = false;
+    result.removed.push_back(candidate);
+  }
+
+  for (std::size_t i = 0; i < in_block.size(); ++i)
+    if (active[i]) result.kept.push_back(i);
+  return result;
+}
+
+}  // namespace rispp::forecast

@@ -1,0 +1,289 @@
+#include "rispp/h264/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "rispp/h264/kernels.hpp"
+#include "rispp/h264/mc_lf_kernels.hpp"
+#include "rispp/util/error.hpp"
+
+namespace rispp::h264 {
+
+double EncodeStats::satd_per_mb() const {
+  return macroblocks ? static_cast<double>(satd_ops) /
+                           static_cast<double>(macroblocks)
+                     : 0.0;
+}
+
+double EncodeStats::dct_per_mb() const {
+  return macroblocks ? static_cast<double>(dct_ops) /
+                           static_cast<double>(macroblocks)
+                     : 0.0;
+}
+
+void EncodeStats::accumulate(const EncodeStats& other) {
+  macroblocks += other.macroblocks;
+  satd_ops += other.satd_ops;
+  sad_ops += other.sad_ops;
+  dct_ops += other.dct_ops;
+  ht4_ops += other.ht4_ops;
+  ht2_ops += other.ht2_ops;
+  hpel_ops += other.hpel_ops;
+  total_satd += other.total_satd;
+  total_distortion += other.total_distortion;
+  nonzero_coeffs += other.nonzero_coeffs;
+}
+
+Encoder::Encoder(EncoderParams params) : params_(params) {
+  RISPP_REQUIRE(params.search_grid > 0 && params.search_step > 0,
+                "search parameters must be positive");
+  RISPP_REQUIRE(params.qp >= 0 && params.qp <= 51, "qp must be in [0, 51]");
+}
+
+namespace {
+
+Patch9 patch_at(const Frame& f, int x, int y) {
+  Patch9 p{};
+  for (int r = 0; r < 9; ++r)
+    for (int c = 0; c < 9; ++c) p[r * 9 + c] = f.luma_at(x - 2 + c, y - 2 + r);
+  return p;
+}
+
+void write_luma_block(Frame& f, int x, int y, const Block4x4& b) {
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) {
+      const int px = x + c, py = y + r;
+      if (px < 0 || py < 0 || px >= f.width || py >= f.height) continue;
+      f.luma[static_cast<std::size_t>(py) * f.width + px] =
+          static_cast<std::uint8_t>(std::clamp(b[r * 4 + c], 0, 255));
+    }
+}
+
+}  // namespace
+
+EncodeStats Encoder::encode_macroblock(const Frame& cur, const Frame& ref,
+                                       int mbx, int mby, Frame* recon) const {
+  EncodeStats st;
+  st.macroblocks = 1;
+  const int px = mbx * 16, py = mby * 16;
+  const int grid = params_.search_grid;
+  const int step = params_.search_step;
+  // Center the candidate grid on the colocated position.
+  const int off0 = -(grid / 2) * step;
+
+  Block4x4 luma_dc{};  // DC coefficient of each of the 16 sub-blocks
+
+  for (int sb = 0; sb < 16; ++sb) {
+    const int sx = px + (sb % 4) * 4;
+    const int sy = py + (sb / 4) * 4;
+    const Block4x4 current = cur.luma_block(sx, sy);
+
+    // --- candidate search over the integer grid ---
+    struct Candidate {
+      Block4x4 block;
+      int x, y;
+      std::int32_t sad;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(static_cast<std::size_t>(grid) * grid);
+    for (int cy = 0; cy < grid; ++cy)
+      for (int cx = 0; cx < grid; ++cx) {
+        const int rx = sx + off0 + cx * step;
+        const int ry = sy + off0 + cy * step;
+        candidates.push_back({ref.luma_block(rx, ry), rx, ry, 0});
+      }
+
+    if (params_.two_stage_me) {
+      // Stage 1: cheap SAD ranking (the paper's QuadSub+SATD-atom SI);
+      // stage 2: SATD only on the best few.
+      for (auto& c : candidates) {
+        c.sad = sad_4x4(current, c.block);
+        ++st.sad_ops;
+      }
+      const auto keep = std::min<std::size_t>(
+          candidates.size(),
+          static_cast<std::size_t>(std::max(params_.satd_candidates, 1)));
+      std::partial_sort(candidates.begin(), candidates.begin() + keep,
+                        candidates.end(),
+                        [](const Candidate& a, const Candidate& b) {
+                          return a.sad < b.sad;
+                        });
+      candidates.resize(keep);
+    }
+
+    std::int32_t best_satd = std::numeric_limits<std::int32_t>::max();
+    Block4x4 best_ref{};
+    int best_x = sx, best_y = sy;
+    for (const auto& c : candidates) {
+      const std::int32_t satd = satd_4x4(current, c.block);
+      ++st.satd_ops;
+      if (satd < best_satd) {
+        best_satd = satd;
+        best_ref = c.block;
+        best_x = c.x;
+        best_y = c.y;
+      }
+    }
+
+    // --- optional half-pel refinement around the integer winner ---
+    if (params_.subpel_refine) {
+      const Patch9 patch = patch_at(ref, best_x, best_y);
+      for (auto phase : {HpelPhase::H, HpelPhase::V, HpelPhase::C}) {
+        const Block4x4 cand = mc_hpel_4x4(patch, phase);
+        ++st.hpel_ops;
+        const std::int32_t satd = satd_4x4(current, cand);
+        ++st.satd_ops;
+        if (satd < best_satd) {
+          best_satd = satd;
+          best_ref = cand;
+        }
+      }
+    }
+    st.total_satd += best_satd;
+
+    // --- transform & quantize the best candidate's residual ---
+    const Block4x4 res = residual_4x4(current, best_ref);
+    for (const auto v : res) st.total_distortion += std::abs(v);
+    const Block4x4 coeffs = dct_4x4(res);
+    ++st.dct_ops;
+    luma_dc[sb] = coeffs[0];
+    const Block4x4 q = quantize(coeffs, params_.qp);
+    for (const auto v : q)
+      if (v != 0) ++st.nonzero_coeffs;
+
+    // --- decoder-side reconstruction: prediction + inverse chain ---
+    if (recon) {
+      const Block4x4 rec_res = idct_scale(idct_4x4(dequantize(q, params_.qp)));
+      Block4x4 rec{};
+      for (int i = 0; i < 16; ++i) rec[i] = best_ref[i] + rec_res[i];
+      write_luma_block(*recon, sx, sy, rec);
+    }
+  }
+
+  // --- intra path: 4x4 Hadamard over the 16 luma DC coefficients ---
+  const Block4x4 dc_t = ht_4x4(luma_dc);
+  ++st.ht4_ops;
+  const Block4x4 qdc = quantize(dc_t, params_.qp);
+  for (const auto v : qdc)
+    if (v != 0) ++st.nonzero_coeffs;
+
+  // --- chroma: 8x8 per component → 4 DCTs + one 2x2 DC Hadamard each ---
+  for (int comp = 0; comp < 2; ++comp) {
+    const bool cr = comp == 1;
+    const int cx0 = mbx * 8, cy0 = mby * 8;
+    Block2x2 chroma_dc{};
+    for (int blk = 0; blk < 4; ++blk) {
+      const int bx = cx0 + (blk % 2) * 4;
+      const int by = cy0 + (blk / 2) * 4;
+      const Block4x4 cb = cur.chroma_block(cr, bx, by);
+      const Block4x4 rb = ref.chroma_block(cr, bx, by);
+      const Block4x4 res = residual_4x4(cb, rb);
+      const Block4x4 coeffs = dct_4x4(res);
+      ++st.dct_ops;
+      chroma_dc[blk] = coeffs[0];
+      const Block4x4 q = quantize(coeffs, params_.qp);
+      for (const auto v : q)
+        if (v != 0) ++st.nonzero_coeffs;
+    }
+    const Block2x2 dc2 = ht_2x2(chroma_dc);
+    ++st.ht2_ops;
+    for (const auto v : dc2)
+      if (v != 0) ++st.nonzero_coeffs;  // chroma DC quantized implicitly
+  }
+  return st;
+}
+
+EncodeStats Encoder::encode_frame(const Frame& cur, const Frame& ref,
+                                  Frame* reconstructed) const {
+  RISPP_REQUIRE(cur.width == ref.width && cur.height == ref.height,
+                "frame size mismatch");
+  // Reconstruction is always produced internally so PSNR can be reported;
+  // the caller-provided frame just aliases it.
+  Frame local_recon;
+  Frame* recon = reconstructed ? reconstructed : &local_recon;
+  recon->width = cur.width;
+  recon->height = cur.height;
+  recon->luma.assign(cur.luma.size(), 0);
+  recon->cb = cur.cb;  // chroma reconstruction not modelled (luma PSNR only)
+  recon->cr = cur.cr;
+
+  EncodeStats total;
+  for (int mby = 0; mby < cur.mb_rows(); ++mby)
+    for (int mbx = 0; mbx < cur.mb_cols(); ++mbx)
+      total.accumulate(encode_macroblock(cur, ref, mbx, mby, recon));
+  total.psnr_luma = psnr_luma(cur, *recon);
+  return total;
+}
+
+namespace {
+
+// H.264 deblocking thresholds (Table 8-16 of the spec), indexed by qp.
+constexpr int kAlpha[52] = {0,  0,  0,  0,  0,  0,  0,  0,  0,   0,   0,
+                            0,  0,  0,  0,  0,  4,  4,  5,  6,   7,   8,
+                            9,  10, 12, 13, 15, 17, 20, 22, 25,  28,  32,
+                            36, 40, 45, 50, 56, 63, 71, 80, 90,  101, 113,
+                            127, 144, 162, 182, 203, 226, 255, 255};
+constexpr int kBeta[52] = {0, 0, 0,  0,  0,  0,  0,  0,  0,  0,  0,  0,  0,
+                           0, 0, 0,  2,  2,  2,  3,  3,  3,  3,  4,  4,  4,
+                           6, 6, 7,  7,  8,  8,  9,  9,  10, 10, 11, 11, 12,
+                           12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17, 18, 18};
+// tc0 for boundary strength 1.
+constexpr int kTc0[52] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                          0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                          1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 4, 4, 4, 5, 6, 6, 7, 8};
+
+}  // namespace
+
+std::uint64_t deblock_luma(Frame& frame, int qp) {
+  RISPP_REQUIRE(qp >= 0 && qp <= 51, "qp must be in [0, 51]");
+  const int alpha = kAlpha[qp];
+  const int beta = kBeta[qp];
+  const int c0 = kTc0[qp];
+  std::uint64_t edges = 0;
+  if (alpha == 0 || beta == 0) return edges;  // filter disabled at low qp
+
+  auto pixel = [&](int x, int y) -> std::uint8_t& {
+    return frame.luma[static_cast<std::size_t>(y) * frame.width + x];
+  };
+
+  // Vertical 4x4 boundaries (filter across columns), left to right.
+  for (int x = 4; x < frame.width; x += 4)
+    for (int y = 0; y < frame.height; ++y) {
+      EdgeLine line{};
+      for (int k = 0; k < 8; ++k) line[k] = pixel(x - 4 + k, y);
+      const auto out = lf_edge(line, alpha, beta, c0);
+      ++edges;
+      for (int k = 2; k <= 5; ++k)
+        pixel(x - 4 + k, y) = static_cast<std::uint8_t>(out[k]);
+    }
+  // Horizontal boundaries (filter across rows), top to bottom.
+  for (int y = 4; y < frame.height; y += 4)
+    for (int x = 0; x < frame.width; ++x) {
+      EdgeLine line{};
+      for (int k = 0; k < 8; ++k) line[k] = pixel(x, y - 4 + k);
+      const auto out = lf_edge(line, alpha, beta, c0);
+      ++edges;
+      for (int k = 2; k <= 5; ++k)
+        pixel(x, y - 4 + k) = static_cast<std::uint8_t>(out[k]);
+    }
+  return edges;
+}
+
+double psnr_luma(const Frame& a, const Frame& b) {
+  RISPP_REQUIRE(a.width == b.width && a.height == b.height &&
+                    a.luma.size() == b.luma.size(),
+                "frame size mismatch");
+  double mse = 0;
+  for (std::size_t i = 0; i < a.luma.size(); ++i) {
+    const double d = static_cast<double>(a.luma[i]) - b.luma[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.luma.size());
+  if (mse <= 1e-12) return 99.0;
+  return std::min(99.0, 10.0 * std::log10(255.0 * 255.0 / mse));
+}
+
+}  // namespace rispp::h264

@@ -1,0 +1,94 @@
+#pragma once
+/// \file encoder.hpp
+/// \brief The Fig-7 test-application pipeline, functionally executed.
+///
+/// Per macroblock (16x16): for each of the 16 luma 4x4 sub-blocks, SATD is
+/// calculated for 16 candidate positions in the reference frame; the best
+/// candidate's residual goes through DCT and quantization. The 16 luma DC
+/// coefficients then take one 4x4 Hadamard (intra path / "Intra MB
+/// injection" of the Quality Manager). Chroma (4:2:0): 4 DCTs per component
+/// (8 total) plus one 2x2 Hadamard per component on the DC coefficients.
+///
+/// The encoder counts every SI invocation it performs; the workload model
+/// (workload.hpp) turns exactly those counts into simulator traces, and a
+/// test pins the two against each other.
+
+#include <cstdint>
+
+#include "rispp/h264/video.hpp"
+
+namespace rispp::h264 {
+
+struct EncoderParams {
+  int qp = 28;              ///< quantization parameter
+  int search_grid = 4;      ///< candidates per axis (4x4 grid = 16 candidates)
+  int search_step = 1;      ///< pixel step between candidates
+  /// Refine the best integer candidate with the three half-pel phases
+  /// (H/V/C, 6-tap interpolated) — the MC-side SIs in the ME loop. Adds
+  /// 3 SATD + 3 MC_HPEL per sub-block, so the default Fig-7 mix keeps it
+  /// off.
+  bool subpel_refine = false;
+  /// Two-stage motion estimation using the paper's sketched SAD SI: rank
+  /// all candidates by SAD (cheap), then evaluate only the best
+  /// `satd_candidates` by SATD. Off by default (the Fig-7 mix is
+  /// SATD-only).
+  bool two_stage_me = false;
+  int satd_candidates = 4;  ///< SATD evaluations per sub-block in 2-stage ME
+};
+
+/// Per-unit SI invocation counts and signal statistics of an encode run.
+struct EncodeStats {
+  std::uint64_t macroblocks = 0;
+  std::uint64_t satd_ops = 0;
+  std::uint64_t sad_ops = 0;   // only used by the SAD-SI extension pipeline
+  std::uint64_t dct_ops = 0;
+  std::uint64_t ht4_ops = 0;
+  std::uint64_t ht2_ops = 0;
+  std::uint64_t hpel_ops = 0;  // sub-pel refinement interpolations
+  std::int64_t total_satd = 0;        ///< Σ of chosen candidates' SATD
+  std::int64_t total_distortion = 0;  ///< Σ |residual| of chosen candidates
+  std::uint64_t nonzero_coeffs = 0;   ///< after quantization
+  /// Luma PSNR of the reconstructed frame vs the source, in dB (only set by
+  /// encode_frame when reconstruction is requested or computed).
+  double psnr_luma = 0.0;
+
+  /// The paper's per-MB mix: 256 SATD + 24 DCT + 1 HT_4x4 + 2 HT_2x2.
+  double satd_per_mb() const;
+  double dct_per_mb() const;
+
+  void accumulate(const EncodeStats& other);
+};
+
+class Encoder {
+ public:
+  explicit Encoder(EncoderParams params = {});
+
+  /// Encodes `cur` against reference `ref`, returns accumulated statistics
+  /// including luma PSNR. When `reconstructed` is non-null it receives the
+  /// decoder-side reconstruction (the loop-filter input).
+  EncodeStats encode_frame(const Frame& cur, const Frame& ref,
+                           Frame* reconstructed = nullptr) const;
+
+  /// Encodes a single macroblock (mbx, mby in MB units); used by tests.
+  /// Writes the luma reconstruction into `recon` when provided.
+  EncodeStats encode_macroblock(const Frame& cur, const Frame& ref, int mbx,
+                                int mby, Frame* recon = nullptr) const;
+
+  const EncoderParams& params() const { return params_; }
+
+ private:
+  EncoderParams params_;
+};
+
+/// In-loop deblocking over the reconstructed luma plane: the bs<4 edge
+/// filter across every vertical and horizontal 4x4 block boundary, with the
+/// standard qp-indexed alpha/beta/c0 thresholds. Counts the LF_EDGE
+/// invocations performed (64 per macroblock: 2 directions × 4 boundaries ×
+/// 4 lines × 16/8 …), the LF workload of the phase model.
+std::uint64_t deblock_luma(Frame& frame, int qp);
+
+/// Luma PSNR between two equal-sized frames, in dB (capped at 99.0 for
+/// identical content).
+double psnr_luma(const Frame& a, const Frame& b);
+
+}  // namespace rispp::h264

@@ -1,0 +1,92 @@
+#pragma once
+/// \file kernels.hpp
+/// \brief Functional models of the case study's Atoms and the SIs composed
+/// from them (paper §6, Figures 8 and 9).
+///
+/// The Atom functions mirror the synthesized data paths:
+///  * QuadSub — four parallel 16-bit subtractions (residual generation),
+///  * Pack — 16-bit pair packing / row-column reorganisation,
+///  * Transform — the shared butterfly of Fig 9, with the DCT (<<1) and HT
+///    (>>1) shift stages multiplexed in, reusable by DCT_4x4, HT_4x4 and
+///    HT_2x2,
+///  * SATD — absolute-value accumulation tree.
+///
+/// The SI functions (satd_4x4, dct_4x4, ht_4x4, ht_2x2, sad_4x4) are
+/// composed *only* from these Atom functions — the same decomposition the
+/// Molecules use — and are verified against the naive reference
+/// implementations in reference.hpp.
+
+#include <array>
+#include <cstdint>
+
+namespace rispp::h264 {
+
+using Block4x4 = std::array<std::int32_t, 16>;   // row-major 4x4
+using Block2x2 = std::array<std::int32_t, 4>;
+using Quad = std::array<std::int32_t, 4>;
+
+/// Shift behaviour of the shared Transform butterfly (Fig 9): the DCT mode
+/// enables the <<1 stages of the integer transform, the Hadamard mode is the
+/// pure butterfly, and the scaled Hadamard mode enables the >>1 output
+/// stages used by the 4x4 DC Hadamard.
+enum class TransformMode { Dct, Hadamard, HadamardScaled };
+
+/// --- Atom-level operations -----------------------------------------------
+
+/// QuadSub Atom: element-wise a − b over four lanes.
+Quad atom_quadsub(const Quad& a, const Quad& b);
+
+/// Pack Atom: packs two 16-bit lanes into one 32-bit word (and the inverse).
+/// Used by the Molecules to reorganise row/column data between Transform
+/// passes; the paper designs all SIs around a 16-bit storage pattern.
+std::uint32_t atom_pack(std::int16_t lsb, std::int16_t msb);
+void atom_unpack(std::uint32_t word, std::int16_t& lsb, std::int16_t& msb);
+
+/// Transform Atom: the four-input butterfly of Fig 9.
+Quad atom_transform(const Quad& x, TransformMode mode);
+
+/// SATD Atom: Σ|xᵢ| over four lanes.
+std::int32_t atom_satd(const Quad& x);
+
+/// --- SI-level operations (composed from Atoms) ---------------------------
+
+/// 4x4 Sum of Absolute Transformed Differences: Hadamard of (cur − ref),
+/// Σ|coefficients| / 2 — the ME candidate metric of Fig 7.
+std::int32_t satd_4x4(const Block4x4& cur, const Block4x4& ref);
+
+/// 4x4 Sum of Absolute Differences (Integer-Pixel ME metric; the SI the
+/// paper sketches from QuadSub + SATD Atoms).
+std::int32_t sad_4x4(const Block4x4& cur, const Block4x4& ref);
+
+/// H.264 4x4 forward integer ("core") transform of a residual block.
+Block4x4 dct_4x4(const Block4x4& residual);
+
+/// 4x4 Hadamard transform of the 16 luma DC coefficients (intra path),
+/// including the standard /2 scaling.
+Block4x4 ht_4x4(const Block4x4& dc);
+
+/// 2x2 Hadamard transform of the chroma DC coefficients.
+Block2x2 ht_2x2(const Block2x2& dc);
+
+/// H.264 4x4 inverse integer transform (decoder side). The inverse
+/// butterfly shares the Transform Atom's add/subtract flow with the >>1
+/// stages on the *inputs* (Fig 9's HT multiplexers reused). The result is
+/// scaled by 64: reconstruct with (idct + 32) >> 6 via idct_scale().
+Block4x4 idct_4x4(const Block4x4& coeffs);
+
+/// Final reconstruction scaling of the inverse transform: (v + 32) >> 6.
+Block4x4 idct_scale(const Block4x4& raw);
+
+/// --- helpers used by the encoder -----------------------------------------
+
+/// Simplified H.264-style quantization: level = sign·((|c|·mf + f) >> qbits)
+/// with the standard qbits = 15 + qp/6 layout and a flat scaling matrix.
+Block4x4 quantize(const Block4x4& coeffs, int qp);
+
+/// Inverse of quantize() up to quantization error: level · step.
+Block4x4 dequantize(const Block4x4& levels, int qp);
+
+/// Residual of two blocks computed lane-wise with the QuadSub Atom.
+Block4x4 residual_4x4(const Block4x4& cur, const Block4x4& ref);
+
+}  // namespace rispp::h264

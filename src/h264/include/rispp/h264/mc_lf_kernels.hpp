@@ -1,0 +1,77 @@
+#pragma once
+/// \file mc_lf_kernels.hpp
+/// \brief Functional models of the Motion Compensation (MC) and Loop Filter
+/// (LF) hot spots — the other two functional blocks of the paper's Fig 1
+/// (ME/MC/TQ/LF).
+///
+/// MC: H.264 half-pel interpolation with the standard 6-tap FIR
+/// (1, −5, 20, 20, −5, 1)/32, modeled as a SixTap Atom feeding a Clip Atom.
+/// Quarter-pel positions average two half/full-pel values.
+///
+/// LF: the H.264 deblocking filter's normal-strength (bs < 4) edge filter
+/// over one 4-pixel line, modeled as an EdgeFilter Atom feeding Clip.
+///
+/// Like kernels.hpp, every function here is composed from the Atom-level
+/// operations and pinned against a naive reference implementation.
+
+#include <array>
+#include <cstdint>
+
+#include "rispp/h264/kernels.hpp"
+
+namespace rispp::h264 {
+
+/// A 9×9 pixel patch: enough support for 6-tap interpolation of a 4×4
+/// block (2 pixels margin left/top, 3 right/bottom). Row-major.
+using Patch9 = std::array<std::int32_t, 81>;
+
+/// One line of pixels across a block edge: p3 p2 p1 p0 | q0 q1 q2 q3.
+using EdgeLine = std::array<std::int32_t, 8>;
+
+/// --- Atom-level operations -----------------------------------------------
+
+/// SixTap Atom: the H.264 interpolation FIR over six consecutive samples,
+/// *without* rounding/shift (that is Clip's job): x0 −5x1 +20x2 +20x3 −5x4 +x5.
+std::int32_t atom_sixtap(const std::int32_t* x);
+
+/// Clip Atom: rounds a 6-tap accumulator by `shift` and clamps to [0, 255].
+std::int32_t atom_clip(std::int32_t acc, int shift);
+
+/// Clip Atom in delta mode: clamps a filter delta to [-c, c] (deblocking).
+std::int32_t atom_clip_delta(std::int32_t delta, std::int32_t c);
+
+/// EdgeFilter Atom: the bs<4 deblocking delta for one pixel line:
+/// Δ = (4(q0 − p0) + (p1 − q1) + 4) >> 3 (before clipping).
+std::int32_t atom_edge_delta(std::int32_t p1, std::int32_t p0,
+                             std::int32_t q0, std::int32_t q1);
+
+/// --- SI-level operations --------------------------------------------------
+
+/// Half-pel positions of one 4×4 block inside a 9×9 patch whose (2,2)
+/// corner is the block's integer position.
+enum class HpelPhase { H, V, C };  ///< horizontal, vertical, center (hv)
+
+/// MC_HPEL_4x4 SI: interpolate the 4×4 block at the given half-pel phase.
+Block4x4 mc_hpel_4x4(const Patch9& patch, HpelPhase phase);
+
+/// MC_QPEL_4x4 SI: quarter-pel = rounded average of the integer block and
+/// the horizontal half-pel block (the canonical "a" position).
+Block4x4 mc_qpel_4x4(const Patch9& patch);
+
+/// LF_EDGE_4 SI: filter one edge line with the normal-strength (bs<4)
+/// H.264 filter. `alpha`/`beta` are the edge thresholds, `c0` the clipping
+/// bound. Returns the filtered line (only p0/q0 change; p1/q1 conditionally).
+EdgeLine lf_edge(const EdgeLine& line, int alpha, int beta, int c0);
+
+/// True iff the edge would be filtered at all (|p0−q0| < α ∧ |p1−p0| < β ∧
+/// |q1−q0| < β).
+bool lf_edge_active(const EdgeLine& line, int alpha, int beta);
+
+/// --- naive references (tests pin the Atom-composed versions to these) ----
+namespace ref {
+Block4x4 mc_hpel_4x4(const Patch9& patch, HpelPhase phase);
+Block4x4 mc_qpel_4x4(const Patch9& patch);
+EdgeLine lf_edge(const EdgeLine& line, int alpha, int beta, int c0);
+}  // namespace ref
+
+}  // namespace rispp::h264

@@ -1,0 +1,72 @@
+#pragma once
+/// \file phases.hpp
+/// \brief The frame-level phase workload behind the paper's Fig-1 study.
+///
+/// An H.264 encode frame passes through four functional blocks — Motion
+/// Estimation, Motion Compensation, Transform & Quantization, Loop Filter —
+/// each with its own SI cluster. An extensible processor provisions
+/// dedicated hardware for all four even though only one is active at a
+/// time; RISPP rotates one shared Atom Container set through them, phase by
+/// phase, "upholding the performance of extensible processors" (Fig 1).
+///
+/// The cycle calibration targets the Fig-1 time-share mix over a 240k-cycle
+/// all-software macroblock: ME 55 %, MC 17 %, TQ 18 %, LF 10 %.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rispp/isa/si_library.hpp"
+#include "rispp/sim/trace.hpp"
+
+namespace rispp::h264 {
+
+/// One functional block's per-macroblock workload: SI calls + plain cycles.
+struct PhaseModel {
+  std::string name;
+  /// (SI name, invocations per macroblock)
+  std::vector<std::pair<std::string, std::uint64_t>> si_calls;
+  std::uint64_t compute_cycles = 0;  ///< non-SI cycles per macroblock
+};
+
+/// The four Fig-1 phases calibrated to the 55/17/18/10 time-share mix
+/// (requires SiLibrary::h264_frame()).
+std::vector<PhaseModel> fig1_phases();
+
+/// Decoder phases (the other half of the §2 Multimedia-TV scenario): the
+/// paper cites decoding at roughly half the encoder's complexity — entropy
+/// decode (plain compute), MC reconstruction, inverse transform, loop
+/// filter. ~120k software cycles per macroblock.
+std::vector<PhaseModel> decoder_phases();
+
+/// All-software cycles of one phase per macroblock.
+std::uint64_t phase_software_cycles(const isa::SiLibrary& lib,
+                                    const PhaseModel& phase);
+
+/// Best-case hardware cycles of one phase per macroblock, given the phase's
+/// SIs may use up to `atom_budget` containers (dedicated to the phase).
+std::uint64_t phase_ideal_hw_cycles(const isa::SiLibrary& lib,
+                                    const PhaseModel& phase,
+                                    std::uint64_t atom_budget);
+
+struct PhaseTraceParams {
+  std::uint64_t frames = 2;
+  std::uint64_t macroblocks_per_frame = 99;  ///< QCIF
+  /// Emit phase-boundary forecasts (release the previous phase's SIs,
+  /// forecast the next phase's) — the rotation-in-advance pattern of §5.
+  bool forecasts = true;
+  /// Forecast one phase ahead: the FC for phase k+1 fires while phase k is
+  /// still running (lead time ≈ the phase's duration), not at the boundary.
+  bool lookahead = true;
+};
+
+/// Builds the frame trace: per frame, the phases in order, each processing
+/// all macroblocks before the next begins (frame-level phase structure, as
+/// in the paper's Fig-1 span). Defaults to the encoder's fig1_phases().
+sim::Trace make_phase_trace(const isa::SiLibrary& lib,
+                            const PhaseTraceParams& params);
+sim::Trace make_phase_trace(const isa::SiLibrary& lib,
+                            const PhaseTraceParams& params,
+                            const std::vector<PhaseModel>& phases);
+
+}  // namespace rispp::h264

@@ -1,0 +1,21 @@
+#pragma once
+/// \file reference.hpp
+/// \brief Naive matrix-form reference implementations of the H.264 kernels.
+///
+/// These compute the transforms directly from their defining matrices, with
+/// no Atom decomposition and no cleverness. The Atom-composed kernels in
+/// kernels.hpp must match these bit-exactly — the test suite sweeps random
+/// blocks through both. This is the "optimized software Molecule"'s
+/// functional ground truth.
+
+#include "rispp/h264/kernels.hpp"
+
+namespace rispp::h264::ref {
+
+std::int32_t satd_4x4(const Block4x4& cur, const Block4x4& ref);
+std::int32_t sad_4x4(const Block4x4& cur, const Block4x4& ref);
+Block4x4 dct_4x4(const Block4x4& residual);
+Block4x4 ht_4x4(const Block4x4& dc);
+Block2x2 ht_2x2(const Block2x2& dc);
+
+}  // namespace rispp::h264::ref

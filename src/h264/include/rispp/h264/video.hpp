@@ -1,0 +1,52 @@
+#pragma once
+/// \file video.hpp
+/// \brief Synthetic YCbCr 4:2:0 video — the substitute for the paper's
+/// camera/test-sequence input (DESIGN.md §2).
+///
+/// Frames contain a textured gradient that translates by a per-frame motion
+/// vector plus pixel noise, so Motion Estimation has real work to do: the
+/// best SATD candidate is generally the true displacement, and residuals
+/// are small but non-zero — the same statistics the encoder pipeline's SIs
+/// see on natural video.
+
+#include <cstdint>
+#include <vector>
+
+#include "rispp/h264/kernels.hpp"
+#include "rispp/util/rng.hpp"
+
+namespace rispp::h264 {
+
+struct Frame {
+  int width = 0, height = 0;            // luma dimensions, multiples of 16
+  std::vector<std::uint8_t> luma;       // width × height
+  std::vector<std::uint8_t> cb, cr;     // (width/2) × (height/2)
+
+  std::uint8_t luma_at(int x, int y) const;      // edge-clamped
+  std::uint8_t chroma_at(bool cr_plane, int x, int y) const;
+
+  /// 4x4 luma block at pixel position (x, y), edge-clamped.
+  Block4x4 luma_block(int x, int y) const;
+  /// 4x4 chroma block at chroma-plane position (x, y), edge-clamped.
+  Block4x4 chroma_block(bool cr_plane, int x, int y) const;
+
+  int mb_cols() const { return width / 16; }
+  int mb_rows() const { return height / 16; }
+};
+
+class VideoGenerator {
+ public:
+  VideoGenerator(int width, int height, std::uint64_t seed = 42,
+                 int motion_x_per_frame = 3, int motion_y_per_frame = 1,
+                 int noise_amplitude = 4);
+
+  /// Deterministic frame `index` (any order, any number of times).
+  Frame frame(int index) const;
+
+ private:
+  int width_, height_;
+  std::uint64_t seed_;
+  int mx_, my_, noise_;
+};
+
+}  // namespace rispp::h264

@@ -1,0 +1,74 @@
+#pragma once
+/// \file workload.hpp
+/// \brief Cycle-level workload model of the Fig-7 pipeline: turns the
+/// encoder's SI mix into simulator traces and software-baseline cycle
+/// counts (Fig 12).
+///
+/// Calibration: the per-MB plain-core overheads below are chosen such that
+/// the all-software encoder spends exactly the paper's 201,065 cycles per
+/// macroblock (Fig 12, "Opt. SW"): 256·544 + 24·488 + 298 + 2·60 SI cycles
+/// plus 49,671 cycles of non-SI work (address generation, control, quant,
+/// reconstruction). The non-SI part is what Amdahl's law leaves untouched
+/// when Molecules accelerate the SIs.
+
+#include <cstdint>
+
+#include "rispp/isa/si_library.hpp"
+#include "rispp/sim/trace.hpp"
+
+namespace rispp::h264 {
+
+/// SI invocations of one macroblock (Fig 7).
+struct MbCounts {
+  std::uint64_t satd = 256;  ///< 16 sub-blocks × 16 candidates
+  std::uint64_t dct = 24;    ///< 16 luma + 8 chroma
+  std::uint64_t ht4 = 1;     ///< intra luma DC
+  std::uint64_t ht2 = 2;     ///< chroma DC, Cb + Cr
+};
+
+/// Plain-core (non-SI) cycles of one macroblock, by pipeline stage.
+struct MbCycleModel {
+  std::uint64_t per_candidate = 120;  ///< ME address gen + compare, ×256
+  std::uint64_t per_subblock = 300;   ///< sub-block setup/control, ×16
+  std::uint64_t per_quant_block = 250;///< quantization + zig-zag, ×24
+  std::uint64_t per_mb_misc = 8151;   ///< mode decision, reconstruction, …
+
+  std::uint64_t overhead_cycles(const MbCounts& c) const;
+};
+
+/// Total cycles per MB when every SI runs its software Molecule — must equal
+/// the paper's 201,065 with the default model and library (pinned by test).
+std::uint64_t software_cycles_per_mb(const isa::SiLibrary& lib,
+                                     const MbCounts& counts,
+                                     const MbCycleModel& model);
+
+/// Lower bound per MB with all SIs on their budget-best Molecules and zero
+/// rotation overhead (the asymptote the simulator approaches).
+std::uint64_t ideal_hw_cycles_per_mb(const isa::SiLibrary& lib,
+                                     const MbCounts& counts,
+                                     const MbCycleModel& model,
+                                     std::uint64_t atom_budget);
+
+struct TraceParams {
+  std::uint64_t macroblocks = 99;  ///< e.g. one QCIF frame = 99 MBs
+  MbCounts counts{};
+  MbCycleModel model{};
+  /// Issue the forecast block (all four SIs) at the start of every k-th MB;
+  /// 0 disables forecasting entirely (ablation: rotation starts only once
+  /// an SI's FC never fires → everything stays in software).
+  std::uint64_t forecast_every_mbs = 1;
+  /// Future-work extension (paper §6: "additional SIs focusing on different
+  /// hot spots"): express this many SAD_4x4 invocations per MB out of the
+  /// per-MB misc work. Each call replaces its software latency worth of
+  /// misc compute, so the all-software total stays identical and hardware
+  /// SAD attacks the Amdahl remainder. Requires SiLibrary::h264_with_sad().
+  std::uint64_t misc_sad_calls = 0;
+};
+
+/// Builds the encode trace of `macroblocks` macroblocks for the simulator.
+/// SI indices are resolved by name from `lib` (works with both h264() and
+/// h264_with_sad()).
+sim::Trace make_encode_trace(const isa::SiLibrary& lib,
+                             const TraceParams& params);
+
+}  // namespace rispp::h264

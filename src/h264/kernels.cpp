@@ -1,0 +1,203 @@
+#include "rispp/h264/kernels.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rispp::h264 {
+
+Quad atom_quadsub(const Quad& a, const Quad& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3]};
+}
+
+std::uint32_t atom_pack(std::int16_t lsb, std::int16_t msb) {
+  return (static_cast<std::uint32_t>(static_cast<std::uint16_t>(msb)) << 16) |
+         static_cast<std::uint32_t>(static_cast<std::uint16_t>(lsb));
+}
+
+void atom_unpack(std::uint32_t word, std::int16_t& lsb, std::int16_t& msb) {
+  lsb = static_cast<std::int16_t>(word & 0xFFFFu);
+  msb = static_cast<std::int16_t>(word >> 16);
+}
+
+Quad atom_transform(const Quad& x, TransformMode mode) {
+  // Common add/subtract flow of all three H.264 transforms (Fig 9):
+  const std::int32_t t0 = x[0] + x[3];
+  const std::int32_t t1 = x[1] + x[2];
+  const std::int32_t t2 = x[1] - x[2];
+  const std::int32_t t3 = x[0] - x[3];
+
+  Quad y{};
+  switch (mode) {
+    case TransformMode::Dct:
+      // Integer core transform butterfly with the <<1 stages enabled.
+      y[0] = t0 + t1;
+      y[1] = (t3 << 1) + t2;
+      y[2] = t0 - t1;
+      y[3] = t3 - (t2 << 1);
+      break;
+    case TransformMode::Hadamard:
+      y[0] = t0 + t1;
+      y[1] = t3 + t2;
+      y[2] = t0 - t1;
+      y[3] = t3 - t2;
+      break;
+    case TransformMode::HadamardScaled:
+      // Output >>1 stages enabled (second pass of the 4x4 DC Hadamard).
+      y[0] = (t0 + t1) >> 1;
+      y[1] = (t3 + t2) >> 1;
+      y[2] = (t0 - t1) >> 1;
+      y[3] = (t3 - t2) >> 1;
+      break;
+  }
+  return y;
+}
+
+std::int32_t atom_satd(const Quad& x) {
+  return std::abs(x[0]) + std::abs(x[1]) + std::abs(x[2]) + std::abs(x[3]);
+}
+
+namespace {
+
+Quad row_of(const Block4x4& b, int r) {
+  return {b[r * 4 + 0], b[r * 4 + 1], b[r * 4 + 2], b[r * 4 + 3]};
+}
+
+Quad col_of(const Block4x4& b, int c) {
+  return {b[0 * 4 + c], b[1 * 4 + c], b[2 * 4 + c], b[3 * 4 + c]};
+}
+
+void set_row(Block4x4& b, int r, const Quad& q) {
+  for (int i = 0; i < 4; ++i) b[r * 4 + i] = q[i];
+}
+
+void set_col(Block4x4& b, int c, const Quad& q) {
+  for (int i = 0; i < 4; ++i) b[i * 4 + c] = q[i];
+}
+
+/// Two-pass 4x4 transform: rows then columns through the Transform Atom.
+/// The row→column reorganisation is what the Pack Atom performs in
+/// hardware (16-bit pair repacking).
+Block4x4 transform_2d(const Block4x4& in, TransformMode rows,
+                      TransformMode cols) {
+  Block4x4 tmp{}, out{};
+  for (int r = 0; r < 4; ++r) set_row(tmp, r, atom_transform(row_of(in, r), rows));
+  for (int c = 0; c < 4; ++c) set_col(out, c, atom_transform(col_of(tmp, c), cols));
+  return out;
+}
+
+}  // namespace
+
+Block4x4 residual_4x4(const Block4x4& cur, const Block4x4& ref) {
+  Block4x4 out{};
+  for (int r = 0; r < 4; ++r) {
+    const auto d = atom_quadsub(row_of(cur, r), row_of(ref, r));
+    set_row(out, r, d);
+  }
+  return out;
+}
+
+std::int32_t satd_4x4(const Block4x4& cur, const Block4x4& ref) {
+  // QuadSub → Transform (rows) → Pack/transpose → Transform (cols) → SATD.
+  const Block4x4 diff = residual_4x4(cur, ref);
+  const Block4x4 had =
+      transform_2d(diff, TransformMode::Hadamard, TransformMode::Hadamard);
+  std::int32_t sum = 0;
+  for (int r = 0; r < 4; ++r) sum += atom_satd(row_of(had, r));
+  return (sum + 1) / 2;
+}
+
+std::int32_t sad_4x4(const Block4x4& cur, const Block4x4& ref) {
+  std::int32_t sum = 0;
+  for (int r = 0; r < 4; ++r)
+    sum += atom_satd(atom_quadsub(row_of(cur, r), row_of(ref, r)));
+  return sum;
+}
+
+Block4x4 dct_4x4(const Block4x4& residual) {
+  return transform_2d(residual, TransformMode::Dct, TransformMode::Dct);
+}
+
+Block4x4 ht_4x4(const Block4x4& dc) {
+  return transform_2d(dc, TransformMode::Hadamard,
+                      TransformMode::HadamardScaled);
+}
+
+Block2x2 ht_2x2(const Block2x2& dc) {
+  // Single 2x2 butterfly — the SI that "constitutes only one Atom".
+  const std::int32_t a = dc[0], b = dc[1], c = dc[2], d = dc[3];
+  return {a + b + c + d, a - b + c - d, a + b - c - d, a - b - c + d};
+}
+
+namespace {
+
+/// Inverse-transform butterfly: y = Hiᵀ-style flow with >>1 on the odd
+/// inputs (shared Transform Atom hardware, input-shift multiplexers).
+Quad inverse_butterfly(const Quad& x) {
+  const std::int32_t e0 = x[0] + x[2];
+  const std::int32_t e1 = x[0] - x[2];
+  const std::int32_t e2 = (x[1] >> 1) - x[3];
+  const std::int32_t e3 = x[1] + (x[3] >> 1);
+  return {e0 + e3, e1 + e2, e1 - e2, e0 - e3};
+}
+
+}  // namespace
+
+Block4x4 idct_4x4(const Block4x4& coeffs) {
+  Block4x4 tmp{}, out{};
+  for (int r = 0; r < 4; ++r) set_row(tmp, r, inverse_butterfly(row_of(coeffs, r)));
+  for (int c = 0; c < 4; ++c) set_col(out, c, inverse_butterfly(col_of(tmp, c)));
+  return out;
+}
+
+Block4x4 idct_scale(const Block4x4& raw) {
+  Block4x4 out{};
+  for (int i = 0; i < 16; ++i) out[i] = (raw[i] + 32) >> 6;
+  return out;
+}
+
+namespace {
+
+// The forward core transform's rows have unequal norms, so quantization and
+// rescaling are position-dependent (H.264 8.5.9): positions with both
+// coordinates even use class a, both odd class b, mixed class c.
+int position_class(int i) {
+  const int r = i / 4, c = i % 4;
+  const bool re = r % 2 == 0, ce = c % 2 == 0;
+  if (re && ce) return 0;
+  if (!re && !ce) return 1;
+  return 2;
+}
+
+constexpr std::int32_t kMf[6][3] = {
+    {13107, 5243, 8066}, {11916, 4660, 7490}, {10082, 4194, 6554},
+    {9362, 3647, 5825},  {8192, 3355, 5243},  {7282, 2893, 4559},
+};
+constexpr std::int32_t kV[6][3] = {
+    {10, 16, 13}, {11, 18, 14}, {13, 20, 16},
+    {14, 23, 18}, {16, 25, 20}, {18, 29, 23},
+};
+
+}  // namespace
+
+Block4x4 quantize(const Block4x4& coeffs, int qp) {
+  const int qbits = 15 + qp / 6;
+  const std::int32_t f = (1 << qbits) / 6;
+  Block4x4 out{};
+  for (int i = 0; i < 16; ++i) {
+    const std::int32_t mf = kMf[qp % 6][position_class(i)];
+    const std::int32_t c = coeffs[i];
+    const std::int32_t level = static_cast<std::int32_t>(
+        (std::abs(static_cast<std::int64_t>(c)) * mf + f) >> qbits);
+    out[i] = c < 0 ? -level : level;
+  }
+  return out;
+}
+
+Block4x4 dequantize(const Block4x4& levels, int qp) {
+  Block4x4 out{};
+  for (int i = 0; i < 16; ++i)
+    out[i] = levels[i] * (kV[qp % 6][position_class(i)] << (qp / 6));
+  return out;
+}
+
+}  // namespace rispp::h264

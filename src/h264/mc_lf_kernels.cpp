@@ -1,0 +1,179 @@
+#include "rispp/h264/mc_lf_kernels.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rispp::h264 {
+
+namespace {
+constexpr int kPatch = 9;
+std::int32_t at(const Patch9& p, int r, int c) { return p[r * kPatch + c]; }
+std::int32_t clip3(std::int32_t lo, std::int32_t hi, std::int32_t v) {
+  return std::clamp(v, lo, hi);
+}
+}  // namespace
+
+std::int32_t atom_sixtap(const std::int32_t* x) {
+  return x[0] - 5 * x[1] + 20 * x[2] + 20 * x[3] - 5 * x[4] + x[5];
+}
+
+std::int32_t atom_clip(std::int32_t acc, int shift) {
+  if (shift > 0) acc = (acc + (1 << (shift - 1))) >> shift;
+  return std::clamp(acc, 0, 255);
+}
+
+std::int32_t atom_clip_delta(std::int32_t delta, std::int32_t c) {
+  return clip3(-c, c, delta);
+}
+
+std::int32_t atom_edge_delta(std::int32_t p1, std::int32_t p0,
+                             std::int32_t q0, std::int32_t q1) {
+  return (4 * (q0 - p0) + (p1 - q1) + 4) >> 3;
+}
+
+Block4x4 mc_hpel_4x4(const Patch9& patch, HpelPhase phase) {
+  Block4x4 out{};
+  switch (phase) {
+    case HpelPhase::H:
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+          std::int32_t row[6];
+          for (int k = 0; k < 6; ++k) row[k] = at(patch, 2 + i, j + k);
+          out[i * 4 + j] = atom_clip(atom_sixtap(row), 5);
+        }
+      break;
+    case HpelPhase::V:
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+          std::int32_t col[6];
+          for (int k = 0; k < 6; ++k) col[k] = at(patch, i + k, 2 + j);
+          out[i * 4 + j] = atom_clip(atom_sixtap(col), 5);
+        }
+      break;
+    case HpelPhase::C:
+      // Horizontal 6-tap intermediates (unshifted) for the 9 support rows,
+      // then a vertical 6-tap over the intermediates; 10-bit renorm.
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+          std::int32_t mids[6];
+          for (int k = 0; k < 6; ++k) {
+            std::int32_t row[6];
+            for (int m = 0; m < 6; ++m) row[m] = at(patch, i + k, j + m);
+            mids[k] = atom_sixtap(row);
+          }
+          out[i * 4 + j] = atom_clip(atom_sixtap(mids), 10);
+        }
+      break;
+  }
+  return out;
+}
+
+Block4x4 mc_qpel_4x4(const Patch9& patch) {
+  const Block4x4 half = mc_hpel_4x4(patch, HpelPhase::H);
+  Block4x4 out{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      const std::int32_t full = at(patch, 2 + i, 2 + j);
+      out[i * 4 + j] = (full + half[i * 4 + j] + 1) >> 1;
+    }
+  return out;
+}
+
+bool lf_edge_active(const EdgeLine& line, int alpha, int beta) {
+  const auto p1 = line[2], p0 = line[3], q0 = line[4], q1 = line[5];
+  return std::abs(p0 - q0) < alpha && std::abs(p1 - p0) < beta &&
+         std::abs(q1 - q0) < beta;
+}
+
+EdgeLine lf_edge(const EdgeLine& line, int alpha, int beta, int c0) {
+  if (!lf_edge_active(line, alpha, beta)) return line;
+  EdgeLine out = line;
+  const auto p2 = line[1], p1 = line[2], p0 = line[3];
+  const auto q0 = line[4], q1 = line[5], q2 = line[6];
+
+  const bool ap = std::abs(p2 - p0) < beta;
+  const bool aq = std::abs(q2 - q0) < beta;
+  const int c = c0 + (ap ? 1 : 0) + (aq ? 1 : 0);
+
+  const auto delta = atom_clip_delta(atom_edge_delta(p1, p0, q0, q1), c);
+  out[3] = atom_clip(p0 + delta, 0);
+  out[4] = atom_clip(q0 - delta, 0);
+
+  if (ap)
+    out[2] = p1 + atom_clip_delta((p2 + ((p0 + q0 + 1) >> 1) - 2 * p1) >> 1, c0);
+  if (aq)
+    out[5] = q1 + atom_clip_delta((q2 + ((p0 + q0 + 1) >> 1) - 2 * q1) >> 1, c0);
+  return out;
+}
+
+namespace ref {
+
+Block4x4 mc_hpel_4x4(const Patch9& patch, HpelPhase phase) {
+  // Direct textbook formulas, no Atom decomposition.
+  auto px = [&](int r, int c) { return patch[r * 9 + c]; };
+  Block4x4 out{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      const int r = 2 + i, c = 2 + j;
+      std::int32_t v = 0;
+      switch (phase) {
+        case HpelPhase::H:
+          v = px(r, c - 2) - 5 * px(r, c - 1) + 20 * px(r, c) +
+              20 * px(r, c + 1) - 5 * px(r, c + 2) + px(r, c + 3);
+          v = std::clamp((v + 16) >> 5, 0, 255);
+          break;
+        case HpelPhase::V:
+          v = px(r - 2, c) - 5 * px(r - 1, c) + 20 * px(r, c) +
+              20 * px(r + 1, c) - 5 * px(r + 2, c) + px(r + 3, c);
+          v = std::clamp((v + 16) >> 5, 0, 255);
+          break;
+        case HpelPhase::C: {
+          std::int32_t mid[6];
+          for (int k = -2; k <= 3; ++k)
+            mid[k + 2] = px(r + k, c - 2) - 5 * px(r + k, c - 1) +
+                         20 * px(r + k, c) + 20 * px(r + k, c + 1) -
+                         5 * px(r + k, c + 2) + px(r + k, c + 3);
+          v = mid[0] - 5 * mid[1] + 20 * mid[2] + 20 * mid[3] - 5 * mid[4] +
+              mid[5];
+          v = std::clamp((v + 512) >> 10, 0, 255);
+          break;
+        }
+      }
+      out[i * 4 + j] = v;
+    }
+  return out;
+}
+
+Block4x4 mc_qpel_4x4(const Patch9& patch) {
+  const Block4x4 half = ref::mc_hpel_4x4(patch, HpelPhase::H);
+  Block4x4 out{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      out[i * 4 + j] = (patch[(2 + i) * 9 + (2 + j)] + half[i * 4 + j] + 1) >> 1;
+  return out;
+}
+
+EdgeLine lf_edge(const EdgeLine& line, int alpha, int beta, int c0) {
+  const auto p2 = line[1], p1 = line[2], p0 = line[3];
+  const auto q0 = line[4], q1 = line[5], q2 = line[6];
+  if (!(std::abs(p0 - q0) < alpha && std::abs(p1 - p0) < beta &&
+        std::abs(q1 - q0) < beta))
+    return line;
+  EdgeLine out = line;
+  const bool ap = std::abs(p2 - p0) < beta;
+  const bool aq = std::abs(q2 - q0) < beta;
+  const int c = c0 + (ap ? 1 : 0) + (aq ? 1 : 0);
+  const int delta =
+      std::clamp((4 * (q0 - p0) + (p1 - q1) + 4) >> 3, -c, c);
+  out[3] = std::clamp(p0 + delta, 0, 255);
+  out[4] = std::clamp(q0 - delta, 0, 255);
+  if (ap)
+    out[2] = p1 + std::clamp((p2 + ((p0 + q0 + 1) >> 1) - 2 * p1) >> 1, -c0, c0);
+  if (aq)
+    out[5] = q1 + std::clamp((q2 + ((p0 + q0 + 1) >> 1) - 2 * q1) >> 1, -c0, c0);
+  return out;
+}
+
+}  // namespace ref
+
+}  // namespace rispp::h264

@@ -1,0 +1,126 @@
+#include "rispp/h264/phases.hpp"
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::h264 {
+
+std::vector<PhaseModel> fig1_phases() {
+  // 240,000 all-software cycles per MB split 55/17/18/10 (Fig 1).
+  // ME is the cheapest hardware (SAD only — QuadSub/SATD atoms) with the
+  // biggest time share; MC the biggest hardware (SixTap/Clip plus the
+  // SATD-based sub-pel refinement) with only 17 % of the time — exactly the
+  // mismatch the paper's motivation hinges on.
+  return {
+      {.name = "ME",
+       .si_calls = {{"SAD_4x4", 192}},
+       .compute_cycles = 71328},  // + 192·316 = 132,000
+      {.name = "MC",
+       .si_calls = {{"MC_HPEL_4x4", 16}, {"MC_QPEL_4x4", 32}, {"SATD_4x4", 16}},
+       .compute_cycles = 10016},  // + 9,920 + 12,160 + 8,704 = 40,800
+      {.name = "TQ",
+       .si_calls = {{"DCT_4x4", 24}, {"HT_4x4", 1}, {"HT_2x2", 2}},
+       .compute_cycles = 31070},  // + 12,130 = 43,200
+      {.name = "LF",
+       .si_calls = {{"LF_EDGE_4", 64}},
+       .compute_cycles = 8640},  // + 15,360 = 24,000
+  };
+}
+
+std::vector<PhaseModel> decoder_phases() {
+  // ~120k software cycles per MB — the paper cites decoding at roughly half
+  // the encoding complexity. Four 30k phases.
+  return {
+      {.name = "ED", .si_calls = {}, .compute_cycles = 30000},
+      {.name = "MC-rec",
+       .si_calls = {{"MC_HPEL_4x4", 16}, {"MC_QPEL_4x4", 16}},
+       .compute_cycles = 14000},  // + 9,920 + 6,080 = 30,000
+      {.name = "IT",
+       .si_calls = {{"IDCT_4x4", 24}},
+       .compute_cycles = 19440},  // + 10,560 = 30,000
+      {.name = "LF-dec",
+       .si_calls = {{"LF_EDGE_4", 64}},
+       .compute_cycles = 14640},  // + 15,360 = 30,000
+  };
+}
+
+std::uint64_t phase_software_cycles(const isa::SiLibrary& lib,
+                                    const PhaseModel& phase) {
+  std::uint64_t total = phase.compute_cycles;
+  for (const auto& [name, count] : phase.si_calls)
+    total += count * lib.find(name).software_cycles();
+  return total;
+}
+
+std::uint64_t phase_ideal_hw_cycles(const isa::SiLibrary& lib,
+                                    const PhaseModel& phase,
+                                    std::uint64_t atom_budget) {
+  // Optimistic bound: each SI gets its budget-best molecule; within one
+  // phase the SIs time-share the containers, so this is attainable when
+  // the budget covers the phase's union requirement.
+  std::uint64_t total = phase.compute_cycles;
+  for (const auto& [name, count] : phase.si_calls) {
+    const auto& si = lib.find(name);
+    const auto best = si.best_with_budget(atom_budget, lib.catalog());
+    total += count * (best ? best->cycles : si.software_cycles());
+  }
+  return total;
+}
+
+sim::Trace make_phase_trace(const isa::SiLibrary& lib,
+                            const PhaseTraceParams& p) {
+  return make_phase_trace(lib, p, fig1_phases());
+}
+
+sim::Trace make_phase_trace(const isa::SiLibrary& lib,
+                            const PhaseTraceParams& p,
+                            const std::vector<PhaseModel>& phases) {
+  RISPP_REQUIRE(p.frames > 0 && p.macroblocks_per_frame > 0,
+                "need at least one frame and one macroblock");
+  RISPP_REQUIRE(!phases.empty(), "need at least one phase");
+
+  auto forecast_phase = [&](sim::Trace& t, const PhaseModel& ph) {
+    for (const auto& [name, count] : ph.si_calls)
+      t.push_back(sim::TraceOp::forecast(
+          lib.index_of(name),
+          static_cast<double>(count * p.macroblocks_per_frame)));
+  };
+  auto release_phase = [&](sim::Trace& t, const PhaseModel& ph) {
+    for (const auto& [name, count] : ph.si_calls) {
+      (void)count;
+      t.push_back(sim::TraceOp::release(lib.index_of(name)));
+    }
+  };
+
+  sim::Trace trace;
+  for (std::uint64_t f = 0; f < p.frames; ++f) {
+    for (std::size_t k = 0; k < phases.size(); ++k) {
+      const auto& ph = phases[k];
+      trace.push_back(sim::TraceOp::label("frame " + std::to_string(f) +
+                                          " phase " + ph.name));
+      if (p.forecasts) {
+        // The previous phase's SIs are forecasted to be no longer needed;
+        // this phase's demand takes over (it may already be loading if the
+        // lookahead FC fired mid-previous-phase).
+        const bool has_prev = k > 0 || f > 0;
+        if (has_prev)
+          release_phase(trace, phases[(k + phases.size() - 1) % phases.size()]);
+        forecast_phase(trace, ph);
+      }
+      for (std::uint64_t mb = 0; mb < p.macroblocks_per_frame; ++mb) {
+        // Rotation in advance: midway through this phase, forecast the
+        // next one — "while ME is executed the unused hardware will be
+        // prepared for the next hot spot".
+        if (p.forecasts && p.lookahead && mb == p.macroblocks_per_frame / 2) {
+          const bool last = f + 1 == p.frames && k + 1 == phases.size();
+          if (!last) forecast_phase(trace, phases[(k + 1) % phases.size()]);
+        }
+        trace.push_back(sim::TraceOp::compute(ph.compute_cycles));
+        for (const auto& [name, count] : ph.si_calls)
+          trace.push_back(sim::TraceOp::si(lib.index_of(name), count));
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace rispp::h264

@@ -1,0 +1,76 @@
+#include "rispp/h264/reference.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rispp::h264::ref {
+
+namespace {
+
+/// out = A · in · Aᵀ for 4x4 integer matrices (row-major).
+Block4x4 congruence(const std::array<std::int32_t, 16>& a, const Block4x4& in) {
+  Block4x4 tmp{}, out{};
+  // tmp = A · in
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      std::int32_t s = 0;
+      for (int k = 0; k < 4; ++k) s += a[i * 4 + k] * in[k * 4 + j];
+      tmp[i * 4 + j] = s;
+    }
+  // out = tmp · Aᵀ
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      std::int32_t s = 0;
+      for (int k = 0; k < 4; ++k) s += tmp[i * 4 + k] * a[j * 4 + k];
+      out[i * 4 + j] = s;
+    }
+  return out;
+}
+
+constexpr std::array<std::int32_t, 16> kCore = {
+    1, 1, 1, 1,   //
+    2, 1, -1, -2, //
+    1, -1, -1, 1, //
+    1, -2, 2, -1, //
+};
+
+constexpr std::array<std::int32_t, 16> kHadamard = {
+    1, 1, 1, 1,   //
+    1, 1, -1, -1, //
+    1, -1, -1, 1, //
+    1, -1, 1, -1, //
+};
+
+}  // namespace
+
+std::int32_t satd_4x4(const Block4x4& cur, const Block4x4& ref) {
+  Block4x4 diff{};
+  for (int i = 0; i < 16; ++i) diff[i] = cur[i] - ref[i];
+  const Block4x4 had = congruence(kHadamard, diff);
+  std::int32_t sum = 0;
+  for (int i = 0; i < 16; ++i) sum += std::abs(had[i]);
+  return (sum + 1) / 2;
+}
+
+std::int32_t sad_4x4(const Block4x4& cur, const Block4x4& ref) {
+  std::int32_t sum = 0;
+  for (int i = 0; i < 16; ++i) sum += std::abs(cur[i] - ref[i]);
+  return sum;
+}
+
+Block4x4 dct_4x4(const Block4x4& residual) {
+  return congruence(kCore, residual);
+}
+
+Block4x4 ht_4x4(const Block4x4& dc) {
+  Block4x4 out = congruence(kHadamard, dc);
+  for (auto& v : out) v >>= 1;  // standard /2 scaling of the DC Hadamard
+  return out;
+}
+
+Block2x2 ht_2x2(const Block2x2& dc) {
+  const std::int32_t a = dc[0], b = dc[1], c = dc[2], d = dc[3];
+  return {a + b + c + d, a - b + c - d, a + b - c - d, a - b - c + d};
+}
+
+}  // namespace rispp::h264::ref

@@ -1,0 +1,106 @@
+#include "rispp/h264/video.hpp"
+
+#include <algorithm>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::h264 {
+
+namespace {
+
+int clampi(int v, int lo, int hi) { return std::clamp(v, lo, hi); }
+
+/// Deterministic base texture independent of frame index: smooth gradient
+/// plus hash-noise detail, sampled in "world" coordinates so that motion is
+/// a pure translation of content.
+std::uint8_t texture(std::uint64_t seed, int wx, int wy) {
+  const int gradient = ((wx * 3 + wy * 2) / 4) & 0x7F;
+  std::uint64_t h = seed ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(wx)) << 32) ^
+                    static_cast<std::uint32_t>(wy);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  const int detail = static_cast<int>(h & 0x3F);
+  return static_cast<std::uint8_t>(clampi(64 + gradient + detail, 0, 255));
+}
+
+}  // namespace
+
+std::uint8_t Frame::luma_at(int x, int y) const {
+  x = clampi(x, 0, width - 1);
+  y = clampi(y, 0, height - 1);
+  return luma[static_cast<std::size_t>(y) * width + x];
+}
+
+std::uint8_t Frame::chroma_at(bool cr_plane, int x, int y) const {
+  const int cw = width / 2, ch = height / 2;
+  x = clampi(x, 0, cw - 1);
+  y = clampi(y, 0, ch - 1);
+  const auto& plane = cr_plane ? cr : cb;
+  return plane[static_cast<std::size_t>(y) * cw + x];
+}
+
+Block4x4 Frame::luma_block(int x, int y) const {
+  Block4x4 b{};
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) b[r * 4 + c] = luma_at(x + c, y + r);
+  return b;
+}
+
+Block4x4 Frame::chroma_block(bool cr_plane, int x, int y) const {
+  Block4x4 b{};
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) b[r * 4 + c] = chroma_at(cr_plane, x + c, y + r);
+  return b;
+}
+
+VideoGenerator::VideoGenerator(int width, int height, std::uint64_t seed,
+                               int motion_x_per_frame, int motion_y_per_frame,
+                               int noise_amplitude)
+    : width_(width),
+      height_(height),
+      seed_(seed),
+      mx_(motion_x_per_frame),
+      my_(motion_y_per_frame),
+      noise_(noise_amplitude) {
+  RISPP_REQUIRE(width > 0 && width % 16 == 0, "width must be a multiple of 16");
+  RISPP_REQUIRE(height > 0 && height % 16 == 0,
+                "height must be a multiple of 16");
+  RISPP_REQUIRE(noise_amplitude >= 0, "noise amplitude must be non-negative");
+}
+
+Frame VideoGenerator::frame(int index) const {
+  Frame f;
+  f.width = width_;
+  f.height = height_;
+  f.luma.resize(static_cast<std::size_t>(width_) * height_);
+  f.cb.resize(static_cast<std::size_t>(width_ / 2) * (height_ / 2));
+  f.cr.resize(f.cb.size());
+
+  // Per-frame noise stream, deterministic in (seed, index).
+  util::Xoshiro256 rng(seed_ * 1000003 + static_cast<std::uint64_t>(index));
+
+  const int ox = index * mx_;  // world offset: content translates over time
+  const int oy = index * my_;
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x) {
+      int v = texture(seed_, x + ox, y + oy);
+      if (noise_ > 0) v += static_cast<int>(rng.range(-noise_, noise_));
+      f.luma[static_cast<std::size_t>(y) * width_ + x] =
+          static_cast<std::uint8_t>(clampi(v, 0, 255));
+    }
+
+  const int cw = width_ / 2, ch = height_ / 2;
+  for (int y = 0; y < ch; ++y)
+    for (int x = 0; x < cw; ++x) {
+      // Chroma: softer texture, half-resolution world coordinates.
+      const int base = texture(seed_ ^ 0xC0FFEE, x + ox / 2, y + oy / 2);
+      f.cb[static_cast<std::size_t>(y) * cw + x] =
+          static_cast<std::uint8_t>(clampi(96 + base / 4, 0, 255));
+      f.cr[static_cast<std::size_t>(y) * cw + x] =
+          static_cast<std::uint8_t>(clampi(160 - base / 4, 0, 255));
+    }
+  return f;
+}
+
+}  // namespace rispp::h264

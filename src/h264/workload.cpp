@@ -1,0 +1,98 @@
+#include "rispp/h264/workload.hpp"
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::h264 {
+
+std::uint64_t MbCycleModel::overhead_cycles(const MbCounts& c) const {
+  return per_candidate * c.satd + per_subblock * 16 +
+         per_quant_block * c.dct + per_mb_misc;
+}
+
+std::uint64_t software_cycles_per_mb(const isa::SiLibrary& lib,
+                                     const MbCounts& counts,
+                                     const MbCycleModel& model) {
+  const auto sw = [&](const char* name) {
+    return static_cast<std::uint64_t>(lib.find(name).software_cycles());
+  };
+  return model.overhead_cycles(counts) + counts.satd * sw("SATD_4x4") +
+         counts.dct * sw("DCT_4x4") + counts.ht4 * sw("HT_4x4") +
+         counts.ht2 * sw("HT_2x2");
+}
+
+std::uint64_t ideal_hw_cycles_per_mb(const isa::SiLibrary& lib,
+                                     const MbCounts& counts,
+                                     const MbCycleModel& model,
+                                     std::uint64_t atom_budget) {
+  // Shared-budget best configuration: use the greedy weights of the MB mix.
+  // For the H.264 library the minimal Molecules of all four SIs nest inside
+  // each other's atom kinds, so per-SI budget-best = shared-budget best as
+  // long as the budget covers SATD's minimal Molecule; tests pin this.
+  const auto& cat = lib.catalog();
+  auto cycles = [&](const char* name) -> std::uint64_t {
+    const auto& si = lib.find(name);
+    const auto best = si.best_with_budget(atom_budget, cat);
+    return best ? best->cycles : si.software_cycles();
+  };
+  return model.overhead_cycles(counts) + counts.satd * cycles("SATD_4x4") +
+         counts.dct * cycles("DCT_4x4") + counts.ht4 * cycles("HT_4x4") +
+         counts.ht2 * cycles("HT_2x2");
+}
+
+sim::Trace make_encode_trace(const isa::SiLibrary& lib,
+                             const TraceParams& p) {
+  RISPP_REQUIRE(p.macroblocks > 0, "need at least one macroblock");
+  const auto satd = lib.index_of("SATD_4x4");
+  const auto dct = lib.index_of("DCT_4x4");
+  const auto ht4 = lib.index_of("HT_4x4");
+  const auto ht2 = lib.index_of("HT_2x2");
+  const auto& m = p.model;
+  const auto& c = p.counts;
+
+  sim::Trace trace;
+  trace.reserve(p.macroblocks * 60);
+  for (std::uint64_t mb = 0; mb < p.macroblocks; ++mb) {
+    if (p.forecast_every_mbs > 0 && mb % p.forecast_every_mbs == 0) {
+      // The FC block at the MB loop head forecasts the whole Fig-7 mix.
+      trace.push_back(sim::TraceOp::forecast(satd, static_cast<double>(c.satd)));
+      trace.push_back(sim::TraceOp::forecast(dct, static_cast<double>(c.dct)));
+      trace.push_back(sim::TraceOp::forecast(ht4, static_cast<double>(c.ht4)));
+      trace.push_back(sim::TraceOp::forecast(ht2, static_cast<double>(c.ht2)));
+    }
+    // --- ME phase: 16 sub-blocks × (setup + candidates) ---
+    const std::uint64_t cands_per_sb = c.satd / 16;
+    for (int sb = 0; sb < 16; ++sb) {
+      trace.push_back(sim::TraceOp::compute(m.per_subblock));
+      trace.push_back(sim::TraceOp::compute(m.per_candidate * cands_per_sb));
+      trace.push_back(sim::TraceOp::si(satd, cands_per_sb));
+      // --- TQ phase, luma: DCT of the winning residual + quant ---
+      trace.push_back(sim::TraceOp::si(dct, 1));
+      trace.push_back(sim::TraceOp::compute(m.per_quant_block));
+    }
+    // --- intra DC Hadamard ---
+    trace.push_back(sim::TraceOp::si(ht4, c.ht4));
+    // --- chroma: 8 DCTs + 2 HT_2x2 ---
+    const std::uint64_t chroma_dcts = c.dct - 16;
+    trace.push_back(sim::TraceOp::si(dct, chroma_dcts));
+    trace.push_back(sim::TraceOp::compute(m.per_quant_block * chroma_dcts));
+    trace.push_back(sim::TraceOp::si(ht2, c.ht2));
+    // --- mode decision, reconstruction, bookkeeping ---
+    std::uint64_t misc = m.per_mb_misc;
+    if (p.misc_sad_calls > 0) {
+      const auto sad = lib.index_of("SAD_4x4");
+      const std::uint64_t sad_sw =
+          lib.find("SAD_4x4").software_cycles() * p.misc_sad_calls;
+      RISPP_REQUIRE(sad_sw <= misc,
+                    "misc_sad_calls exceed the per-MB misc budget");
+      misc -= sad_sw;
+      if (p.forecast_every_mbs > 0 && mb % p.forecast_every_mbs == 0)
+        trace.push_back(sim::TraceOp::forecast(
+            sad, static_cast<double>(p.misc_sad_calls)));
+      trace.push_back(sim::TraceOp::si(sad, p.misc_sad_calls));
+    }
+    trace.push_back(sim::TraceOp::compute(misc));
+  }
+  return trace;
+}
+
+}  // namespace rispp::h264

@@ -1,0 +1,69 @@
+#include "rispp/hw/area_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::hw {
+
+AreaModel::AreaModel(std::vector<FunctionalBlock> blocks)
+    : blocks_(std::move(blocks)) {
+  RISPP_REQUIRE(!blocks_.empty(), "area model needs at least one block");
+  double time = 0;
+  for (const auto& b : blocks_) {
+    RISPP_REQUIRE(b.gate_equivalents > 0, "block GE must be positive");
+    RISPP_REQUIRE(b.time_share >= 0 && b.time_share <= 1,
+                  "time share must be a fraction");
+    time += b.time_share;
+  }
+  RISPP_REQUIRE(std::abs(time - 1.0) < 1e-6, "time shares must sum to 1");
+}
+
+AreaModel AreaModel::h264_default() {
+  // Synthetic GE calibration (see file comment): MC largest / 17 % time,
+  // ME smallest / dominant time, per the paper's Fig-1 narrative.
+  return AreaModel({
+      {.name = "ME", .gate_equivalents = 42'000, .time_share = 0.55},
+      {.name = "MC", .gate_equivalents = 96'000, .time_share = 0.17},
+      {.name = "TQ", .gate_equivalents = 61'000, .time_share = 0.18},
+      {.name = "LF", .gate_equivalents = 53'000, .time_share = 0.10},
+  });
+}
+
+double AreaModel::total_ge() const {
+  return std::accumulate(blocks_.begin(), blocks_.end(), 0.0,
+                         [](double acc, const FunctionalBlock& b) {
+                           return acc + b.gate_equivalents;
+                         });
+}
+
+double AreaModel::max_ge() const {
+  return std::max_element(blocks_.begin(), blocks_.end(),
+                          [](const FunctionalBlock& a, const FunctionalBlock& b) {
+                            return a.gate_equivalents < b.gate_equivalents;
+                          })
+      ->gate_equivalents;
+}
+
+double AreaModel::rispp_ge(double alpha) const {
+  RISPP_REQUIRE(alpha >= 1.0, "alpha must be >= 1 (headroom over GE_max)");
+  return alpha * max_ge();
+}
+
+double AreaModel::ge_saving_percent(double alpha) const {
+  return (total_ge() - rispp_ge(alpha)) * 100.0 / total_ge();
+}
+
+bool AreaModel::fits(double alpha, double ge_constraint) const {
+  return rispp_ge(alpha) <= ge_constraint;
+}
+
+double AreaModel::max_alpha(double ge_constraint) const {
+  RISPP_REQUIRE(ge_constraint >= max_ge(),
+                "constraint below GE_max: even alpha=1 does not fit");
+  return ge_constraint / max_ge();
+}
+
+}  // namespace rispp::hw

@@ -1,0 +1,34 @@
+#include "rispp/hw/atom_hw.hpp"
+
+#include <algorithm>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::hw {
+
+std::vector<AtomHardware> table1_atoms() {
+  return {
+      {.name = "Transform", .slices = 517, .luts = 1034, .bitstream_bytes = 59353},
+      {.name = "SATD", .slices = 407, .luts = 808, .bitstream_bytes = 58141},
+      {.name = "Pack", .slices = 406, .luts = 812, .bitstream_bytes = 65713},
+      {.name = "QuadSub", .slices = 352, .luts = 700, .bitstream_bytes = 58745},
+  };
+}
+
+std::vector<AtomHardware> auxiliary_atoms() {
+  return {
+      {.name = "Load", .slices = 180, .luts = 356, .bitstream_bytes = 57200},
+      {.name = "Add", .slices = 210, .luts = 420, .bitstream_bytes = 57480},
+      {.name = "Store", .slices = 175, .luts = 348, .bitstream_bytes = 57150},
+  };
+}
+
+const AtomHardware& find_atom(const std::vector<AtomHardware>& catalog,
+                              const std::string& name) {
+  const auto it = std::find_if(catalog.begin(), catalog.end(),
+                               [&](const AtomHardware& a) { return a.name == name; });
+  RISPP_REQUIRE(it != catalog.end(), "unknown atom: " + name);
+  return *it;
+}
+
+}  // namespace rispp::hw

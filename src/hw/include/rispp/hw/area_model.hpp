@@ -1,0 +1,67 @@
+#pragma once
+/// \file area_model.hpp
+/// \brief Gate-equivalent area model for the Fig-1 comparison between a
+/// classical extensible processor and RISPP.
+///
+/// Fig 1 contrasts, over the H.264 encoder's functional blocks — Motion
+/// Estimation (ME), Motion Compensation (MC), Transform & Quantization (TQ)
+/// and Loop Filter (LF) — the processing-time share of each block with the
+/// dedicated gate-equivalent (GE) area an extensible processor must provision
+/// for its Special Instructions. The extensible processor pays
+/// GE_total = Σ GE_block even though only one block's hardware is active at a
+/// time; RISPP provisions α·GE_max (the largest block plus rotation headroom)
+/// and time-multiplexes it, saving (GE_total − α·GE_max)·100/GE_total percent.
+///
+/// The paper's figure is schematic and gives no absolute GE values; the
+/// defaults below are synthetic but preserve the figure's two load-bearing
+/// facts: MC has the *largest* area yet only 17 % of the time, and ME has the
+/// *smallest* area yet the dominant time share (DESIGN.md §2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rispp::hw {
+
+/// One functional block of the target application (a cluster of hot spots).
+struct FunctionalBlock {
+  std::string name;
+  double gate_equivalents = 0;  ///< dedicated SI hardware for this block
+  double time_share = 0;        ///< fraction of total processing time, ∈ [0,1]
+};
+
+/// Area bookkeeping for Fig 1.
+class AreaModel {
+ public:
+  explicit AreaModel(std::vector<FunctionalBlock> blocks);
+
+  /// The H.264 encoder block mix used throughout the paper's motivation.
+  static AreaModel h264_default();
+
+  const std::vector<FunctionalBlock>& blocks() const { return blocks_; }
+
+  /// Σ GE over all blocks — the extensible processor's provisioning.
+  double total_ge() const;
+  /// max GE over all blocks — the biggest single hot-spot cluster.
+  double max_ge() const;
+
+  /// RISPP's provisioning: α·GE_max. α ≥ 1 trades rotation overhead headroom
+  /// against area ("scaling factor to find the trade-off points for rotation
+  /// overheads and performance preservation").
+  double rispp_ge(double alpha) const;
+
+  /// The paper's saving formula: (GE_total − α·GE_max)·100 / GE_total, in %.
+  double ge_saving_percent(double alpha) const;
+
+  /// True iff RISPP at this α fits under a given area constraint
+  /// (RISPP HW_required = α·GE_max ≤ GE_constraint).
+  bool fits(double alpha, double ge_constraint) const;
+
+  /// Largest α that still fits the constraint.
+  double max_alpha(double ge_constraint) const;
+
+ private:
+  std::vector<FunctionalBlock> blocks_;
+};
+
+}  // namespace rispp::hw

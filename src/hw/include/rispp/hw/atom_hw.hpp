@@ -1,0 +1,56 @@
+#pragma once
+/// \file atom_hw.hpp
+/// \brief Per-Atom hardware characteristics (paper Table 1) and the Atom
+/// Container geometry of the Virtex-II prototype.
+///
+/// The paper prototypes four Atoms on a Xilinx XC2V3000-6: each partially
+/// reconfigurable Atom Container (AC) is four CLB columns wide, spans the
+/// full device height, and comprises 1024 slices / 2048 4-input LUTs. The
+/// rotation (partial reconfiguration) time of an Atom is its bitstream size
+/// divided by the SelectMap transfer rate — the only hardware quantity the
+/// run-time system consumes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rispp::hw {
+
+/// Geometry of one Atom Container on the prototype FPGA.
+struct AtomContainerGeometry {
+  unsigned clb_columns = 4;    ///< width in CLB columns
+  unsigned slices = 1024;      ///< total slices per AC
+  unsigned luts = 2048;        ///< total 4-input LUTs per AC
+};
+
+/// Synthesis results for one Atom data path (one row of Table 1).
+struct AtomHardware {
+  std::string name;
+  unsigned slices = 0;          ///< occupied slices
+  unsigned luts = 0;            ///< occupied 4-input LUTs
+  std::uint32_t bitstream_bytes = 0;  ///< partial bitstream size
+
+  /// Fraction of an Atom Container's slices this Atom occupies.
+  double utilization(const AtomContainerGeometry& ac = {}) const {
+    return static_cast<double>(slices) / static_cast<double>(ac.slices);
+  }
+};
+
+/// The four synthesized Atoms of Table 1. The paper's rotation times
+/// (857.63 / 840.11 / 949.53 / 848.84 µs) follow from these bitstream sizes
+/// at the measured SelectMap rate of ≈69.2 MB/s (see ReconfigPort). Pack's
+/// bitstream is markedly larger because its AC covers an embedded BlockRAM
+/// row, exactly as the paper notes.
+std::vector<AtomHardware> table1_atoms();
+
+/// Synthetic hardware characteristics for the three data-mover Atoms of
+/// Table 2 (Load, Add, Store) that the paper uses in its Molecule tables but
+/// does not synthesize. Sized like QuadSub (simple ALU-ish data paths); the
+/// substitution is documented in DESIGN.md.
+std::vector<AtomHardware> auxiliary_atoms();
+
+/// Look up an atom by name in a catalog; throws PreconditionError if absent.
+const AtomHardware& find_atom(const std::vector<AtomHardware>& catalog,
+                              const std::string& name);
+
+}  // namespace rispp::hw

@@ -1,0 +1,24 @@
+#include "rispp/hw/reconfig_port.hpp"
+
+#include <cmath>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::hw {
+
+ReconfigPort::ReconfigPort(double bytes_per_us) : bytes_per_us_(bytes_per_us) {
+  RISPP_REQUIRE(bytes_per_us > 0.0, "reconfig bandwidth must be positive");
+}
+
+double ReconfigPort::rotation_time_us(std::uint32_t bitstream_bytes) const {
+  return static_cast<double>(bitstream_bytes) / bytes_per_us_;
+}
+
+std::uint64_t ReconfigPort::rotation_time_cycles(std::uint32_t bitstream_bytes,
+                                                 double clock_mhz) const {
+  RISPP_REQUIRE(clock_mhz > 0.0, "clock frequency must be positive");
+  return static_cast<std::uint64_t>(
+      std::llround(rotation_time_us(bitstream_bytes) * clock_mhz));
+}
+
+}  // namespace rispp::hw

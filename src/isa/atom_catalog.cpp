@@ -1,0 +1,68 @@
+#include "rispp/isa/atom_catalog.hpp"
+
+#include <algorithm>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::isa {
+
+AtomCatalog::AtomCatalog(std::vector<AtomInfo> atoms) : atoms_(std::move(atoms)) {
+  RISPP_REQUIRE(!atoms_.empty(), "catalog must contain at least one atom");
+  for (std::size_t i = 0; i < atoms_.size(); ++i)
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j)
+      RISPP_REQUIRE(atoms_[i].name != atoms_[j].name,
+                    "duplicate atom name: " + atoms_[i].name);
+}
+
+AtomCatalog AtomCatalog::h264() {
+  const auto hw_rot = hw::table1_atoms();
+  const auto hw_aux = hw::auxiliary_atoms();
+  // Catalog order matches the row order of the paper's Table 2.
+  return AtomCatalog({
+      {.name = "Load", .hardware = hw::find_atom(hw_aux, "Load"), .rotatable = false},
+      {.name = "QuadSub", .hardware = hw::find_atom(hw_rot, "QuadSub"), .rotatable = true},
+      {.name = "Pack", .hardware = hw::find_atom(hw_rot, "Pack"), .rotatable = true},
+      {.name = "Transform", .hardware = hw::find_atom(hw_rot, "Transform"), .rotatable = true},
+      {.name = "SATD", .hardware = hw::find_atom(hw_rot, "SATD"), .rotatable = true},
+      {.name = "Add", .hardware = hw::find_atom(hw_aux, "Add"), .rotatable = false},
+      {.name = "Store", .hardware = hw::find_atom(hw_aux, "Store"), .rotatable = false},
+  });
+}
+
+const AtomInfo& AtomCatalog::at(std::size_t i) const {
+  RISPP_REQUIRE(i < atoms_.size(), "atom index out of range");
+  return atoms_[i];
+}
+
+std::size_t AtomCatalog::index_of(const std::string& name) const {
+  const auto it = std::find_if(atoms_.begin(), atoms_.end(),
+                               [&](const AtomInfo& a) { return a.name == name; });
+  RISPP_REQUIRE(it != atoms_.end(), "unknown atom: " + name);
+  return static_cast<std::size_t>(it - atoms_.begin());
+}
+
+bool AtomCatalog::contains(const std::string& name) const {
+  return std::any_of(atoms_.begin(), atoms_.end(),
+                     [&](const AtomInfo& a) { return a.name == name; });
+}
+
+atom::Molecule AtomCatalog::project_rotatable(const atom::Molecule& m) const {
+  RISPP_REQUIRE(m.dimension() == size(), "molecule dimension mismatch");
+  atom::Molecule out(size());
+  for (std::size_t i = 0; i < size(); ++i)
+    if (atoms_[i].rotatable) out.set(i, m[i]);
+  return out;
+}
+
+std::uint64_t AtomCatalog::rotatable_determinant(const atom::Molecule& m) const {
+  return project_rotatable(m).determinant();
+}
+
+bool AtomCatalog::satisfied_by(const atom::Molecule& need,
+                               const atom::Molecule& loaded) const {
+  // Static components of `need` are zeroed by the projection, and 0 ≤ x for
+  // any loaded count, so only rotatable requirements constrain the answer.
+  return project_rotatable(need).leq(loaded);
+}
+
+}  // namespace rispp::isa

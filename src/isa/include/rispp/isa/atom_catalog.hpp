@@ -1,0 +1,68 @@
+#pragma once
+/// \file atom_catalog.hpp
+/// \brief The ordered set of Atom types an application binary is compiled
+/// against; fixes the dimension and component meaning of every Molecule.
+///
+/// The H.264 case study uses seven Atom types (Table 2): Load, QuadSub,
+/// Pack, Transform, SATD, Add, Store. Of these, the four *compute* Atoms —
+/// QuadSub, Pack, Transform, SATD — are the ones the paper synthesizes into
+/// partially reconfigurable Atom Containers (Table 1) and rotates at run
+/// time. Load/Add/Store are generic data-mover data paths provided by the
+/// static region next to the core; they appear in Molecule compositions but
+/// never occupy an Atom Container (see DESIGN.md §2 for the rationale).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rispp/atom/molecule.hpp"
+#include "rispp/hw/atom_hw.hpp"
+
+namespace rispp::isa {
+
+/// One Atom type: name, synthesis characteristics, and whether it lives in a
+/// rotatable Atom Container (true) or the static region (false).
+struct AtomInfo {
+  std::string name;
+  hw::AtomHardware hardware;
+  bool rotatable = true;
+};
+
+class AtomCatalog {
+ public:
+  explicit AtomCatalog(std::vector<AtomInfo> atoms);
+
+  /// The seven-Atom catalog of the H.264 case study. Rotatable Atoms carry
+  /// the Table 1 synthesis results; static Atoms carry the synthetic
+  /// auxiliary characteristics from hw::auxiliary_atoms().
+  static AtomCatalog h264();
+
+  std::size_t size() const { return atoms_.size(); }
+  const AtomInfo& at(std::size_t i) const;
+  const std::vector<AtomInfo>& atoms() const { return atoms_; }
+
+  /// Index of the named Atom; throws PreconditionError if unknown.
+  std::size_t index_of(const std::string& name) const;
+  bool contains(const std::string& name) const;
+
+  /// The zero Molecule of this catalog's dimension.
+  atom::Molecule zero() const { return atom::Molecule(size()); }
+
+  /// Copy of `m` with all static-Atom components zeroed — the part of a
+  /// Molecule that actually competes for Atom Containers.
+  atom::Molecule project_rotatable(const atom::Molecule& m) const;
+
+  /// Number of Atom Container slots `m` requires (determinant of the
+  /// rotatable projection).
+  std::uint64_t rotatable_determinant(const atom::Molecule& m) const;
+
+  /// True iff the rotatable part of `need` is covered by `loaded`
+  /// (static Atoms are always available).
+  bool satisfied_by(const atom::Molecule& need,
+                    const atom::Molecule& loaded) const;
+
+ private:
+  std::vector<AtomInfo> atoms_;
+};
+
+}  // namespace rispp::isa

@@ -1,0 +1,54 @@
+#pragma once
+/// \file io.hpp
+/// \brief Text serialization of Atom catalogs and SI libraries.
+///
+/// RISPP is only useful downstream if users can describe *their* instruction
+/// sets; this is the file format the examples and tools consume. It is
+/// line-oriented and diff-friendly:
+///
+/// ```
+/// # anything after '#' is a comment
+/// catalog
+///   atom QuadSub slices=352 luts=700 bitstream=58745 rotatable
+///   atom Load    slices=180 luts=356 bitstream=57200 static
+/// end
+///
+/// si SATD_4x4 software=544
+///   molecule cycles=24 QuadSub=1 Pack=1 Transform=1 SATD=1
+///   molecule cycles=22 QuadSub=1 Pack=1 Transform=2 SATD=1
+/// end
+/// ```
+///
+/// Atom references in molecules are by name; unknown names, duplicate
+/// sections, or malformed counts raise ParseError with the line number.
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "rispp/isa/si_library.hpp"
+
+namespace rispp::isa {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a complete library (one catalog section followed by one or more
+/// si sections).
+SiLibrary parse_si_library(std::istream& in);
+SiLibrary parse_si_library(const std::string& text);
+
+/// Writes a library in the same format; parse(write(lib)) reproduces the
+/// library exactly (round-trip pinned by tests).
+void write_si_library(std::ostream& out, const SiLibrary& lib);
+std::string write_si_library(const SiLibrary& lib);
+
+}  // namespace rispp::isa

@@ -1,0 +1,52 @@
+#pragma once
+/// \file si_library.hpp
+/// \brief A compiled application's Special Instruction set: the catalog of
+/// Atom types plus every SI with its Molecule options.
+
+#include <string>
+#include <vector>
+
+#include "rispp/isa/atom_catalog.hpp"
+#include "rispp/isa/special_instruction.hpp"
+
+namespace rispp::isa {
+
+class SiLibrary {
+ public:
+  SiLibrary(AtomCatalog catalog, std::vector<SpecialInstruction> sis);
+
+  /// The H.264 case-study library: HT_2x2, HT_4x4, DCT_4x4, SATD_4x4 with
+  /// the 30 Molecule compositions of the paper's Table 2 (cell values
+  /// reconstructed where the available scan is illegible; see EXPERIMENTS.md
+  /// "Table 2" for the per-cell provenance).
+  static SiLibrary h264();
+
+  /// h264() plus the SAD SI the paper sketches for Integer-Pixel Motion
+  /// Estimation ("QuadSub and SATD can also be combined to form an SI that
+  /// can execute the SAD operation") — the future-work extension that
+  /// attacks the Amdahl limit of Fig 12.
+  static SiLibrary h264_with_sad();
+
+  /// The frame-level library behind the Fig-1 study: all of h264_with_sad()
+  /// plus Motion Compensation (MC_HPEL_4x4, MC_QPEL_4x4 over SixTap/Clip
+  /// Atoms) and Loop Filter (LF_EDGE_4 over EdgeFilter/Clip) — one SI
+  /// cluster per functional block (ME / MC / TQ / LF), so a whole encode
+  /// frame rotates through several incompatible hot spots. The three extra
+  /// Atoms carry synthetic synthesis data (documented in DESIGN.md §2).
+  static SiLibrary h264_frame();
+
+  const AtomCatalog& catalog() const { return catalog_; }
+  const std::vector<SpecialInstruction>& sis() const { return sis_; }
+
+  const SpecialInstruction& find(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  std::size_t index_of(const std::string& name) const;
+  const SpecialInstruction& at(std::size_t i) const;
+  std::size_t size() const { return sis_.size(); }
+
+ private:
+  AtomCatalog catalog_;
+  std::vector<SpecialInstruction> sis_;
+};
+
+}  // namespace rispp::isa

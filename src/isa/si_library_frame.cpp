@@ -1,0 +1,128 @@
+/// The frame-level H.264 library: the Table-2 SIs plus MC and LF clusters.
+/// This is the instruction set behind the Fig-1 motivation — four functional
+/// blocks (ME / MC / TQ / LF) whose hot-spot hardware cannot all be resident
+/// at once on a rotating platform, and does not need to be.
+
+#include "rispp/isa/si_library.hpp"
+
+namespace rispp::isa {
+
+namespace {
+
+// Extended catalog order: the 7 Table-2 atoms (indices identical to
+// AtomCatalog::h264(), so base molecules embed by zero-padding) followed by
+//   7 SixTap | 8 Clip | 9 EdgeFilter
+AtomCatalog frame_catalog() {
+  auto base = AtomCatalog::h264().atoms();
+  auto hw = [](const char* name, unsigned slices, std::uint32_t bytes) {
+    return hw::AtomHardware{.name = name, .slices = slices,
+                            .luts = slices * 2, .bitstream_bytes = bytes};
+  };
+  base.push_back({.name = "SixTap", .hardware = hw("SixTap", 560, 60800),
+                  .rotatable = true});
+  base.push_back({.name = "Clip", .hardware = hw("Clip", 220, 57300),
+                  .rotatable = true});
+  base.push_back({.name = "EdgeFilter", .hardware = hw("EdgeFilter", 470, 59000),
+                  .rotatable = true});
+  return AtomCatalog(std::move(base));
+}
+
+// Catalog component order:
+//  0 Load | 1 QuadSub | 2 Pack | 3 Transform | 4 SATD | 5 Add | 6 Store |
+//  7 SixTap | 8 Clip | 9 EdgeFilter
+atom::Molecule mol(atom::Count load, atom::Count sixtap, atom::Count clip,
+                   atom::Count edge, atom::Count add, atom::Count store) {
+  atom::Molecule m(10);
+  m.set(0, load);
+  m.set(5, add);
+  m.set(6, store);
+  m.set(7, sixtap);
+  m.set(8, clip);
+  m.set(9, edge);
+  return m;
+}
+
+/// Half-pel interpolation of a 4x4 block: 6-tap rows/columns through the
+/// SixTap Atom, rounding/clamping through Clip.
+SpecialInstruction make_mc_hpel() {
+  return SpecialInstruction(
+      "MC_HPEL_4x4", /*software_cycles=*/620,
+      {
+          {mol(1, 1, 1, 0, 1, 1), 30},
+          {mol(2, 2, 1, 0, 1, 1), 22},
+          {mol(2, 2, 2, 0, 1, 1), 18},
+          {mol(4, 4, 2, 0, 1, 1), 14},
+          {mol(4, 4, 4, 0, 1, 1), 12},
+      });
+}
+
+/// Quarter-pel: half-pel plus the rounded average (Add + Clip paths).
+SpecialInstruction make_mc_qpel() {
+  return SpecialInstruction(
+      "MC_QPEL_4x4", /*software_cycles=*/380,
+      {
+          {mol(1, 1, 1, 0, 1, 1), 20},
+          {mol(2, 2, 2, 0, 1, 1), 12},
+          {mol(4, 4, 4, 0, 1, 1), 8},
+      });
+}
+
+/// Decoder-side inverse transform: reuses the Transform Atom (the inverse
+/// butterfly is the same add/subtract flow with the >>1 input multiplexers,
+/// Fig 9) and Pack, plus Add for the prediction + residual reconstruction.
+SpecialInstruction make_idct() {
+  auto m = [](atom::Count load, atom::Count pack, atom::Count transform,
+              atom::Count add, atom::Count store) {
+    atom::Molecule out(10);
+    out.set(0, load);
+    out.set(2, pack);
+    out.set(3, transform);
+    out.set(5, add);
+    out.set(6, store);
+    return out;
+  };
+  return SpecialInstruction(
+      "IDCT_4x4", /*software_cycles=*/440,
+      {
+          {m(1, 1, 1, 1, 1), 22},
+          {m(1, 1, 2, 1, 1), 18},
+          {m(2, 2, 2, 1, 1), 15},
+          {m(4, 2, 2, 2, 1), 12},
+          {m(4, 4, 4, 2, 1), 9},
+      });
+}
+
+/// Deblocking of one 4-pixel edge line (bs<4 filter).
+SpecialInstruction make_lf_edge() {
+  return SpecialInstruction(
+      "LF_EDGE_4", /*software_cycles=*/240,
+      {
+          {mol(1, 0, 1, 1, 0, 1), 16},
+          {mol(1, 0, 1, 2, 0, 1), 11},
+          {mol(2, 0, 2, 2, 0, 1), 9},
+          {mol(2, 0, 2, 4, 0, 1), 7},
+      });
+}
+
+}  // namespace
+
+SiLibrary SiLibrary::h264_frame() {
+  auto catalog = frame_catalog();
+  const auto base = SiLibrary::h264_with_sad();
+
+  std::vector<SpecialInstruction> sis;
+  for (const auto& si : base.sis()) {
+    std::vector<MoleculeOption> options;
+    options.reserve(si.options().size());
+    for (const auto& o : si.options())
+      options.push_back({o.atoms.resized(catalog.size()), o.cycles});
+    sis.emplace_back(si.name(), si.software_cycles(), std::move(options));
+  }
+  sis.push_back(make_mc_hpel());
+  sis.push_back(make_mc_qpel());
+  sis.push_back(make_idct());
+  sis.push_back(make_lf_edge());
+  return SiLibrary(std::move(catalog), std::move(sis));
+}
+
+}  // namespace rispp::isa

@@ -1,0 +1,117 @@
+#include "rispp/rt/container.hpp"
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::rt {
+
+ContainerFile::ContainerFile(unsigned count, const isa::AtomCatalog& catalog)
+    : catalog_(&catalog) {
+  RISPP_REQUIRE(count > 0, "need at least one atom container");
+  containers_.resize(count);
+  for (unsigned i = 0; i < count; ++i) containers_[i].id = i;
+}
+
+const AtomContainer& ContainerFile::at(unsigned i) const {
+  RISPP_REQUIRE(i < containers_.size(), "container index out of range");
+  return containers_[i];
+}
+
+void ContainerFile::refresh(Cycle now) {
+  for (auto& c : containers_) {
+    if (c.loading && now >= c.ready_at) {
+      c.atom = c.loading;
+      c.loading.reset();
+    }
+  }
+}
+
+atom::Molecule ContainerFile::available_atoms(Cycle now) const {
+  atom::Molecule m(catalog_->size());
+  for (const auto& c : containers_) {
+    if (c.loading && now >= c.ready_at) {
+      m.set(*c.loading, m[*c.loading] + 1);  // finished but not refreshed yet
+    } else if (c.atom && !c.loading) {
+      m.set(*c.atom, m[*c.atom] + 1);
+    }
+  }
+  return m;
+}
+
+atom::Molecule ContainerFile::committed_atoms() const {
+  atom::Molecule m(catalog_->size());
+  for (const auto& c : containers_) {
+    const auto kind = c.loading ? c.loading : c.atom;
+    if (kind) m.set(*kind, m[*kind] + 1);
+  }
+  return m;
+}
+
+void ContainerFile::start_rotation(unsigned c, std::size_t atom_kind,
+                                   Cycle ready_at, int owner_task) {
+  RISPP_REQUIRE(c < containers_.size(), "container index out of range");
+  RISPP_REQUIRE(atom_kind < catalog_->size(), "atom kind out of range");
+  RISPP_REQUIRE(catalog_->at(atom_kind).rotatable,
+                "static atoms are never rotated into containers");
+  auto& ac = containers_[c];
+  // The old content becomes unusable the moment reconfiguration begins.
+  ac.atom.reset();
+  ac.loading = atom_kind;
+  ac.ready_at = ready_at;
+  ac.owner_task = owner_task;
+}
+
+void ContainerFile::abort_rotation(unsigned c) {
+  RISPP_REQUIRE(c < containers_.size(), "container index out of range");
+  auto& ac = containers_[c];
+  RISPP_REQUIRE(ac.loading.has_value(), "no rotation to abort");
+  ac.loading.reset();
+  ac.atom.reset();
+  ac.ready_at = 0;
+  ac.owner_task = kNoTask;
+}
+
+void ContainerFile::touch(const atom::Molecule& used, Cycle now) {
+  // Mark one container per required atom instance as used; LRU order makes
+  // the marking deterministic.
+  atom::Molecule remaining = used;
+  for (auto& c : containers_) {
+    if (!c.atom || c.loading) continue;
+    if (remaining[*c.atom] > 0) {
+      remaining.set(*c.atom, remaining[*c.atom] - 1);
+      c.last_used = now;
+    }
+  }
+}
+
+std::optional<unsigned> ContainerFile::choose_victim(
+    const atom::Molecule& target, Cycle now, VictimPolicy policy) const {
+  // Empty containers first.
+  for (const auto& c : containers_)
+    if (!c.atom && !c.loading) return c.id;
+
+  // Count committed instances per kind; a container is expendable when its
+  // kind's committed count exceeds the target's demand for that kind.
+  const auto committed = committed_atoms();
+  std::optional<unsigned> victim;
+  Cycle best_ts = 0;
+  atom::Molecule excess = committed.saturating_sub(target);
+  for (const auto& c : containers_) {
+    if (c.busy(now)) continue;  // cannot preempt an in-flight transfer
+    const auto kind = c.loading ? c.loading : c.atom;
+    if (!kind) continue;
+    if (excess[*kind] == 0) continue;
+    bool better = false;
+    switch (policy) {
+      case VictimPolicy::LruExcess: better = !victim || c.last_used < best_ts; break;
+      case VictimPolicy::MruExcess: better = !victim || c.last_used > best_ts; break;
+      case VictimPolicy::RoundRobinExcess: better = !victim; break;  // first id
+    }
+    if (better) {
+      victim = c.id;
+      best_ts = c.last_used;
+    }
+  }
+  return victim;
+}
+
+}  // namespace rispp::rt

@@ -1,0 +1,90 @@
+#pragma once
+/// \file container.hpp
+/// \brief Atom Containers (ACs) — the partially reconfigurable slots that
+/// hold Atom instances at run time (paper §5, Fig 6).
+///
+/// Each AC holds at most one Atom. A rotation replaces the AC's content; the
+/// old Atom becomes unusable the moment the rotation starts, the new one
+/// usable when the bitstream transfer completes. ACs have a task *owner*
+/// for replacement policy only — any task may execute SIs on any loaded
+/// Atom (Fig 6, T3: Task B's SI runs on containers that 'belong' to Task A).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rispp/atom/molecule.hpp"
+#include "rispp/isa/atom_catalog.hpp"
+
+namespace rispp::rt {
+
+using Cycle = std::uint64_t;
+constexpr int kNoTask = -1;
+
+/// Which expendable container a new rotation replaces. Candidates are
+/// always restricted to containers whose committed content exceeds the
+/// target configuration (needed atoms are never evicted); the policy picks
+/// among them.
+enum class VictimPolicy {
+  LruExcess,        ///< least-recently-used excess container (default)
+  MruExcess,        ///< most-recently-used — an adversarial anti-policy
+  RoundRobinExcess, ///< lowest container id first
+};
+
+struct AtomContainer {
+  unsigned id = 0;
+  /// Atom kind currently usable in this container (catalog index).
+  std::optional<std::size_t> atom;
+  /// Atom kind being rotated in; usable from ready_at onwards.
+  std::optional<std::size_t> loading;
+  Cycle ready_at = 0;
+  int owner_task = kNoTask;
+  Cycle last_used = 0;
+
+  bool busy(Cycle now) const { return loading.has_value() && now < ready_at; }
+};
+
+/// The file of all ACs plus aggregate views the selection logic needs.
+class ContainerFile {
+ public:
+  ContainerFile(unsigned count, const isa::AtomCatalog& catalog);
+
+  unsigned size() const { return static_cast<unsigned>(containers_.size()); }
+  const AtomContainer& at(unsigned i) const;
+
+  /// Promote finished rotations (loading → atom). Must be called with a
+  /// monotonically non-decreasing `now`.
+  void refresh(Cycle now);
+
+  /// Atom instances usable *right now* (completed, not being overwritten).
+  atom::Molecule available_atoms(Cycle now) const;
+
+  /// Atom instances the file is committed to after all in-flight rotations
+  /// finish — what the selection logic must diff its target against.
+  atom::Molecule committed_atoms() const;
+
+  /// Begin a rotation: container `c` will hold `atom_kind` at `ready_at`.
+  void start_rotation(unsigned c, std::size_t atom_kind, Cycle ready_at,
+                      int owner_task);
+
+  /// Abort a rotation whose transfer was cancelled before it started: the
+  /// container becomes empty (its previous content was already given up
+  /// when the rotation was issued).
+  void abort_rotation(unsigned c);
+
+  /// Record an SI execution touching the given atom kinds (LRU update).
+  void touch(const atom::Molecule& used, Cycle now);
+
+  /// Pick the container to sacrifice for a new rotation: prefer empty, then
+  /// an excess container per `policy`. Returns nullopt when every container
+  /// is needed by `target` (or busy with an in-flight transfer).
+  std::optional<unsigned> choose_victim(
+      const atom::Molecule& target, Cycle now,
+      VictimPolicy policy = VictimPolicy::LruExcess) const;
+
+ private:
+  std::vector<AtomContainer> containers_;
+  const isa::AtomCatalog* catalog_;
+};
+
+}  // namespace rispp::rt

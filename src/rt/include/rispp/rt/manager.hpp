@@ -1,0 +1,171 @@
+#pragma once
+/// \file manager.hpp
+/// \brief The RISPP run-time manager (paper §5): monitors forecasts and SI
+/// executions, selects Molecules, schedules rotations, and answers every SI
+/// invocation with the best currently-possible execution.
+///
+/// The manager implements the three run-time tasks of §5:
+///  (a) monitoring FCs and SIs to fine-tune the compile-time profile values,
+///  (b) selecting/composing Molecules for a subset of the forecasted SIs,
+///  (c) scheduling rotations and replacing Atoms.
+///
+/// Executions never block on hardware: an SI whose Molecule is not (yet)
+/// loaded runs its software Molecule, and upgrades to progressively faster
+/// hardware Molecules as rotations complete (Fig 6, T1–T5).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rispp/forecast/forecast_pass.hpp"
+#include "rispp/hw/reconfig_port.hpp"
+#include "rispp/isa/si_library.hpp"
+#include "rispp/rt/container.hpp"
+#include "rispp/rt/energy.hpp"
+#include "rispp/rt/rotation.hpp"
+#include "rispp/rt/selection.hpp"
+#include "rispp/util/stats.hpp"
+
+namespace rispp::rt {
+
+struct RtConfig {
+  unsigned atom_containers = 4;
+  double clock_mhz = 100.0;
+  hw::ReconfigPort port{};
+  /// EWMA factor for blending observed executions into the forecast
+  /// expectations (monitoring task (a)); 0 disables learning.
+  double learning_rate = 0.5;
+  /// Power model for the energy meter (execution / rotation / leakage).
+  PowerModel power{};
+  /// Replacement policy for rotation victims (ablation knob).
+  VictimPolicy victim_policy = VictimPolicy::LruExcess;
+  /// Cancel queued (not yet started) transfers that a reallocation made
+  /// stale — the port slot is wasted but the container frees immediately
+  /// and the stale atom never loads. Default off (the prototype's
+  /// fire-and-forget SelectMap feed); ablation in bench/ablation_replacement.
+  bool cancel_stale_rotations = false;
+  /// Cost-aware reallocation: rotate towards a new configuration only when
+  /// its expected benefit (weighted cycles saved) exceeds factor × the
+  /// rotation transfer cost. 0 = eager rotation (rotate whenever the
+  /// selector finds any improvement). Prevents thrash when short-lived
+  /// demands appear between releases; bench/ablation_monitoring shows the
+  /// effect.
+  double rotation_cost_factor = 0.0;
+  /// Record a structured event trace (Fig 6 timelines); benches running
+  /// millions of SIs switch this off.
+  bool record_events = true;
+};
+
+struct RtEvent {
+  enum class Kind {
+    Forecast,
+    ForecastRelease,
+    Reallocation,
+    RotationStart,
+    RotationDone,
+    RotationCancelled,
+    ExecuteHw,
+    ExecuteSw,
+  };
+  Cycle at = 0;
+  Kind kind{};
+  std::size_t si_index = static_cast<std::size_t>(-1);
+  std::optional<std::size_t> atom_kind;
+  std::optional<unsigned> container;
+  int task = kNoTask;
+  std::uint32_t cycles = 0;  ///< execution latency for Execute* events
+};
+
+const char* to_string(RtEvent::Kind k);
+
+class RisppManager {
+ public:
+  RisppManager(const isa::SiLibrary& lib, RtConfig cfg);
+
+  /// --- forecast interface (§5a) -------------------------------------
+  /// An FC for `si` fires: the SI is expected `expected_executions` times
+  /// with the given probability. Triggers reallocation.
+  void forecast(std::size_t si, double expected_executions, double probability,
+                Cycle now, int task = kNoTask);
+
+  /// The forecast states the SI "is no longer needed" *by this task*: that
+  /// demand is dropped, its containers become replacement victims, and the
+  /// remaining demands are reallocated (Fig 6, T2). Another task's demand
+  /// for the same SI stays active.
+  void forecast_release(std::size_t si, Cycle now, int task = kNoTask);
+
+  /// Convenience: fire every point of an FC block from the compile-time
+  /// plan, with run-time fine-tuned expectations.
+  void on_fc_block(const forecast::FcBlock& block, Cycle now,
+                   int task = kNoTask);
+
+  /// --- execution interface ------------------------------------------
+  struct ExecResult {
+    std::uint32_t cycles = 0;
+    bool hardware = false;
+    const isa::MoleculeOption* molecule = nullptr;  ///< null for software
+  };
+
+  /// Executes one SI invocation at `now` and returns its latency. Updates
+  /// monitoring statistics and container LRU state.
+  ExecResult execute(std::size_t si, Cycle now, int task = kNoTask);
+
+  /// Re-evaluates the allocation without a new forecast — used after
+  /// rotations complete when a previous reallocation was blocked by
+  /// in-flight transfers.
+  void poll(Cycle now);
+
+  /// --- state inspection -----------------------------------------------
+  atom::Molecule available_atoms(Cycle now);
+  atom::Molecule committed_atoms() const { return containers_.committed_atoms(); }
+  const ContainerFile& containers() const { return containers_; }
+  const std::vector<RtEvent>& events() const { return events_; }
+  const util::Counters& counters() const { return counters_; }
+  std::uint64_t rotations_performed() const {
+    return rotations_.rotations_performed();
+  }
+  std::uint64_t rotations_cancelled() const {
+    return rotations_.rotations_cancelled();
+  }
+  /// Active (not yet released) forecast demands, aggregated per SI across
+  /// tasks (weights sum; the selector sees one demand per SI).
+  std::vector<ForecastDemand> active_demands() const;
+  /// Expectation the monitor currently holds for an SI (compile-time value
+  /// blended with observed behaviour); nullopt if never forecasted.
+  std::optional<double> learned_expectation(std::size_t si) const;
+
+  /// Energy spent so far (execution + rotation + leakage of loaded atoms).
+  const EnergyMeter& energy() const { return energy_; }
+  /// Total slices of the atoms currently loaded in containers.
+  std::uint64_t loaded_slices() const;
+
+  const isa::SiLibrary& library() const { return *lib_; }
+  const RtConfig& config() const { return cfg_; }
+
+ private:
+  void reallocate(Cycle now);
+  void record(RtEvent e);
+
+  const isa::SiLibrary* lib_;
+  RtConfig cfg_;
+  ContainerFile containers_;
+  RotationScheduler rotations_;
+  GreedySelector selector_;
+  EnergyMeter energy_;
+
+  struct DemandState {
+    ForecastDemand demand;
+    std::uint64_t observed_executions = 0;  ///< since the forecast fired
+  };
+  /// Keyed by (SI index, forecasting task) — quasi-parallel tasks hold
+  /// independent demands on the same SI.
+  std::map<std::pair<std::size_t, int>, DemandState> active_;
+  std::map<std::size_t, double> learned_;  ///< EWMA over release cycles
+
+  std::vector<RtEvent> events_;
+  util::Counters counters_;
+};
+
+}  // namespace rispp::rt

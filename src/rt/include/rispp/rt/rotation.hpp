@@ -1,0 +1,69 @@
+#pragma once
+/// \file rotation.hpp
+/// \brief The rotation scheduler: serializes Atom transfers over the single
+/// reconfiguration port (paper §5c, Table 1).
+///
+/// The prototype has one SelectMap port, so rotations are strictly
+/// sequential and non-preemptive: once a transfer has *started* it always
+/// completes. Transfers that are still queued behind the port may
+/// optionally be cancelled when a reallocation makes them stale
+/// (RtConfig::cancel_stale_rotations); the port then idles through the
+/// vacated slot — bookings that were already announced keep their times.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rispp/hw/reconfig_port.hpp"
+#include "rispp/isa/atom_catalog.hpp"
+#include "rispp/rt/container.hpp"
+
+namespace rispp::rt {
+
+class RotationScheduler {
+ public:
+  RotationScheduler(hw::ReconfigPort port, double clock_mhz);
+
+  struct Booking {
+    Cycle start = 0;
+    Cycle done = 0;
+    unsigned container = 0;
+    std::size_t atom_kind = 0;
+  };
+
+  /// Books the transfer of `atom_kind`'s bitstream into `container`,
+  /// starting no earlier than `now`; returns the completion cycle.
+  Cycle schedule(Cycle now, std::size_t atom_kind,
+                 const isa::AtomCatalog& catalog, unsigned container = 0);
+
+  /// Cancels the pending booking for `container` if (and only if) its
+  /// transfer has not started by `now`. Returns true when cancelled. The
+  /// port slot is NOT re-packed — later bookings keep their announced
+  /// times.
+  bool cancel_pending(unsigned container, Cycle now);
+
+  /// The not-yet-started booking for a container, if any.
+  std::optional<Booking> pending_for(unsigned container, Cycle now) const;
+
+  /// Cycle until which the port is occupied.
+  Cycle busy_until() const { return busy_until_; }
+
+  /// Duration of one rotation of the given atom kind, in cycles.
+  Cycle duration_cycles(std::size_t atom_kind,
+                        const isa::AtomCatalog& catalog) const;
+
+  std::uint64_t rotations_performed() const { return rotations_; }
+  std::uint64_t rotations_cancelled() const { return cancelled_; }
+
+ private:
+  void prune(Cycle now);
+
+  hw::ReconfigPort port_;
+  double clock_mhz_;
+  Cycle busy_until_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::vector<Booking> bookings_;  ///< pending/in-flight, pruned lazily
+};
+
+}  // namespace rispp::rt

@@ -1,0 +1,76 @@
+#pragma once
+/// \file selection.hpp
+/// \brief Run-time Molecule selection (paper §5b): given the currently
+/// forecasted SIs and the Atom Container budget, decide which Atoms the
+/// platform should converge to.
+///
+/// The selector is greedy over *upgrade steps*: starting from the empty
+/// configuration it repeatedly applies the (SI, Molecule) upgrade with the
+/// highest marginal benefit per additionally required container, where the
+/// benefit of an upgrade weighs the SI's forecasted executions against the
+/// cycles saved over its currently best-supported execution (software when
+/// nothing fits). The resulting *step sequence* is as important as the final
+/// target: rotations are issued in step order, which is what makes an SI
+/// upgrade gradually — software → minimal Molecule → faster Molecules —
+/// exactly the "Rotation in Advance" behaviour of Fig 6.
+
+#include <cstdint>
+#include <vector>
+
+#include "rispp/atom/molecule.hpp"
+#include "rispp/isa/si_library.hpp"
+
+namespace rispp::rt {
+
+/// One forecasted SI with its run-time-updated expectation values.
+struct ForecastDemand {
+  std::size_t si_index = 0;
+  double expected_executions = 0.0;
+  double probability = 1.0;
+  int task = -1;
+
+  double weight() const { return expected_executions * probability; }
+};
+
+/// One greedy upgrade step: after loading `additional` Atoms, SI `si_index`
+/// runs in `new_cycles` instead of `old_cycles`.
+struct SelectionStep {
+  std::size_t si_index = 0;
+  atom::Molecule additional;  ///< rotatable Atoms this step adds
+  std::uint32_t old_cycles = 0;
+  std::uint32_t new_cycles = 0;
+  double gain_per_container = 0.0;
+  int task = -1;
+};
+
+struct SelectionPlan {
+  atom::Molecule target;             ///< rotatable Atom configuration
+  std::vector<SelectionStep> steps;  ///< in application order
+};
+
+class GreedySelector {
+ public:
+  explicit GreedySelector(const isa::SiLibrary& lib) : lib_(&lib) {}
+
+  /// Plans the target configuration for `containers` AC slots. The plan's
+  /// steps start from the empty configuration; the caller diffs the target
+  /// against what is already loaded.
+  SelectionPlan plan(const std::vector<ForecastDemand>& demands,
+                     std::uint64_t containers) const;
+
+  /// Exhaustive reference for small instances (tests/ablation): enumerates
+  /// all combinations of per-SI Molecule options (including software) and
+  /// returns the feasible configuration with maximal total benefit.
+  SelectionPlan exhaustive(const std::vector<ForecastDemand>& demands,
+                           std::uint64_t containers) const;
+
+  /// Total expected benefit (weighted cycles saved vs all-software) of a
+  /// configuration for the given demands.
+  double benefit(const atom::Molecule& config,
+                 const std::vector<ForecastDemand>& demands) const;
+
+ private:
+  const isa::SiLibrary* lib_;
+};
+
+}  // namespace rispp::rt

@@ -1,0 +1,247 @@
+#include "rispp/rt/manager.hpp"
+
+#include <algorithm>
+
+#include "rispp/util/error.hpp"
+#include "rispp/util/log.hpp"
+
+namespace rispp::rt {
+
+const char* to_string(RtEvent::Kind k) {
+  switch (k) {
+    case RtEvent::Kind::Forecast: return "forecast";
+    case RtEvent::Kind::ForecastRelease: return "forecast-release";
+    case RtEvent::Kind::Reallocation: return "reallocation";
+    case RtEvent::Kind::RotationStart: return "rotation-start";
+    case RtEvent::Kind::RotationDone: return "rotation-done";
+    case RtEvent::Kind::RotationCancelled: return "rotation-cancelled";
+    case RtEvent::Kind::ExecuteHw: return "execute-hw";
+    case RtEvent::Kind::ExecuteSw: return "execute-sw";
+  }
+  return "?";
+}
+
+RisppManager::RisppManager(const isa::SiLibrary& lib, RtConfig cfg)
+    : lib_(&lib),
+      cfg_(cfg),
+      containers_(cfg.atom_containers, lib.catalog()),
+      rotations_(cfg.port, cfg.clock_mhz),
+      selector_(lib),
+      energy_(cfg.power, cfg.clock_mhz) {}
+
+std::uint64_t RisppManager::loaded_slices() const {
+  std::uint64_t slices = 0;
+  for (unsigned i = 0; i < containers_.size(); ++i) {
+    const auto& c = containers_.at(i);
+    const auto kind = c.loading ? c.loading : c.atom;
+    if (kind) slices += lib_->catalog().at(*kind).hardware.slices;
+  }
+  return slices;
+}
+
+void RisppManager::record(RtEvent e) {
+  if (cfg_.record_events) events_.push_back(e);
+}
+
+void RisppManager::forecast(std::size_t si, double expected_executions,
+                            double probability, Cycle now, int task) {
+  RISPP_REQUIRE(si < lib_->size(), "SI index out of range");
+  RISPP_REQUIRE(expected_executions >= 0, "expectation must be non-negative");
+  RISPP_REQUIRE(probability > 0 && probability <= 1,
+                "probability must be in (0,1]");
+
+  // Monitoring (a): blend the compile-time value with what previous
+  // forecast→release windows actually observed.
+  double expectation = expected_executions;
+  if (const auto it = learned_.find(si); it != learned_.end())
+    expectation = cfg_.learning_rate * it->second +
+                  (1.0 - cfg_.learning_rate) * expected_executions;
+
+  auto& state = active_[{si, task}];
+  state.demand = ForecastDemand{si, expectation, probability, task};
+  state.observed_executions = 0;
+
+  counters_.bump("forecasts");
+  record({.at = now, .kind = RtEvent::Kind::Forecast, .si_index = si,
+          .task = task});
+  RISPP_DEBUG << "forecast " << lib_->at(si).name() << " E=" << expectation
+              << " p=" << probability << " @" << now;
+  reallocate(now);
+}
+
+void RisppManager::forecast_release(std::size_t si, Cycle now, int task) {
+  const auto it = active_.find({si, task});
+  if (it == active_.end()) return;
+
+  // Learn from this window: what did the SI actually execute?
+  const double observed =
+      static_cast<double>(it->second.observed_executions);
+  if (const auto l = learned_.find(si); l != learned_.end())
+    l->second = cfg_.learning_rate * observed +
+                (1.0 - cfg_.learning_rate) * l->second;
+  else
+    learned_[si] = observed;
+
+  active_.erase(it);
+  counters_.bump("forecast_releases");
+  record({.at = now, .kind = RtEvent::Kind::ForecastRelease, .si_index = si});
+  reallocate(now);
+}
+
+void RisppManager::on_fc_block(const forecast::FcBlock& block, Cycle now,
+                               int task) {
+  for (const auto& p : block.points)
+    forecast(p.si_index, p.expected_executions, p.probability, now, task);
+}
+
+void RisppManager::reallocate(Cycle now) {
+  containers_.refresh(now);
+  energy_.advance_leakage(now, loaded_slices());
+  counters_.bump("reallocations");
+  record({.at = now, .kind = RtEvent::Kind::Reallocation});
+
+  const auto demands = active_demands();
+  const auto plan = selector_.plan(demands, containers_.size());
+
+  // Cost-aware gate: skip the whole reconfiguration when the expected gain
+  // over the *current* configuration does not pay for the transfers.
+  if (cfg_.rotation_cost_factor > 0.0) {
+    const auto current = containers_.committed_atoms();
+    const double gain = selector_.benefit(plan.target, demands) -
+                        selector_.benefit(current, demands);
+    const auto needed =
+        lib_->catalog().project_rotatable(current).residual_to(plan.target);
+    double cost_cycles = 0;
+    for (std::size_t k = 0; k < needed.dimension(); ++k)
+      if (needed[k] > 0)
+        cost_cycles += static_cast<double>(needed[k]) *
+                       static_cast<double>(
+                           rotations_.duration_cycles(k, lib_->catalog()));
+    if (cost_cycles > 0 && gain <= cfg_.rotation_cost_factor * cost_cycles)
+      return;
+  }
+
+  // Optionally cancel queued transfers the new plan no longer wants: the
+  // port slot is lost, but the container frees immediately and the stale
+  // atom never occupies it.
+  if (cfg_.cancel_stale_rotations) {
+    for (unsigned c = 0; c < containers_.size(); ++c) {
+      const auto pending = rotations_.pending_for(c, now);
+      if (!pending) continue;
+      const auto kind = pending->atom_kind;
+      const auto committed = containers_.committed_atoms();
+      if (committed[kind] <= plan.target[kind]) continue;  // still wanted
+      if (rotations_.cancel_pending(c, now)) {
+        containers_.abort_rotation(c);
+        energy_.refund_rotation(pending->done - pending->start);
+        counters_.bump("rotations_cancelled");
+        // The completion event recorded at issue time will never happen.
+        if (cfg_.record_events)
+          std::erase_if(events_, [&](const RtEvent& e) {
+            return e.kind == RtEvent::Kind::RotationDone && e.container &&
+                   *e.container == c && e.at == pending->done;
+          });
+        record({.at = now, .kind = RtEvent::Kind::RotationCancelled,
+                .atom_kind = kind, .container = c});
+      }
+    }
+  }
+
+  // Issue rotations in greedy step order — most valuable upgrades first —
+  // so SIs come online gradually (minimal Molecule before refinements).
+  // `cum` is the configuration the plan wants after each step; rotations
+  // fill the gap between it and what the containers are committed to.
+  atom::Molecule cum(lib_->catalog().size());
+  for (const auto& step : plan.steps) {
+    cum = cum.plus(step.additional);
+    for (std::size_t kind = 0; kind < cum.dimension(); ++kind) {
+      while (containers_.committed_atoms()[kind] < cum[kind]) {
+        const auto victim =
+            containers_.choose_victim(plan.target, now, cfg_.victim_policy);
+        if (!victim) return;  // all remaining containers busy or needed;
+                              // the next forecast event retries
+        const Cycle done =
+            rotations_.schedule(now, kind, lib_->catalog(), *victim);
+        containers_.start_rotation(*victim, kind, done, step.task);
+        energy_.add_rotation(rotations_.duration_cycles(kind, lib_->catalog()));
+        counters_.bump("rotations");
+        record({.at = now, .kind = RtEvent::Kind::RotationStart,
+                .si_index = step.si_index, .atom_kind = kind,
+                .container = *victim, .task = step.task});
+        record({.at = done, .kind = RtEvent::Kind::RotationDone,
+                .si_index = step.si_index, .atom_kind = kind,
+                .container = *victim, .task = step.task});
+      }
+    }
+  }
+}
+
+void RisppManager::poll(Cycle now) { reallocate(now); }
+
+RisppManager::ExecResult RisppManager::execute(std::size_t si, Cycle now,
+                                               int task) {
+  RISPP_REQUIRE(si < lib_->size(), "SI index out of range");
+  containers_.refresh(now);
+  energy_.advance_leakage(now, loaded_slices());
+
+  // Monitoring: an execution counts against every active window for this
+  // SI (the task parameter attributes container ownership, not usage).
+  for (auto& [key, state] : active_)
+    if (key.first == si) ++state.observed_executions;
+
+  const auto& instr = lib_->at(si);
+  const auto loaded = containers_.available_atoms(now);
+  const auto* opt = instr.fastest_supported(loaded, lib_->catalog());
+
+  ExecResult res;
+  if (opt) {
+    res = {opt->cycles, true, opt};
+    energy_.add_execution(opt->cycles, true);
+    containers_.touch(lib_->catalog().project_rotatable(opt->atoms), now);
+    counters_.bump("si_exec_hw");
+    record({.at = now, .kind = RtEvent::Kind::ExecuteHw, .si_index = si,
+            .task = task, .cycles = opt->cycles});
+  } else {
+    res = {instr.software_cycles(), false, nullptr};
+    energy_.add_execution(instr.software_cycles(), false);
+    counters_.bump("si_exec_sw");
+    record({.at = now, .kind = RtEvent::Kind::ExecuteSw, .si_index = si,
+            .task = task, .cycles = instr.software_cycles()});
+  }
+  return res;
+}
+
+atom::Molecule RisppManager::available_atoms(Cycle now) {
+  containers_.refresh(now);
+  return containers_.available_atoms(now);
+}
+
+std::vector<ForecastDemand> RisppManager::active_demands() const {
+  // Aggregate per SI: weights (expectation × probability) sum across tasks;
+  // ownership goes to the heaviest contributor.
+  std::map<std::size_t, ForecastDemand> merged;
+  for (const auto& [key, state] : active_) {
+    const auto& d = state.demand;
+    auto [it, inserted] = merged.emplace(key.first, d);
+    if (inserted) {
+      // Normalize so weight() is preserved under probability = 1.
+      it->second.expected_executions = d.weight();
+      it->second.probability = 1.0;
+      continue;
+    }
+    if (d.weight() > it->second.expected_executions) it->second.task = d.task;
+    it->second.expected_executions += d.weight();
+  }
+  std::vector<ForecastDemand> out;
+  out.reserve(merged.size());
+  for (const auto& [si, d] : merged) out.push_back(d);
+  return out;
+}
+
+std::optional<double> RisppManager::learned_expectation(std::size_t si) const {
+  const auto it = learned_.find(si);
+  if (it == learned_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace rispp::rt

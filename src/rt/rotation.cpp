@@ -1,0 +1,58 @@
+#include "rispp/rt/rotation.hpp"
+
+#include <algorithm>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::rt {
+
+RotationScheduler::RotationScheduler(hw::ReconfigPort port, double clock_mhz)
+    : port_(port), clock_mhz_(clock_mhz) {
+  RISPP_REQUIRE(clock_mhz > 0, "clock frequency must be positive");
+}
+
+Cycle RotationScheduler::duration_cycles(std::size_t atom_kind,
+                                         const isa::AtomCatalog& catalog) const {
+  return port_.rotation_time_cycles(catalog.at(atom_kind).hardware.bitstream_bytes,
+                                    clock_mhz_);
+}
+
+void RotationScheduler::prune(Cycle now) {
+  std::erase_if(bookings_, [&](const Booking& b) { return b.done <= now; });
+}
+
+Cycle RotationScheduler::schedule(Cycle now, std::size_t atom_kind,
+                                  const isa::AtomCatalog& catalog,
+                                  unsigned container) {
+  prune(now);
+  const Cycle start = std::max(now, busy_until_);
+  const Cycle done = start + duration_cycles(atom_kind, catalog);
+  busy_until_ = done;
+  ++rotations_;
+  bookings_.push_back(Booking{start, done, container, atom_kind});
+  return done;
+}
+
+std::optional<RotationScheduler::Booking> RotationScheduler::pending_for(
+    unsigned container, Cycle now) const {
+  for (const auto& b : bookings_)
+    if (b.container == container && b.start > now && b.done > now) return b;
+  return std::nullopt;
+}
+
+bool RotationScheduler::cancel_pending(unsigned container, Cycle now) {
+  const auto it =
+      std::find_if(bookings_.begin(), bookings_.end(), [&](const Booking& b) {
+        return b.container == container && b.start > now && b.done > now;
+      });
+  if (it == bookings_.end()) return false;
+  // The port idles through the vacated slot: later bookings keep the times
+  // they were announced with, so container ready_at values stay valid.
+  bookings_.erase(it);
+  ++cancelled_;
+  RISPP_ENSURE(rotations_ > 0, "cancelled more rotations than scheduled");
+  --rotations_;
+  return true;
+}
+
+}  // namespace rispp::rt

@@ -1,0 +1,97 @@
+#include "rispp/rt/selection.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::rt {
+
+SelectionPlan GreedySelector::plan(const std::vector<ForecastDemand>& demands,
+                                   std::uint64_t containers) const {
+  const auto& cat = lib_->catalog();
+  SelectionPlan out;
+  out.target = cat.zero();
+
+  while (true) {
+    const auto used = cat.rotatable_determinant(out.target);
+    SelectionStep best;
+    bool found = false;
+
+    for (const auto& d : demands) {
+      if (d.weight() <= 0) continue;
+      const auto& si = lib_->at(d.si_index);
+      const auto current = si.cycles_with(out.target, cat);
+      for (const auto& opt : si.options()) {
+        if (opt.cycles >= current) continue;
+        const auto need = cat.project_rotatable(
+            out.target.residual_to(cat.project_rotatable(opt.atoms)));
+        const auto k = need.determinant();
+        if (k == 0) continue;  // already supported (cycles check caught it)
+        if (used + k > containers) continue;
+        const double gain =
+            d.weight() * static_cast<double>(current - opt.cycles) /
+            static_cast<double>(k);
+        if (!found || gain > best.gain_per_container) {
+          best = SelectionStep{
+              .si_index = d.si_index,
+              .additional = need,
+              .old_cycles = current,
+              .new_cycles = opt.cycles,
+              .gain_per_container = gain,
+              .task = d.task,
+          };
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    out.target = out.target.plus(best.additional);
+    out.steps.push_back(best);
+  }
+  return out;
+}
+
+double GreedySelector::benefit(const atom::Molecule& config,
+                               const std::vector<ForecastDemand>& demands) const {
+  const auto& cat = lib_->catalog();
+  double total = 0.0;
+  for (const auto& d : demands) {
+    const auto& si = lib_->at(d.si_index);
+    const auto cycles = si.cycles_with(config, cat);
+    total += d.weight() *
+             static_cast<double>(si.software_cycles() - cycles);
+  }
+  return total;
+}
+
+SelectionPlan GreedySelector::exhaustive(
+    const std::vector<ForecastDemand>& demands,
+    std::uint64_t containers) const {
+  const auto& cat = lib_->catalog();
+  SelectionPlan best;
+  best.target = cat.zero();
+  double best_benefit = 0.0;
+
+  // Enumerate one option choice (or software = no atoms) per demanded SI;
+  // the configuration is the union of the chosen options' rotatable atoms.
+  std::function<void(std::size_t, atom::Molecule)> recurse =
+      [&](std::size_t i, atom::Molecule config) {
+        if (cat.rotatable_determinant(config) > containers) return;
+        if (i == demands.size()) {
+          const double b = benefit(config, demands);
+          if (b > best_benefit) {
+            best_benefit = b;
+            best.target = config;
+          }
+          return;
+        }
+        recurse(i + 1, config);  // software execution for SI i
+        for (const auto& opt : lib_->at(demands[i].si_index).options())
+          recurse(i + 1, config.unite(cat.project_rotatable(opt.atoms)));
+      };
+  recurse(0, cat.zero());
+  return best;
+}
+
+}  // namespace rispp::rt

@@ -1,0 +1,92 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief Cycle-level trace simulator: replays multi-task workloads against
+/// the RISPP run-time manager on a single time-sliced core.
+///
+/// This is the substrate substituting for the paper's DLX-on-Virtex-II
+/// prototype (DESIGN.md §2): every quantity the evaluation reports — cycles
+/// per SI, per macroblock, rotations performed, software-vs-hardware
+/// execution mix — comes out of this model. Tasks are interleaved round-
+/// robin with a configurable quantum, which is what makes the Fig-6
+/// "quasi-parallel tasks sharing Atom Containers" scenario expressible.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rispp/isa/si_library.hpp"
+#include "rispp/rt/manager.hpp"
+#include "rispp/sim/trace.hpp"
+
+namespace rispp::sim {
+
+struct SimConfig {
+  rt::RtConfig rt{};
+  /// Round-robin quantum in cycles. Compute intervals are sliced at quantum
+  /// granularity; SI invocations are atomic.
+  std::uint64_t quantum = 10000;
+  /// Re-evaluate blocked reallocations at every task switch.
+  bool poll_on_switch = true;
+};
+
+struct SiStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t hw_invocations = 0;
+  std::uint64_t sw_invocations = 0;
+  std::uint64_t total_cycles = 0;
+};
+
+struct TimelineEntry {
+  rt::Cycle at = 0;
+  std::string task;
+  std::string text;
+};
+
+struct SimResult {
+  rt::Cycle total_cycles = 0;
+  std::map<std::string, rt::Cycle> task_cycles;  ///< busy cycles per task
+  std::map<std::string, SiStats> per_si;          ///< keyed by SI name
+  std::vector<TimelineEntry> timeline;            ///< Label ops
+  std::vector<rt::RtEvent> rt_events;             ///< manager event trace
+  std::uint64_t rotations = 0;
+  /// Energy spent (nJ): execution, rotation, loaded-atom leakage.
+  double energy_execution_nj = 0;
+  double energy_rotation_nj = 0;
+  double energy_leakage_nj = 0;
+  double energy_total_nj = 0;
+
+  const SiStats& si(const std::string& name) const;
+};
+
+class Simulator {
+ public:
+  Simulator(const isa::SiLibrary& lib, SimConfig cfg);
+
+  void add_task(TaskDef task);
+
+  /// Runs all tasks to completion and returns the aggregate result. The
+  /// manager (and thus loaded Atoms) persists across run() calls, so
+  /// steady-state studies can run a warm-up workload first.
+  SimResult run();
+
+  rt::RisppManager& manager() { return manager_; }
+  const rt::RisppManager& manager() const { return manager_; }
+  rt::Cycle now() const { return now_; }
+
+ private:
+  struct TaskState {
+    TaskDef def;
+    std::size_t op = 0;              ///< next trace op
+    std::uint64_t op_progress = 0;   ///< consumed cycles / SI repetitions
+    rt::Cycle busy = 0;              ///< accumulated busy cycles
+    bool done() const { return op >= def.trace.size(); }
+  };
+
+  const isa::SiLibrary* lib_;
+  SimConfig cfg_;
+  rt::RisppManager manager_;
+  std::vector<TaskState> tasks_;
+  rt::Cycle now_ = 0;
+};
+
+}  // namespace rispp::sim

@@ -1,0 +1,53 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Task traces — the instruction-level abstraction the simulator
+/// executes.
+///
+/// A trace is the sequence of externally visible actions of one task:
+/// plain-core compute intervals, SI invocations, and the Forecast points the
+/// compile-time pass injected. Workload models (h264::, aes::) generate
+/// traces; the simulator replays them against the run-time manager.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rispp::sim {
+
+struct TraceOp {
+  enum class Kind {
+    Compute,   ///< `cycles` of plain core work
+    Si,        ///< `count` back-to-back invocations of SI `si_index`
+    Forecast,  ///< FC fires: SI expected `expected` times with `probability`
+    Release,   ///< forecast states the SI is no longer needed
+    Label,     ///< timeline marker (Fig 6's T₀…T₅ annotations)
+  };
+
+  Kind kind = Kind::Compute;
+  std::uint64_t cycles = 0;       ///< Compute
+  std::size_t si_index = 0;       ///< Si / Forecast / Release
+  std::uint64_t count = 1;        ///< Si
+  double expected = 0.0;          ///< Forecast
+  double probability = 1.0;       ///< Forecast
+  std::string text;               ///< Label
+
+  static TraceOp compute(std::uint64_t cycles);
+  static TraceOp si(std::size_t si_index, std::uint64_t count = 1);
+  static TraceOp forecast(std::size_t si_index, double expected,
+                          double probability = 1.0);
+  static TraceOp release(std::size_t si_index);
+  static TraceOp label(std::string text);
+};
+
+using Trace = std::vector<TraceOp>;
+
+struct TaskDef {
+  std::string name;
+  Trace trace;
+};
+
+/// Appends `body` to `trace` `times` times (loop unrolling helper for
+/// workload generators).
+void repeat(Trace& trace, const Trace& body, std::uint64_t times);
+
+}  // namespace rispp::sim

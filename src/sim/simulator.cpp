@@ -1,0 +1,111 @@
+#include "rispp/sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::sim {
+
+const SiStats& SimResult::si(const std::string& name) const {
+  const auto it = per_si.find(name);
+  RISPP_REQUIRE(it != per_si.end(), "no stats for SI: " + name);
+  return it->second;
+}
+
+Simulator::Simulator(const isa::SiLibrary& lib, SimConfig cfg)
+    : lib_(&lib), cfg_(cfg), manager_(lib, cfg.rt) {
+  RISPP_REQUIRE(cfg.quantum > 0, "quantum must be positive");
+}
+
+void Simulator::add_task(TaskDef task) {
+  RISPP_REQUIRE(!task.name.empty(), "task needs a name");
+  for (const auto& op : task.trace)
+    if (op.kind == TraceOp::Kind::Si || op.kind == TraceOp::Kind::Forecast ||
+        op.kind == TraceOp::Kind::Release)
+      RISPP_REQUIRE(op.si_index < lib_->size(),
+                    "trace references unknown SI in task " + task.name);
+  tasks_.push_back(TaskState{std::move(task), 0, 0, 0});
+}
+
+SimResult Simulator::run() {
+  SimResult result;
+
+  auto any_running = [&] {
+    return std::any_of(tasks_.begin(), tasks_.end(),
+                       [](const TaskState& t) { return !t.done(); });
+  };
+
+  std::size_t current = 0;
+  while (any_running()) {
+    // Pick the next runnable task, round-robin.
+    while (tasks_[current].done()) current = (current + 1) % tasks_.size();
+    TaskState& task = tasks_[current];
+    const int task_id = static_cast<int>(current);
+
+    if (cfg_.poll_on_switch) manager_.poll(now_);
+
+    // Run this task for up to one quantum of busy cycles.
+    std::uint64_t budget = cfg_.quantum;
+    while (budget > 0 && !task.done()) {
+      TraceOp& op = task.def.trace[task.op];
+      switch (op.kind) {
+        case TraceOp::Kind::Compute: {
+          const std::uint64_t remaining = op.cycles - task.op_progress;
+          const std::uint64_t step = std::min(remaining, budget);
+          now_ += step;
+          task.busy += step;
+          budget -= step;
+          task.op_progress += step;
+          if (task.op_progress >= op.cycles) {
+            ++task.op;
+            task.op_progress = 0;
+          }
+          break;
+        }
+        case TraceOp::Kind::Si: {
+          const auto exec = manager_.execute(op.si_index, now_, task_id);
+          now_ += exec.cycles;
+          task.busy += exec.cycles;
+          budget -= std::min<std::uint64_t>(budget, exec.cycles);
+          auto& stats = result.per_si[lib_->at(op.si_index).name()];
+          ++stats.invocations;
+          exec.hardware ? ++stats.hw_invocations : ++stats.sw_invocations;
+          stats.total_cycles += exec.cycles;
+          if (++task.op_progress >= op.count) {
+            ++task.op;
+            task.op_progress = 0;
+          }
+          break;
+        }
+        case TraceOp::Kind::Forecast:
+          manager_.forecast(op.si_index, op.expected, op.probability, now_,
+                            task_id);
+          ++task.op;
+          break;
+        case TraceOp::Kind::Release:
+          manager_.forecast_release(op.si_index, now_, task_id);
+          ++task.op;
+          break;
+        case TraceOp::Kind::Label:
+          result.timeline.push_back({now_, task.def.name, op.text});
+          ++task.op;
+          break;
+      }
+    }
+    current = (current + 1) % tasks_.size();
+  }
+
+  result.total_cycles = now_;
+  for (const auto& t : tasks_) result.task_cycles[t.def.name] = t.busy;
+  result.rt_events = manager_.events();
+  result.rotations = manager_.rotations_performed();
+  manager_.poll(now_);  // settle leakage integration up to the end of time
+  const auto& e = manager_.energy();
+  result.energy_execution_nj = e.execution_nj();
+  result.energy_rotation_nj = e.rotation_nj();
+  result.energy_leakage_nj = e.leakage_nj();
+  result.energy_total_nj = e.total_nj();
+  return result;
+}
+
+}  // namespace rispp::sim

@@ -1,0 +1,53 @@
+#include "rispp/sim/trace.hpp"
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::sim {
+
+TraceOp TraceOp::compute(std::uint64_t cycles) {
+  TraceOp op;
+  op.kind = Kind::Compute;
+  op.cycles = cycles;
+  return op;
+}
+
+TraceOp TraceOp::si(std::size_t si_index, std::uint64_t count) {
+  RISPP_REQUIRE(count > 0, "SI op needs a positive count");
+  TraceOp op;
+  op.kind = Kind::Si;
+  op.si_index = si_index;
+  op.count = count;
+  return op;
+}
+
+TraceOp TraceOp::forecast(std::size_t si_index, double expected,
+                          double probability) {
+  TraceOp op;
+  op.kind = Kind::Forecast;
+  op.si_index = si_index;
+  op.expected = expected;
+  op.probability = probability;
+  return op;
+}
+
+TraceOp TraceOp::release(std::size_t si_index) {
+  TraceOp op;
+  op.kind = Kind::Release;
+  op.si_index = si_index;
+  return op;
+}
+
+TraceOp TraceOp::label(std::string text) {
+  TraceOp op;
+  op.kind = Kind::Label;
+  op.text = std::move(text);
+  return op;
+}
+
+void repeat(Trace& trace, const Trace& body, std::uint64_t times) {
+  trace.reserve(trace.size() + body.size() * times);
+  for (std::uint64_t i = 0; i < times; ++i)
+    trace.insert(trace.end(), body.begin(), body.end());
+}
+
+}  // namespace rispp::sim

@@ -1,0 +1,26 @@
+#include "rispp/util/csv.hpp"
+
+namespace rispp::util {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace rispp::util

@@ -1,0 +1,38 @@
+#pragma once
+/// \file csv.hpp
+/// \brief Minimal CSV writer so benches can dump machine-readable series
+/// alongside their human-readable tables.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rispp::util {
+
+/// Streams RFC-4180-style CSV rows to any std::ostream. Cells containing
+/// commas, quotes or newlines are quoted and inner quotes doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void row(const std::vector<std::string>& cells);
+
+  /// Variadic convenience: csv.row("a", 1, 2.5);
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> v{to_cell(cells)...};
+    row(v);
+  }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    return std::to_string(v);
+  }
+  static std::string escape(const std::string& cell);
+  std::ostream& out_;
+};
+
+}  // namespace rispp::util

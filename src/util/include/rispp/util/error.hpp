@@ -1,0 +1,61 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error handling primitives shared by all RISPP modules.
+
+#include <stdexcept>
+#include <string>
+
+namespace rispp::util {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant of the library is broken. Seeing this
+/// exception always indicates a bug in RISPP itself, never in client code.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a simulation model is driven into a state it cannot represent
+/// (e.g. scheduling a rotation on a port that was torn down).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed: " + expr +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+[[noreturn]] inline void raise_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": invariant violated: " + expr +
+                       (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace rispp::util
+
+/// Check a documented precondition of a public entry point.
+#define RISPP_REQUIRE(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::rispp::util::detail::raise_precondition(#expr, __FILE__, __LINE__,  \
+                                                (msg));                     \
+  } while (false)
+
+/// Check an internal invariant; failures are library bugs.
+#define RISPP_ENSURE(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::rispp::util::detail::raise_invariant(#expr, __FILE__, __LINE__,  \
+                                             (msg));                     \
+  } while (false)

@@ -1,0 +1,62 @@
+#pragma once
+/// \file log.hpp
+/// \brief Leveled logging for the run-time system and simulator.
+///
+/// The simulator's Fig-6-style event narration is driven through this logger
+/// at Level::Trace; benches run with Level::Warn so their table output stays
+/// clean.
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace rispp::util {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Process-global logger. Sinks default to stderr; tests install a capture
+/// sink to assert on run-time system decisions.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel lvl);
+  static LogLevel level();
+  static void set_sink(Sink sink);
+  /// Restore the default stderr sink.
+  static void reset_sink();
+
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+  static void write(LogLevel lvl, const std::string& msg);
+
+  static const char* level_name(LogLevel lvl);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rispp::util
+
+#define RISPP_LOG(lvl)                                   \
+  if (!::rispp::util::Log::enabled(lvl)) {               \
+  } else                                                 \
+    ::rispp::util::detail::LogLine(lvl)
+
+#define RISPP_TRACE RISPP_LOG(::rispp::util::LogLevel::Trace)
+#define RISPP_DEBUG RISPP_LOG(::rispp::util::LogLevel::Debug)
+#define RISPP_INFO RISPP_LOG(::rispp::util::LogLevel::Info)
+#define RISPP_WARN RISPP_LOG(::rispp::util::LogLevel::Warn)

@@ -1,0 +1,73 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming statistics accumulators used by the simulator and benches.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rispp::util {
+
+/// Welford-style streaming accumulator: O(1) memory, numerically stable
+/// mean/variance, plus min/max and total.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double total() const { return total_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Merge another accumulator into this one (parallel-merge formula).
+  void merge(const Accumulator& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double total_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples land in
+/// saturating edge buckets so no sample is ever silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+  /// Render as a compact ASCII bar chart (for bench output).
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Named counter set — the simulator exposes its event counts through this.
+class Counters {
+ public:
+  void bump(const std::string& key, std::uint64_t by = 1) { map_[key] += by; }
+  std::uint64_t get(const std::string& key) const;
+  const std::map<std::string, std::uint64_t>& all() const { return map_; }
+
+ private:
+  std::map<std::string, std::uint64_t> map_;
+};
+
+}  // namespace rispp::util

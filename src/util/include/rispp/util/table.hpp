@@ -1,0 +1,43 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned plain-text tables — every bench prints the paper's
+/// tables/figures through this so outputs are uniform and diffable.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rispp::util {
+
+/// Column-aligned text table with a header row and optional title.
+///
+/// Usage:
+/// \code
+///   TextTable t{"SI", "Opt.SW", "4 Atoms"};
+///   t.add_row({"SATD_4x4", "544", "24"});
+///   std::cout << t.str();
+/// \endcode
+class TextTable {
+ public:
+  TextTable() = default;
+  TextTable(std::initializer_list<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+  /// Convenience: format an integer with thousands separators (1,234,567).
+  static std::string grouped(long long v);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::string str() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rispp::util

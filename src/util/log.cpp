@@ -1,0 +1,61 @@
+#include "rispp/util/log.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace rispp::util {
+
+namespace {
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::Warn;
+Log::Sink g_sink;  // empty → default stderr sink
+
+void default_sink(LogLevel lvl, const std::string& msg) {
+  std::cerr << "[" << Log::level_name(lvl) << "] " << msg << "\n";
+}
+}  // namespace
+
+void Log::set_level(LogLevel lvl) {
+  std::lock_guard lock(g_mutex);
+  g_level = lvl;
+}
+
+LogLevel Log::level() {
+  std::lock_guard lock(g_mutex);
+  return g_level;
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::reset_sink() {
+  std::lock_guard lock(g_mutex);
+  g_sink = nullptr;
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  Sink sink;
+  {
+    std::lock_guard lock(g_mutex);
+    if (lvl < g_level) return;
+    sink = g_sink;
+  }
+  if (sink) sink(lvl, msg);
+  else default_sink(lvl, msg);
+}
+
+const char* Log::level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace rispp::util

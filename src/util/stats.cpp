@@ -1,0 +1,105 @@
+#include "rispp/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  total_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return n_ ? mean_ : 0.0; }
+
+double Accumulator::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  RISPP_REQUIRE(n_ > 0, "min() of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  RISPP_REQUIRE(n_ > 0, "max() of empty accumulator");
+  return max_;
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nab = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  mean_ += delta * nb / nab;
+  n_ += other.n_;
+  total_ += other.total_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  RISPP_REQUIRE(hi > lo, "histogram range must be non-empty");
+  RISPP_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  RISPP_REQUIRE(i < counts_.size(), "bucket index out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return bucket_lo(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        peak ? static_cast<std::size_t>(counts_[i] * width / peak) : 0;
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+std::uint64_t Counters::get(const std::string& key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second;
+}
+
+}  // namespace rispp::util

@@ -1,0 +1,84 @@
+#include "rispp/workload/graph_walk.hpp"
+
+#include <set>
+
+#include "rispp/util/error.hpp"
+#include "rispp/util/rng.hpp"
+
+namespace rispp::workload {
+
+sim::Trace walk_graph(const cfg::BBGraph& g, const forecast::FcPlan& plan,
+                      const isa::SiLibrary& lib, const WalkParams& params,
+                      WalkStats* stats) {
+  g.validate();
+  util::Xoshiro256 rng(params.seed);
+
+  sim::Trace trace;
+  WalkStats local;
+  std::uint64_t pending_compute = 0;
+  std::set<std::size_t> forecasted_sis;
+
+  auto flush_compute = [&] {
+    if (pending_compute > 0) {
+      trace.push_back(sim::TraceOp::compute(pending_compute));
+      pending_compute = 0;
+    }
+  };
+
+  cfg::BlockId current = g.entry();
+  for (std::uint64_t step = 0; step < params.max_steps; ++step) {
+    ++local.steps;
+    const auto& block = g.block(current);
+
+    // Forecast points of this block fire *before* its body executes — the
+    // whole point is lead time.
+    if (params.emit_forecasts) {
+      if (const auto* fb = plan.find(current)) {
+        flush_compute();
+        for (const auto& p : fb->points) {
+          RISPP_REQUIRE(p.si_index < lib.size(),
+                        "forecast plan references unknown SI");
+          trace.push_back(sim::TraceOp::forecast(
+              p.si_index, p.expected_executions, p.probability));
+          forecasted_sis.insert(p.si_index);
+          ++local.forecasts;
+        }
+      }
+    }
+
+    pending_compute += block.cycles;
+    for (const auto& u : block.si_usages) {
+      flush_compute();
+      trace.push_back(sim::TraceOp::si(u.si_index, u.per_execution));
+      local.si_invocations += u.per_execution;
+    }
+
+    // Choose the successor by profiled probability.
+    const auto& outs = g.out_edges(current);
+    if (outs.empty()) {
+      local.reached_sink = true;
+      break;
+    }
+    double pick = rng.uniform01();
+    cfg::BlockId next = g.edges()[outs.back()].to;
+    for (auto ei : outs) {
+      const double p = g.edge_probability(ei);
+      if (pick < p) {
+        next = g.edges()[ei].to;
+        break;
+      }
+      pick -= p;
+    }
+    current = next;
+  }
+  flush_compute();
+
+  if (params.release_at_sinks && local.reached_sink) {
+    for (auto si : forecasted_sis)
+      trace.push_back(sim::TraceOp::release(si));
+  }
+  if (stats) *stats = local;
+  return trace;
+}
+
+}  // namespace rispp::workload

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "rispp/aes/aes128.hpp"
+#include "rispp/aes/graph.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::aes;
+
+// FIPS-197 Appendix B: single-block example.
+const Key kFipsKey = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+const Block kFipsPlain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                          0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+const Block kFipsCipher = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                           0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+
+// FIPS-197 Appendix C.1 (AES-128 known answer).
+const Key kKatKey = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                     0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+const Block kKatPlain = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                         0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+const Block kKatCipher = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                          0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+
+TEST(Aes128, Fips197AppendixBVector) {
+  const auto ks = expand_key(kFipsKey);
+  EXPECT_EQ(encrypt_block(kFipsPlain, ks), kFipsCipher);
+}
+
+TEST(Aes128, Fips197AppendixC1Vector) {
+  const auto ks = expand_key(kKatKey);
+  EXPECT_EQ(encrypt_block(kKatPlain, ks), kKatCipher);
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  const auto ks = expand_key(kFipsKey);
+  EXPECT_EQ(decrypt_block(kFipsCipher, ks), kFipsPlain);
+  EXPECT_EQ(decrypt_block(encrypt_block(kKatPlain, ks), ks), kKatPlain);
+}
+
+TEST(Aes128, KeyExpansionFirstAndLastWords) {
+  // FIPS-197 A.1: w4 = a0fafe17, w43 = b6630ca6.
+  const auto ks = expand_key(kFipsKey);
+  EXPECT_EQ(ks[16], 0xa0);
+  EXPECT_EQ(ks[17], 0xfa);
+  EXPECT_EQ(ks[18], 0xfe);
+  EXPECT_EQ(ks[19], 0x17);
+  EXPECT_EQ(ks[172], 0xb6);
+  EXPECT_EQ(ks[173], 0x63);
+  EXPECT_EQ(ks[174], 0x0c);
+  EXPECT_EQ(ks[175], 0xa6);
+}
+
+TEST(Aes128, EcbRoundTrip) {
+  std::vector<std::uint8_t> plain(160);
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    plain[i] = static_cast<std::uint8_t>(i * 7);
+  std::vector<std::uint8_t> cipher(plain.size()), back(plain.size());
+  encrypt_ecb(plain.data(), cipher.data(), plain.size(), kKatKey);
+  EXPECT_NE(cipher, plain);
+  decrypt_ecb(cipher.data(), back.data(), cipher.size(), kKatKey);
+  EXPECT_EQ(back, plain);
+}
+
+TEST(Aes128, EcbRejectsPartialBlocks) {
+  std::vector<std::uint8_t> buf(17);
+  EXPECT_THROW(encrypt_ecb(buf.data(), buf.data(), 17, kKatKey),
+               rispp::util::PreconditionError);
+}
+
+TEST(AesSiLibrary, StructureAndSharing) {
+  const auto lib = si_library();
+  EXPECT_EQ(lib.size(), 3u);
+  EXPECT_EQ(lib.catalog().size(), 4u);
+  // SBox is shared between SUBBYTES and KEYEXPAND — cross-SI atom reuse.
+  const auto sbox = lib.catalog().index_of("SBox");
+  EXPECT_GT(lib.find("SUBBYTES").options().front().atoms[sbox], 0u);
+  EXPECT_GT(lib.find("KEYEXPAND").options().front().atoms[sbox], 0u);
+  // Every SI's hardware beats its software molecule.
+  for (const auto& si : lib.sis())
+    for (const auto& o : si.options())
+      EXPECT_LT(o.cycles, si.software_cycles());
+}
+
+TEST(AesGraph, StructureMirrorsTheImplementation) {
+  AesGraphIds ids{};
+  const auto g = build_graph(1000, &ids);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.entry(), ids.entry);
+  EXPECT_EQ(g.block(ids.round_loop_head).exec_count, 9000u);
+  EXPECT_EQ(g.block(ids.final_round).exec_count, 1000u);
+  EXPECT_EQ(g.block(ids.key_expand_loop).exec_count, 40u);
+}
+
+TEST(AesGraph, ProfileIsFlowConsistent) {
+  // For every block: executions in = executions out (source/sink ±1).
+  AesGraphIds ids{};
+  const auto g = build_graph(500, &ids);
+  for (rispp::cfg::BlockId b = 0; b < g.block_count(); ++b) {
+    std::uint64_t in = 0, out = 0;
+    for (auto ei : g.in_edges(b)) in += g.edges()[ei].count;
+    for (auto ei : g.out_edges(b)) out += g.edges()[ei].count;
+    if (b == g.entry()) in += 1;       // program entry
+    if (g.out_edges(b).empty()) continue;  // sink
+    EXPECT_EQ(in, g.block(b).exec_count) << g.block(b).name;
+    EXPECT_EQ(out, g.block(b).exec_count) << g.block(b).name;
+  }
+}
+
+TEST(AesGraph, SiUsageSitesPresent) {
+  const auto lib = si_library();
+  AesGraphIds ids{};
+  const auto g = build_graph(100, &ids);
+  EXPECT_EQ(g.usage_sites(lib.index_of("MIXCOLUMNS")),
+            (std::vector<rispp::cfg::BlockId>{ids.mixcolumns}));
+  // SUBBYTES is used in the round body and the final round.
+  EXPECT_EQ(g.usage_sites(lib.index_of("SUBBYTES")).size(), 2u);
+  // 9·100 + 100 final-round invocations.
+  EXPECT_EQ(g.total_si_invocations(lib.index_of("SUBBYTES")), 1000u);
+}
+
+TEST(AesGraph, ProfileMatchesInstrumentedExecution) {
+  // The BB-graph's hand-calibrated profile weights must equal what the real
+  // cipher actually executes — this is what makes the Fig-3 artifact an
+  // honest substitute for the authors' profiling tool-chain.
+  constexpr std::uint64_t kBlocks = 137;
+  std::vector<std::uint8_t> buf(16 * kBlocks, 0xAB);
+  std::vector<std::uint8_t> out(buf.size());
+  StageCounters counters;
+  encrypt_ecb_counted(buf.data(), out.data(), buf.size(), kKatKey, counters);
+
+  AesGraphIds ids{};
+  const auto g = build_graph(kBlocks, &ids);
+  EXPECT_EQ(g.block(ids.block_loop_head).exec_count, counters.blocks);
+  EXPECT_EQ(g.block(ids.subbytes_shiftrows).exec_count, counters.rounds);
+  EXPECT_EQ(g.block(ids.mixcolumns).exec_count, counters.mixcolumns);
+  EXPECT_EQ(g.block(ids.final_round).exec_count, counters.final_rounds);
+  EXPECT_EQ(g.block(ids.key_expand_loop).exec_count,
+            counters.key_schedule_words);
+  // The instrumented path must still encrypt correctly.
+  std::vector<std::uint8_t> plain_again(buf.size());
+  decrypt_ecb(out.data(), plain_again.data(), out.size(), kKatKey);
+  EXPECT_EQ(plain_again, buf);
+}
+
+TEST(AesGraph, RejectsZeroBlocks) {
+  EXPECT_THROW(build_graph(0), rispp::util::PreconditionError);
+}
+
+}  // namespace

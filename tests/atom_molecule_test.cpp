@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "rispp/atom/molecule.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using rispp::atom::Molecule;
+using rispp::util::PreconditionError;
+
+TEST(Molecule, ZeroConstruction) {
+  const Molecule z(4);
+  EXPECT_EQ(z.dimension(), 4u);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.determinant(), 0u);
+}
+
+TEST(Molecule, InitializerList) {
+  const Molecule m{1, 0, 2, 1};
+  EXPECT_EQ(m.dimension(), 4u);
+  EXPECT_EQ(m[0], 1u);
+  EXPECT_EQ(m[2], 2u);
+  EXPECT_EQ(m.determinant(), 4u);
+  EXPECT_FALSE(m.is_zero());
+}
+
+TEST(Molecule, UniteIsElementwiseMax) {
+  const Molecule a{1, 3, 0};
+  const Molecule b{2, 1, 0};
+  EXPECT_EQ(a.unite(b), (Molecule{2, 3, 0}));
+}
+
+TEST(Molecule, IntersectIsElementwiseMin) {
+  const Molecule a{1, 3, 2};
+  const Molecule b{2, 1, 2};
+  EXPECT_EQ(a.intersect(b), (Molecule{1, 1, 2}));
+}
+
+TEST(Molecule, PartialOrder) {
+  const Molecule a{1, 1};
+  const Molecule b{2, 1};
+  const Molecule c{0, 5};
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  // a and c are incomparable — the order is only partial.
+  EXPECT_FALSE(a.leq(c));
+  EXPECT_FALSE(c.leq(a));
+}
+
+TEST(Molecule, ResidualIsMissingAtoms) {
+  // Paper: p = o ⊖ m with pᵢ = max(oᵢ − mᵢ, 0): what must still be loaded.
+  const Molecule loaded{2, 0, 1};
+  const Molecule wanted{1, 2, 3};
+  EXPECT_EQ(loaded.residual_to(wanted), (Molecule{0, 2, 2}));
+}
+
+TEST(Molecule, ResidualOfSupportedIsZero) {
+  const Molecule loaded{2, 2, 2};
+  const Molecule wanted{1, 2, 0};
+  EXPECT_TRUE(loaded.residual_to(wanted).is_zero());
+}
+
+TEST(Molecule, SaturatingSub) {
+  const Molecule a{3, 1, 0};
+  const Molecule b{1, 2, 0};
+  EXPECT_EQ(a.saturating_sub(b), (Molecule{2, 0, 0}));
+}
+
+TEST(Molecule, Plus) {
+  const Molecule a{1, 2};
+  const Molecule b{3, 0};
+  EXPECT_EQ(a.plus(b), (Molecule{4, 2}));
+}
+
+TEST(Molecule, DimensionMismatchThrows) {
+  const Molecule a{1, 2};
+  const Molecule b{1, 2, 3};
+  EXPECT_THROW(a.unite(b), PreconditionError);
+  EXPECT_THROW(a.intersect(b), PreconditionError);
+  EXPECT_THROW(a.leq(b), PreconditionError);
+  EXPECT_THROW(a.residual_to(b), PreconditionError);
+  EXPECT_THROW(a.plus(b), PreconditionError);
+}
+
+TEST(Molecule, IndexOutOfRangeThrows) {
+  const Molecule a{1, 2};
+  EXPECT_THROW((void)a[2], PreconditionError);
+}
+
+TEST(Molecule, StringRendering) {
+  const Molecule m{1, 0, 4};
+  EXPECT_EQ(m.str(), "(1,0,4)");
+}
+
+TEST(Lattice, SupremumOfSet) {
+  const std::vector<Molecule> ms{{1, 0, 2}, {0, 3, 1}, {2, 1, 0}};
+  const auto sup = rispp::atom::supremum(ms, 3);
+  EXPECT_EQ(sup, (Molecule{2, 3, 2}));
+  for (const auto& m : ms) EXPECT_TRUE(m.leq(sup));
+}
+
+TEST(Lattice, SupremumOfEmptySetIsZero) {
+  const auto sup = rispp::atom::supremum({}, 3);
+  EXPECT_TRUE(sup.is_zero());
+}
+
+TEST(Lattice, InfimumOfSet) {
+  const std::vector<Molecule> ms{{1, 2, 2}, {2, 3, 1}, {2, 2, 4}};
+  const auto inf = rispp::atom::infimum(ms);
+  EXPECT_EQ(inf, (Molecule{1, 2, 1}));
+  for (const auto& m : ms) EXPECT_TRUE(inf.leq(m));
+}
+
+TEST(Lattice, InfimumOfEmptySetThrows) {
+  EXPECT_THROW(rispp::atom::infimum({}), PreconditionError);
+}
+
+TEST(Lattice, RepresentativeIsCeilOfAverage) {
+  // Rep(S)ᵢ = ⌈ mean over molecules of component i ⌉ (paper §3.2).
+  const std::vector<Molecule> ms{{1, 0, 4}, {2, 0, 1}};
+  const auto rep = rispp::atom::representative(ms, 3);
+  EXPECT_EQ(rep, (Molecule{2, 0, 3}));  // ⌈1.5⌉, ⌈0⌉, ⌈2.5⌉
+}
+
+TEST(Lattice, RepresentativeOfSingleMoleculeIsItself) {
+  const std::vector<Molecule> ms{{3, 1, 0}};
+  EXPECT_EQ(rispp::atom::representative(ms, 3), ms.front());
+}
+
+TEST(Lattice, RepresentativeRequiresMolecules) {
+  EXPECT_THROW(rispp::atom::representative({}, 3), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "rispp/baseline/asip.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::baseline;
+using rispp::isa::SiLibrary;
+
+TEST(Asip, DefaultDesignPicksFastestMolecules) {
+  const auto lib = SiLibrary::h264();
+  const Asip asip(lib);
+  EXPECT_EQ(asip.cycles("SATD_4x4"), 12u);
+  EXPECT_EQ(asip.cycles("DCT_4x4"), 9u);
+  EXPECT_EQ(asip.cycles("HT_4x4"), 8u);
+  EXPECT_EQ(asip.cycles("HT_2x2"), 5u);
+}
+
+TEST(Asip, ExplicitDesignChoice) {
+  const auto lib = SiLibrary::h264();
+  const Asip asip(lib, {{"SATD_4x4", 0}});  // minimal molecule by index
+  EXPECT_EQ(asip.cycles("SATD_4x4"), 24u);
+  EXPECT_EQ(asip.cycles("DCT_4x4"), 9u);  // others default to fastest
+}
+
+TEST(Asip, DedicatedAtomsAreSummedNotShared) {
+  // The Fig-1 critique: the extensible processor dedicates hardware per SI.
+  // A rotating platform needs only sup (fits in max-molecule atoms); the
+  // ASIP pays the sum.
+  const auto lib = SiLibrary::h264();
+  const Asip asip(lib);
+  const auto& cat = lib.catalog();
+  const auto dedicated = asip.dedicated_atoms();
+
+  rispp::atom::Molecule sup = cat.zero();
+  for (const auto& si : lib.sis())
+    sup = sup.unite(cat.project_rotatable(asip.chosen(si.name()).atoms));
+
+  EXPECT_TRUE(sup.leq(dedicated));
+  EXPECT_GT(dedicated.determinant(), sup.determinant());
+}
+
+TEST(Asip, DedicatedSlicesMatchAtomHardware) {
+  const auto lib = SiLibrary::h264();
+  const Asip asip(lib, {{"SATD_4x4", 0},
+                        {"DCT_4x4", 0},
+                        {"HT_4x4", 0},
+                        {"HT_2x2", 0}});  // all minimal
+  // Minimal molecules: SATD (QS1 P1 T1 S1), DCT (QS1 P1 T1), HT4 (P1 T1),
+  // HT2 (T1). Dedicated sums: QS2 P3 T4 S1.
+  const auto& cat = lib.catalog();
+  const auto atoms = asip.dedicated_atoms();
+  EXPECT_EQ(atoms[cat.index_of("QuadSub")], 2u);
+  EXPECT_EQ(atoms[cat.index_of("Pack")], 3u);
+  EXPECT_EQ(atoms[cat.index_of("Transform")], 4u);
+  EXPECT_EQ(atoms[cat.index_of("SATD")], 1u);
+  EXPECT_EQ(asip.dedicated_atom_count(), 10u);
+  // 2·352 + 3·406 + 4·517 + 1·407 = 4,397 slices.
+  EXPECT_EQ(asip.dedicated_slices(), 4397u);
+}
+
+TEST(Asip, NeverSlowerThanRisppSteadyState) {
+  // The ASIP with fastest molecules is the per-SI lower bound RISPP
+  // approaches with a full atom budget.
+  const auto lib = SiLibrary::h264();
+  const Asip asip(lib);
+  for (const auto& si : lib.sis()) {
+    const auto best = si.best_with_budget(100, lib.catalog());
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(asip.cycles(si.name()), best->cycles);
+  }
+}
+
+TEST(Asip, RejectsBadDesign) {
+  const auto lib = SiLibrary::h264();
+  EXPECT_THROW(Asip(lib, {{"SATD_4x4", 99}}), rispp::util::PreconditionError);
+  const Asip ok(lib);
+  EXPECT_THROW(ok.cycles("NOPE"), rispp::util::PreconditionError);
+}
+
+}  // namespace

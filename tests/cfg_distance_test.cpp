@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "rispp/cfg/distance.hpp"
+#include "rispp/cfg/probability.hpp"
+
+namespace {
+
+using namespace rispp::cfg;
+
+TEST(MinDistance, StraightLineSumsBodyCycles) {
+  // a(10) → b(20) → t: distance(a) = 10 + 20, distance(b) = 20.
+  BBGraph g;
+  const auto a = g.add_block("a", 10);
+  const auto b = g.add_block("b", 20);
+  const auto t = g.add_block("t", 5);
+  g.add_edge(a, b, 1);
+  g.add_edge(b, t, 1);
+  const auto d = min_distance_cycles(g, {t});
+  EXPECT_DOUBLE_EQ(d[t], 0.0);
+  EXPECT_DOUBLE_EQ(d[b], 20.0);
+  EXPECT_DOUBLE_EQ(d[a], 30.0);
+}
+
+TEST(MinDistance, TakesShortestBranch) {
+  //    a → b(100) → t
+  //      → c(7)   → t
+  BBGraph g;
+  const auto a = g.add_block("a", 1);
+  const auto b = g.add_block("b", 100);
+  const auto c = g.add_block("c", 7);
+  const auto t = g.add_block("t", 1);
+  g.add_edge(a, b, 1);
+  g.add_edge(a, c, 1);
+  g.add_edge(b, t, 1);
+  g.add_edge(c, t, 1);
+  const auto d = min_distance_cycles(g, {t});
+  EXPECT_DOUBLE_EQ(d[a], 8.0);  // a's own body + c's body
+}
+
+TEST(MinDistance, UnreachableIsInfinity) {
+  BBGraph g;
+  const auto a = g.add_block("a", 1);
+  const auto t = g.add_block("t", 1);
+  g.add_edge(t, a, 1);  // only t → a, so a cannot reach t
+  const auto d = min_distance_cycles(g, {t});
+  EXPECT_EQ(d[a], kUnreachable);
+  EXPECT_DOUBLE_EQ(d[t], 0.0);
+}
+
+TEST(MinDistance, MultipleTargetsNearestWins) {
+  BBGraph g;
+  const auto a = g.add_block("a", 2);
+  const auto t1 = g.add_block("t1", 1);
+  const auto mid = g.add_block("m", 50);
+  const auto t2 = g.add_block("t2", 1);
+  g.add_edge(a, t1, 1);
+  g.add_edge(a, mid, 1);
+  g.add_edge(mid, t2, 1);
+  const auto d = min_distance_cycles(g, {t1, t2});
+  EXPECT_DOUBLE_EQ(d[a], 2.0);
+}
+
+TEST(ExpectedDistance, DeterministicChainMatchesMin) {
+  BBGraph g;
+  const auto a = g.add_block("a", 10);
+  const auto b = g.add_block("b", 20);
+  const auto t = g.add_block("t", 5);
+  g.add_edge(a, b, 3);
+  g.add_edge(b, t, 3);
+  const auto p = reach_probability_scc(g, {t});
+  const auto d = expected_distance_cycles(g, {t}, p);
+  EXPECT_NEAR(d[a], 30.0, 1e-9);
+  EXPECT_NEAR(d[b], 20.0, 1e-9);
+}
+
+TEST(ExpectedDistance, LoopAddsExpectedIterations) {
+  // head(10): self loop with 0.9, exit to target with 0.1 → expected visits
+  // of head before exit = 10, so expected distance ≈ 10·10 = 100.
+  BBGraph g;
+  const auto head = g.add_block("head", 10);
+  const auto t = g.add_block("t", 1);
+  g.add_edge(head, head, 9);
+  g.add_edge(head, t, 1);
+  const auto p = reach_probability_scc(g, {t});
+  const auto d = expected_distance_cycles(g, {t}, p);
+  EXPECT_NEAR(d[head], 100.0, 0.5);
+}
+
+TEST(ExpectedDistance, ConditionsOnReachingTheTarget) {
+  // a branches: 0.5 to the target (cheap), 0.5 to a dead end. The
+  // conditional expected distance from a counts only the reaching branch.
+  BBGraph g;
+  const auto a = g.add_block("a", 4);
+  const auto t = g.add_block("t", 1);
+  const auto dead = g.add_block("dead", 1000);
+  g.add_edge(a, t, 1);
+  g.add_edge(a, dead, 1);
+  const auto p = reach_probability_scc(g, {t});
+  const auto d = expected_distance_cycles(g, {t}, p);
+  EXPECT_NEAR(d[a], 4.0, 1e-9);           // own body only, then target
+  EXPECT_EQ(d[dead], kUnreachable);
+}
+
+TEST(MaxDistance, LongestPathOnDag) {
+  //    a → b(100) → t   and   a → c(7) → t: pessimistic distance takes b.
+  BBGraph g;
+  const auto a = g.add_block("a", 1);
+  const auto b = g.add_block("b", 100);
+  const auto c = g.add_block("c", 7);
+  const auto t = g.add_block("t", 1);
+  g.add_edge(a, b, 1);
+  g.add_edge(a, c, 1);
+  g.add_edge(b, t, 1);
+  g.add_edge(c, t, 1);
+  const auto d = max_distance_cycles(g, {t});
+  EXPECT_DOUBLE_EQ(d[t], 0.0);
+  EXPECT_GE(d[a], 100.0);
+}
+
+TEST(MaxDistance, LoopWeightUsesProfiledTripCount) {
+  // A 100-iteration profiled loop between a and the target contributes its
+  // full profiled work to the pessimistic distance.
+  BBGraph g;
+  const auto a = g.add_block("a", 1, 1);
+  const auto loop = g.add_block("loop", 10, 100);
+  const auto t = g.add_block("t", 1, 1);
+  g.add_edge(a, loop, 1);
+  g.add_edge(loop, loop, 99);
+  g.add_edge(loop, t, 1);
+  const auto d = max_distance_cycles(g, {t});
+  EXPECT_GE(d[a], 1000.0);  // 100 iterations × 10 cycles
+}
+
+TEST(Distances, MinLeqExpectedLeqMax) {
+  // On a profiled branchy graph the three distance notions must nest.
+  BBGraph g;
+  const auto a = g.add_block("a", 5, 100);
+  const auto b = g.add_block("b", 50, 60);
+  const auto c = g.add_block("c", 10, 40);
+  const auto t = g.add_block("t", 1, 100);
+  g.add_edge(a, b, 60);
+  g.add_edge(a, c, 40);
+  g.add_edge(b, t, 60);
+  g.add_edge(c, t, 40);
+  const auto p = reach_probability_scc(g, {t});
+  const auto dmin = min_distance_cycles(g, {t});
+  const auto dexp = expected_distance_cycles(g, {t}, p);
+  const auto dmax = max_distance_cycles(g, {t});
+  EXPECT_LE(dmin[a], dexp[a] + 1e-9);
+  EXPECT_LE(dexp[a], dmax[a] + 1e-9);
+}
+
+}  // namespace

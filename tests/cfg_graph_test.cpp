@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "rispp/cfg/graph.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::cfg;
+using rispp::util::PreconditionError;
+
+TEST(BBGraph, BlocksAndEdges) {
+  BBGraph g;
+  const auto a = g.add_block("a", 10, 100);
+  const auto b = g.add_block("b", 20, 60);
+  const auto c = g.add_block("c", 30, 40);
+  g.add_edge(a, b, 60);
+  g.add_edge(a, c, 40);
+  EXPECT_EQ(g.block_count(), 3u);
+  EXPECT_EQ(g.entry(), a);  // first block is the default entry
+  EXPECT_EQ(g.block(b).cycles, 20u);
+  EXPECT_EQ(g.out_edges(a).size(), 2u);
+  EXPECT_EQ(g.in_edges(c).size(), 1u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(BBGraph, EdgeProbabilityFromProfile) {
+  BBGraph g;
+  const auto a = g.add_block("a", 1, 100);
+  const auto b = g.add_block("b", 1, 75);
+  const auto c = g.add_block("c", 1, 25);
+  g.add_edge(a, b, 75);
+  g.add_edge(a, c, 25);
+  EXPECT_DOUBLE_EQ(g.edge_probability(0), 0.75);
+  EXPECT_DOUBLE_EQ(g.edge_probability(1), 0.25);
+}
+
+TEST(BBGraph, UnprofiledBranchIsUniform) {
+  BBGraph g;
+  const auto a = g.add_block("a");
+  const auto b = g.add_block("b");
+  const auto c = g.add_block("c");
+  g.add_edge(a, b, 0);
+  g.add_edge(a, c, 0);
+  EXPECT_DOUBLE_EQ(g.edge_probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(g.edge_probability(1), 0.5);
+}
+
+TEST(BBGraph, TransposeReversesEdges) {
+  BBGraph g;
+  const auto a = g.add_block("a", 5, 10);
+  const auto b = g.add_block("b", 6, 10);
+  g.add_edge(a, b, 10);
+  g.add_si_usage(b, 2, 3);
+  const auto t = g.transposed();
+  EXPECT_EQ(t.block_count(), 2u);
+  EXPECT_EQ(t.out_edges(b).size(), 1u);
+  EXPECT_EQ(t.edges()[0].from, b);
+  EXPECT_EQ(t.edges()[0].to, a);
+  // Blocks, profiles and SI usages survive transposition.
+  EXPECT_EQ(t.block(b).si_usages.size(), 1u);
+  EXPECT_EQ(t.block(a).cycles, 5u);
+}
+
+TEST(BBGraph, SiUsageQueries) {
+  BBGraph g;
+  const auto a = g.add_block("a", 1, 50);
+  const auto b = g.add_block("b", 1, 20);
+  g.add_si_usage(a, 0, 2);
+  g.add_si_usage(b, 0, 1);
+  g.add_si_usage(b, 1, 4);
+  EXPECT_EQ(g.usage_sites(0), (std::vector<BlockId>{a, b}));
+  EXPECT_EQ(g.usage_sites(1), (std::vector<BlockId>{b}));
+  EXPECT_TRUE(g.usage_sites(2).empty());
+  // 50·2 + 20·1 = 120 invocations of SI 0.
+  EXPECT_EQ(g.total_si_invocations(0), 120u);
+  EXPECT_EQ(g.total_si_invocations(1), 80u);
+}
+
+TEST(BBGraph, ValidationAndPreconditions) {
+  BBGraph g;
+  EXPECT_THROW(g.validate(), PreconditionError);  // empty graph
+  const auto a = g.add_block("a");
+  EXPECT_THROW(g.add_edge(a, 7), PreconditionError);
+  EXPECT_THROW(g.add_block("z", 0), PreconditionError);  // zero cycles
+  EXPECT_THROW(g.add_si_usage(a, 0, 0), PreconditionError);
+  EXPECT_THROW((void)g.block(9), PreconditionError);
+}
+
+TEST(BBGraph, SetEntryAndExecCount) {
+  BBGraph g;
+  const auto a = g.add_block("a");
+  const auto b = g.add_block("b");
+  g.set_entry(b);
+  EXPECT_EQ(g.entry(), b);
+  g.set_exec_count(a, 123);
+  EXPECT_EQ(g.block(a).exec_count, 123u);
+}
+
+}  // namespace

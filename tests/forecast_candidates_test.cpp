@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "rispp/aes/graph.hpp"
+#include "rispp/forecast/candidates.hpp"
+
+namespace {
+
+using namespace rispp::forecast;
+using rispp::cfg::BBGraph;
+
+FdfParams lenient_params() {
+  // A small T_Rot so mid-distance blocks qualify easily.
+  FdfParams p;
+  p.t_rot_cycles = 1000;
+  p.t_sw_cycles = 500;
+  p.t_hw_cycles = 20;
+  p.rotation_energy = 100;
+  p.energy_sw_per_exec = 100;
+  p.energy_hw_per_exec = 10;
+  p.alpha = 0.1;  // offset ≈ 0.11 executions
+  return p;
+}
+
+TEST(Candidates, EmptyWhenSiUnused) {
+  BBGraph g;
+  g.add_block("only", 10, 5);
+  EXPECT_TRUE(determine_candidates(g, 0, Fdf(lenient_params())).empty());
+}
+
+TEST(Candidates, UsageSiteItselfIsNeverItsOwnCandidate) {
+  BBGraph g;
+  const auto pre = g.add_block("pre", 2000, 10);
+  const auto use = g.add_block("use", 10, 10);
+  g.add_edge(pre, use, 10);
+  g.add_si_usage(use, 0, 50);
+  const auto cands = determine_candidates(g, 0, Fdf(lenient_params()));
+  for (const auto& c : cands) EXPECT_NE(c.block, use);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands.front().block, pre);
+  EXPECT_NEAR(cands.front().probability, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cands.front().expected_executions, 50.0);
+}
+
+TEST(Candidates, TooFewExpectedExecutionsRejected) {
+  // Block too close to the usage (distance ≪ T_Rot) with only one expected
+  // execution → the FDF's near branch demands far more.
+  BBGraph g;
+  const auto pre = g.add_block("pre", 10, 10);  // 10 cycles before the SI
+  const auto use = g.add_block("use", 10, 10);
+  g.add_edge(pre, use, 10);
+  g.add_si_usage(use, 0, 1);  // 1 execution per reach
+  auto p = lenient_params();
+  p.t_rot_cycles = 100000;  // enormous rotation time
+  const auto cands = determine_candidates(g, 0, Fdf(p));
+  EXPECT_TRUE(cands.empty());
+}
+
+TEST(Candidates, UnreachableBlocksExcluded) {
+  BBGraph g;
+  const auto entry = g.add_block("entry", 2000, 10);
+  const auto use = g.add_block("use", 10, 10);
+  const auto dead = g.add_block("dead", 2000, 10);  // cannot reach use
+  g.add_edge(entry, use, 10);
+  g.add_edge(use, dead, 10);
+  g.add_si_usage(use, 0, 50);
+  const auto cands = determine_candidates(g, 0, Fdf(lenient_params()));
+  for (const auto& c : cands) EXPECT_NE(c.block, dead);
+}
+
+TEST(Candidates, AnnotationsArePopulated) {
+  BBGraph g;
+  const auto pre = g.add_block("pre", 1500, 20);
+  const auto use = g.add_block("use", 10, 20);
+  g.add_edge(pre, use, 20);
+  g.add_si_usage(use, 0, 40);
+  const auto cands = determine_candidates(g, 0, Fdf(lenient_params()));
+  ASSERT_EQ(cands.size(), 1u);
+  const auto& c = cands.front();
+  EXPECT_EQ(c.si_index, 0u);
+  EXPECT_GT(c.distance_cycles, 0.0);
+  EXPECT_GE(c.max_distance_cycles, c.min_distance_cycles);
+  EXPECT_GT(c.required_executions, 0.0);
+  EXPECT_GE(c.expected_executions, c.required_executions);
+}
+
+TEST(Candidates, AesGraphProducesCandidatesForEverySi) {
+  // The Fig-3 artifact: AES with 1000 blocks must yield FC candidates for
+  // SUBBYTES, MIXCOLUMNS and KEYEXPAND somewhere in the graph.
+  const auto lib = rispp::aes::si_library();
+  rispp::aes::AesGraphIds ids{};
+  const auto g = rispp::aes::build_graph(1000, &ids);
+
+  for (std::size_t si = 0; si < lib.size(); ++si) {
+    FdfParams p = lenient_params();
+    const auto cands = determine_candidates(g, si, Fdf(p));
+    EXPECT_FALSE(cands.empty()) << lib.at(si).name();
+  }
+}
+
+TEST(Candidates, AesEarlyBlocksQualifyForSubbytes) {
+  const auto lib = rispp::aes::si_library();
+  rispp::aes::AesGraphIds ids{};
+  const auto g = rispp::aes::build_graph(1000, &ids);
+  const auto cands =
+      determine_candidates(g, lib.index_of("SUBBYTES"), Fdf(lenient_params()));
+  // The per-reach expectation is total invocations / block executions, so
+  // blocks *outside* the hot loops are the natural candidates: the block
+  // loop head executes 1000× for 10,000 SUBBYTES invocations (10 per
+  // reach), while the round-loop head executes 9000× (1.1 per reach) and
+  // fails the FDF bar. Exactly the paper's point — forecast from far ahead.
+  bool found_block_loop_head = false;
+  for (const auto& c : cands) {
+    EXPECT_NE(c.block, ids.round_loop_head);
+    if (c.block == ids.block_loop_head) {
+      found_block_loop_head = true;
+      EXPECT_NEAR(c.probability, 1.0, 1e-9);
+      EXPECT_NEAR(c.expected_executions, 10.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_block_loop_head);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+/// The Forecast Decision Function (paper §4.1, Fig 4): more expected SI
+/// executions must be demanded when the block is too close (rotation can't
+/// finish) or too far (Atom Containers blocked), with an energy-efficiency
+/// offset scaled by α.
+
+#include <gtest/gtest.h>
+
+#include "rispp/forecast/fdf.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::forecast;
+using rispp::util::PreconditionError;
+
+FdfParams base_params() {
+  FdfParams p;
+  p.t_rot_cycles = 85000;   // ≈850 µs at 100 MHz, Table-1 magnitude
+  p.t_sw_cycles = 544;      // SATD software molecule
+  p.t_hw_cycles = 24;
+  p.rotation_energy = 7650;      // power×time model units
+  p.energy_sw_per_exec = 1088;
+  p.energy_hw_per_exec = 62;
+  p.alpha = 1.0;
+  return p;
+}
+
+TEST(Fdf, OffsetIsEnergyBreakEvenTimesAlpha) {
+  auto p = base_params();
+  const Fdf fdf(p);
+  EXPECT_NEAR(fdf.offset(), 7650.0 / (1088 - 62), 1e-9);
+  p.alpha = 2.5;
+  EXPECT_NEAR(Fdf(p).offset(), 2.5 * 7650.0 / (1088 - 62), 1e-9);
+}
+
+TEST(Fdf, PlateauEqualsOffset) {
+  // Between T_Rot and the far knee the requirement bottoms out at offset.
+  const Fdf fdf(base_params());
+  const double t = 3.0 * base_params().t_rot_cycles;
+  EXPECT_NEAR(fdf(1.0, t), fdf.offset(), 1e-9);
+}
+
+TEST(Fdf, NearBranchGrowsAsDistanceShrinks) {
+  const Fdf fdf(base_params());
+  const double trot = base_params().t_rot_cycles;
+  const double at_01 = fdf(1.0, 0.1 * trot);
+  const double at_05 = fdf(1.0, 0.5 * trot);
+  const double at_10 = fdf(1.0, 1.0 * trot);
+  EXPECT_GT(at_01, at_05);
+  EXPECT_GT(at_05, at_10);
+  // At t = T_Rot the near term vanishes.
+  EXPECT_NEAR(at_10, fdf.offset(), 1e-9);
+  // Fig-4 magnitude: at t = 0.1·T_Rot the requirement is hundreds of
+  // usages for this T_Rot/T_SW ratio.
+  EXPECT_GT(at_01, 100.0);
+}
+
+TEST(Fdf, FarBranchGrowsBeyondKnee) {
+  const Fdf fdf(base_params());
+  const double trot = base_params().t_rot_cycles;
+  const double at_10 = fdf(1.0, 10.0 * trot);   // at the knee
+  const double at_40 = fdf(1.0, 40.0 * trot);
+  const double at_100 = fdf(1.0, 100.0 * trot);
+  EXPECT_NEAR(at_10, fdf.offset(), 1e-9);
+  EXPECT_GT(at_40, at_10);
+  EXPECT_GT(at_100, at_40);
+}
+
+TEST(Fdf, LowerProbabilityDemandsMoreExecutions) {
+  const Fdf fdf(base_params());
+  const double trot = base_params().t_rot_cycles;
+  for (double t : {0.2 * trot, 50.0 * trot}) {
+    EXPECT_GT(fdf(0.4, t), fdf(0.7, t));
+    EXPECT_GT(fdf(0.7, t), fdf(1.0, t));
+  }
+}
+
+TEST(Fdf, MonotoneSweepAcrossFigure4Grid) {
+  // Property sweep over the Fig-4 axes: decreasing in p for every t;
+  // U-shaped in t for every p (non-increasing before the plateau,
+  // non-decreasing after the knee).
+  const Fdf fdf(base_params());
+  const double trot = base_params().t_rot_cycles;
+  const double rels[] = {0.1, 0.2, 0.4, 0.6, 1.0, 1.6, 2.5, 4.0,
+                         6.3, 10.0, 15.8, 25.1, 39.8, 63.1, 100.0};
+  for (double p = 0.1; p <= 1.0; p += 0.1) {
+    double prev = 1e18;
+    for (double rel : rels) {
+      const double v = fdf(p, rel * trot);
+      if (rel <= 1.0) {
+        EXPECT_LE(v, prev + 1e-9) << "p=" << p << " rel=" << rel;
+      }
+      prev = v;
+    }
+    double prev_far = 0;
+    for (double rel : rels) {
+      if (rel < 10.0) continue;
+      const double v = fdf(p, rel * trot);
+      EXPECT_GE(v, prev_far - 1e-9);
+      prev_far = v;
+    }
+  }
+}
+
+TEST(Fdf, ParameterValidation) {
+  auto p = base_params();
+  p.t_rot_cycles = 0;
+  EXPECT_THROW(Fdf{p}, PreconditionError);
+  p = base_params();
+  p.t_hw_cycles = p.t_sw_cycles;  // hardware not faster
+  EXPECT_THROW(Fdf{p}, PreconditionError);
+  p = base_params();
+  p.energy_hw_per_exec = p.energy_sw_per_exec;  // no energy gain
+  EXPECT_THROW(Fdf{p}, PreconditionError);
+  const Fdf ok(base_params());
+  EXPECT_THROW(ok(0.0, 100.0), PreconditionError);
+  EXPECT_THROW(ok(1.1, 100.0), PreconditionError);
+  EXPECT_THROW(ok(0.5, -1.0), PreconditionError);
+}
+
+}  // namespace

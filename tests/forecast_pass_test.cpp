@@ -1,0 +1,100 @@
+/// End-to-end compile-time pass (paper §4): candidates → trimming →
+/// placement over the AES artifact, the paper's own Fig-3 study.
+
+#include <gtest/gtest.h>
+
+#include "rispp/aes/graph.hpp"
+#include "rispp/forecast/forecast_pass.hpp"
+
+namespace {
+
+using namespace rispp::forecast;
+
+ForecastConfig lenient_config() {
+  ForecastConfig cfg;
+  cfg.atom_containers = 4;
+  cfg.alpha = 0.05;  // low energy bar so the small AES graph qualifies
+  return cfg;
+}
+
+TEST(FdfParamsFor, DerivedFromLibraryAndPort) {
+  const auto lib = rispp::aes::si_library();
+  const auto cfg = lenient_config();
+  const auto p = fdf_params_for(lib, lib.index_of("SUBBYTES"), cfg);
+  EXPECT_GT(p.t_rot_cycles, 0.0);
+  EXPECT_EQ(p.t_sw_cycles, 128.0);
+  EXPECT_EQ(p.t_hw_cycles, 18.0);  // minimal molecule
+  EXPECT_GT(p.energy_sw_per_exec, p.energy_hw_per_exec);
+  // T_Rot at 100 MHz for a multi-atom Rep is in the 10^5-cycle range
+  // (Table-1 bitstreams at ≈69 MB/s).
+  EXPECT_GT(p.t_rot_cycles, 5e4);
+  EXPECT_LT(p.t_rot_cycles, 5e6);
+}
+
+TEST(ForecastPass, AesPlanIsNonEmptyAndConsistent) {
+  const auto lib = rispp::aes::si_library();
+  const auto g = rispp::aes::build_graph(1000);
+  const auto plan = run_forecast_pass(g, lib, lenient_config());
+  ASSERT_GT(plan.total_points(), 0u);
+  for (const auto& fb : plan.blocks) {
+    EXPECT_LT(fb.block, g.block_count());
+    EXPECT_FALSE(fb.points.empty());
+    for (const auto& p : fb.points) {
+      EXPECT_EQ(p.block, fb.block);
+      EXPECT_LT(p.si_index, lib.size());
+      EXPECT_GT(p.probability, 0.0);
+      EXPECT_LE(p.probability, 1.0);
+      EXPECT_GE(p.expected_executions, p.required_executions);
+    }
+  }
+}
+
+TEST(ForecastPass, NoDuplicateSiPerBlock) {
+  const auto lib = rispp::aes::si_library();
+  const auto g = rispp::aes::build_graph(1000);
+  const auto plan = run_forecast_pass(g, lib, lenient_config());
+  for (const auto& fb : plan.blocks) {
+    for (std::size_t i = 0; i < fb.points.size(); ++i)
+      for (std::size_t j = i + 1; j < fb.points.size(); ++j)
+        EXPECT_NE(fb.points[i].si_index, fb.points[j].si_index);
+  }
+}
+
+TEST(ForecastPass, FcPlanLookup) {
+  const auto lib = rispp::aes::si_library();
+  const auto g = rispp::aes::build_graph(500);
+  const auto plan = run_forecast_pass(g, lib, lenient_config());
+  ASSERT_FALSE(plan.blocks.empty());
+  const auto& first = plan.blocks.front();
+  const auto* found = plan.find(first.block);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->block, first.block);
+  EXPECT_EQ(plan.find(static_cast<rispp::cfg::BlockId>(9999)), nullptr);
+}
+
+TEST(ForecastPass, HigherAlphaPrunesMorePoints) {
+  // α scales the energy offset: a stricter energy bar can only shrink the
+  // candidate set.
+  const auto lib = rispp::aes::si_library();
+  const auto g = rispp::aes::build_graph(200);
+  auto cfg = lenient_config();
+  cfg.alpha = 0.05;
+  const auto loose = run_forecast_pass(g, lib, cfg).total_points();
+  cfg.alpha = 50.0;
+  const auto strict = run_forecast_pass(g, lib, cfg).total_points();
+  EXPECT_LE(strict, loose);
+}
+
+TEST(ForecastPass, MoreBlocksMoreLeadTimeQualifies) {
+  // With very few AES blocks the per-reach expectations shrink and fewer
+  // (or equal) points qualify than with a long run.
+  const auto lib = rispp::aes::si_library();
+  auto cfg = lenient_config();
+  const auto small = run_forecast_pass(rispp::aes::build_graph(2), lib, cfg)
+                         .total_points();
+  const auto large = run_forecast_pass(rispp::aes::build_graph(5000), lib, cfg)
+                         .total_points();
+  EXPECT_LE(small, large);
+}
+
+}  // namespace

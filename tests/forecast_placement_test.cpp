@@ -1,0 +1,122 @@
+/// FC placement (paper §4.2): chains of adjacent FC candidates collapse to
+/// the chain's earliest member via DFS on the transposed BB graph.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rispp/forecast/placement.hpp"
+
+namespace {
+
+using namespace rispp::forecast;
+using rispp::cfg::BBGraph;
+using rispp::cfg::BlockId;
+
+FcCandidate cand(BlockId b) {
+  FcCandidate c;
+  c.block = b;
+  c.si_index = 0;
+  c.probability = 1.0;
+  c.expected_executions = 10;
+  return c;
+}
+
+bool has_block(const std::vector<ForecastPoint>& fcs, BlockId b) {
+  return std::any_of(fcs.begin(), fcs.end(),
+                     [&](const ForecastPoint& f) { return f.block == b; });
+}
+
+TEST(Placement, SingleCandidateBecomesFc) {
+  BBGraph g;
+  const auto a = g.add_block("a", 10);
+  const auto fcs = place_forecasts(g, {cand(a)}, 100.0);
+  ASSERT_EQ(fcs.size(), 1u);
+  EXPECT_EQ(fcs.front().block, a);
+}
+
+TEST(Placement, ChainCollapsesToHead) {
+  // a → b → c, all candidates, all near: only a (the earliest, giving the
+  // most rotation lead time) becomes the FC.
+  BBGraph g;
+  const auto a = g.add_block("a", 10);
+  const auto b = g.add_block("b", 10);
+  const auto c = g.add_block("c", 10);
+  g.add_edge(a, b, 1);
+  g.add_edge(b, c, 1);
+  const auto fcs = place_forecasts(g, {cand(a), cand(b), cand(c)}, 100.0);
+  ASSERT_EQ(fcs.size(), 1u);
+  EXPECT_EQ(fcs.front().block, a);
+}
+
+TEST(Placement, FarGapSplitsChains) {
+  // a →(big block)→ c: b's body is 1000 cycles > threshold → two chains.
+  BBGraph g;
+  const auto a = g.add_block("a", 10);
+  const auto b = g.add_block("b", 1000);
+  const auto c = g.add_block("c", 10);
+  g.add_edge(a, b, 1);
+  g.add_edge(b, c, 1);
+  const auto fcs = place_forecasts(g, {cand(a), cand(b), cand(c)}, 100.0);
+  // b is a candidate but far from a (its own body exceeds the threshold);
+  // c's predecessor b is far too. Chains: {a}, {b}, {c} → heads a, b, c...
+  // except b and c: b's predecessor a IS near (a.cycles = 10), so {a, b} is
+  // one chain with head a; c's predecessor b is far → c is its own head.
+  EXPECT_TRUE(has_block(fcs, a));
+  EXPECT_TRUE(has_block(fcs, c));
+  EXPECT_FALSE(has_block(fcs, b));
+  EXPECT_EQ(fcs.size(), 2u);
+}
+
+TEST(Placement, DiamondKeepsBothBranchHeads) {
+  //      a       (not a candidate)
+  //     . .
+  //    b   c     both candidates, both heads (a is not suitable)
+  //     . .
+  //      d       candidate, near both → absorbed into the chains
+  BBGraph g;
+  const auto a = g.add_block("a", 10);
+  const auto b = g.add_block("b", 10);
+  const auto c = g.add_block("c", 10);
+  const auto d = g.add_block("d", 10);
+  g.add_edge(a, b, 1);
+  g.add_edge(a, c, 1);
+  g.add_edge(b, d, 1);
+  g.add_edge(c, d, 1);
+  const auto fcs = place_forecasts(g, {cand(b), cand(c), cand(d)}, 100.0);
+  EXPECT_TRUE(has_block(fcs, b));
+  EXPECT_TRUE(has_block(fcs, c));
+  EXPECT_FALSE(has_block(fcs, d));
+  EXPECT_EQ(fcs.size(), 2u);
+}
+
+TEST(Placement, CandidateCycleStillEmitsOneFc) {
+  // A loop of candidates has no head; one FC must survive anyway.
+  BBGraph g;
+  const auto a = g.add_block("a", 10);
+  const auto b = g.add_block("b", 10);
+  g.add_edge(a, b, 1);
+  g.add_edge(b, a, 1);
+  const auto fcs = place_forecasts(g, {cand(a), cand(b)}, 100.0);
+  EXPECT_EQ(fcs.size(), 1u);
+}
+
+TEST(Placement, EmptyInput) {
+  BBGraph g;
+  g.add_block("a", 10);
+  EXPECT_TRUE(place_forecasts(g, {}, 100.0).empty());
+}
+
+TEST(Placement, AnnotationsSurviveCollapse) {
+  BBGraph g;
+  const auto a = g.add_block("a", 10);
+  auto c = cand(a);
+  c.expected_executions = 123;
+  c.distance_cycles = 456;
+  const auto fcs = place_forecasts(g, {c}, 100.0);
+  ASSERT_EQ(fcs.size(), 1u);
+  EXPECT_DOUBLE_EQ(fcs.front().expected_executions, 123.0);
+  EXPECT_DOUBLE_EQ(fcs.front().distance_cycles, 456.0);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+/// The Fig-5 trimming algorithm: per basic block, FC candidates whose
+/// representing Meta-Molecules cannot fit the Atom Containers together are
+/// truncated, worst speed-up-per-container first; clusters where no removal
+/// frees a container trigger the line-11/12 abort.
+
+#include <gtest/gtest.h>
+
+#include "rispp/forecast/trimming.hpp"
+
+namespace {
+
+using namespace rispp::forecast;
+using rispp::atom::Molecule;
+using rispp::isa::AtomCatalog;
+using rispp::isa::MoleculeOption;
+using rispp::isa::SiLibrary;
+using rispp::isa::SpecialInstruction;
+
+FcCandidate cand(std::size_t si) {
+  FcCandidate c;
+  c.si_index = si;
+  c.probability = 1.0;
+  c.expected_executions = 100;
+  return c;
+}
+
+/// Two-atom catalog for synthetic cases.
+AtomCatalog tiny_catalog() {
+  return AtomCatalog({{.name = "A", .hardware = {}, .rotatable = true},
+                      {.name = "B", .hardware = {}, .rotatable = true}});
+}
+
+TEST(Trimming, KeepsEverythingWhenItFits) {
+  const auto lib = SiLibrary::h264();
+  // All four SIs' Reps united exceed 4 containers, but at 16 they all fit.
+  std::vector<FcCandidate> cands{cand(0), cand(1), cand(2), cand(3)};
+  const auto r = trim_candidates(cands, lib, 16);
+  EXPECT_EQ(r.kept.size(), 4u);
+  EXPECT_TRUE(r.removed.empty());
+  EXPECT_FALSE(r.aborted);
+}
+
+TEST(Trimming, RemovesWorstSpeedupPerResource) {
+  // SI 0: huge speed-up, needs atom A. SI 1: tiny speed-up, needs atom B.
+  // With one container, SI 1 must be the one removed.
+  SiLibrary lib(tiny_catalog(),
+                {SpecialInstruction("FAST", 1000, {{Molecule{1, 0}, 10}}),
+                 SpecialInstruction("SLOW", 100, {{Molecule{0, 1}, 90}})});
+  std::vector<FcCandidate> cands{cand(0), cand(1)};
+  const auto r = trim_candidates(cands, lib, 1);
+  ASSERT_EQ(r.kept.size(), 1u);
+  EXPECT_EQ(cands[r.kept.front()].si_index, lib.index_of("FAST"));
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(cands[r.removed.front()].si_index, lib.index_of("SLOW"));
+}
+
+TEST(Trimming, AbortsOnNonReducibleCluster) {
+  // The paper's example: Molecules (1,0), (0,1), (1,1) — removing any single
+  // SI never reduces sup(M), so the algorithm must abort (lines 11/12)
+  // rather than discard the whole cluster.
+  SiLibrary lib(tiny_catalog(),
+                {SpecialInstruction("S1", 100, {{Molecule{1, 0}, 10}}),
+                 SpecialInstruction("S2", 100, {{Molecule{0, 1}, 10}}),
+                 SpecialInstruction("S3", 100, {{Molecule{1, 1}, 10}})});
+  std::vector<FcCandidate> cands{cand(0), cand(1), cand(2)};
+  const auto r = trim_candidates(cands, lib, 1);  // sup = (1,1) needs 2 > 1
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.kept.size(), 3u);  // nothing was discarded
+}
+
+TEST(Trimming, RemovesUntilSupFits) {
+  // Three SIs with disjoint atoms (each Rep = 2 of its own atom kind).
+  AtomCatalog cat({{.name = "A", .hardware = {}, .rotatable = true},
+                   {.name = "B", .hardware = {}, .rotatable = true},
+                   {.name = "C", .hardware = {}, .rotatable = true}});
+  SiLibrary lib(cat,
+                {SpecialInstruction("SA", 400, {{Molecule{2, 0, 0}, 10}}),
+                 SpecialInstruction("SB", 300, {{Molecule{0, 2, 0}, 10}}),
+                 SpecialInstruction("SC", 200, {{Molecule{0, 0, 2}, 10}})});
+  std::vector<FcCandidate> cands{cand(0), cand(1), cand(2)};
+  // Budget 4: sup needs 6 → remove the worst (SC: lowest speed-up frees as
+  // many containers as the others).
+  const auto r = trim_candidates(cands, lib, 4);
+  EXPECT_FALSE(r.aborted);
+  ASSERT_EQ(r.removed.size(), 1u);
+  EXPECT_EQ(cands[r.removed.front()].si_index, lib.index_of("SC"));
+  EXPECT_EQ(r.kept.size(), 2u);
+}
+
+TEST(Trimming, EmptyInputIsNoop) {
+  const auto lib = SiLibrary::h264();
+  const auto r = trim_candidates({}, lib, 4);
+  EXPECT_TRUE(r.kept.empty());
+  EXPECT_TRUE(r.removed.empty());
+  EXPECT_FALSE(r.aborted);
+}
+
+TEST(Trimming, H264AllFourSisAtFourContainers) {
+  // With 4 ACs, the four H.264 Reps cannot coexist (SATD's Rep alone uses
+  // more); trimming must keep a non-empty subset and never panic.
+  const auto lib = SiLibrary::h264();
+  std::vector<FcCandidate> cands{cand(0), cand(1), cand(2), cand(3)};
+  const auto r = trim_candidates(cands, lib, 4);
+  EXPECT_FALSE(r.kept.empty());
+  EXPECT_EQ(r.kept.size() + r.removed.size(), 4u);
+}
+
+TEST(Trimming, StaticAtomsDoNotCountAgainstContainers) {
+  // An SI whose Rep is mostly static data movers needs no trimming even at
+  // tiny budgets.
+  AtomCatalog cat({{.name = "Ld", .hardware = {}, .rotatable = false},
+                   {.name = "X", .hardware = {}, .rotatable = true}});
+  SiLibrary lib(cat,
+                {SpecialInstruction("S", 100, {{Molecule{4, 1}, 10}})});
+  std::vector<FcCandidate> cands{cand(0)};
+  const auto r = trim_candidates(cands, lib, 1);
+  EXPECT_EQ(r.kept.size(), 1u);
+  EXPECT_FALSE(r.aborted);
+}
+
+}  // namespace

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "rispp/h264/encoder.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::h264;
+
+TEST(Video, FrameGeometry) {
+  const VideoGenerator gen(64, 48, 7);
+  const auto f = gen.frame(0);
+  EXPECT_EQ(f.width, 64);
+  EXPECT_EQ(f.height, 48);
+  EXPECT_EQ(f.luma.size(), 64u * 48u);
+  EXPECT_EQ(f.cb.size(), 32u * 24u);
+  EXPECT_EQ(f.mb_cols(), 4);
+  EXPECT_EQ(f.mb_rows(), 3);
+}
+
+TEST(Video, DeterministicFrames) {
+  const VideoGenerator gen(32, 32, 123);
+  const auto a = gen.frame(5);
+  const auto b = gen.frame(5);
+  EXPECT_EQ(a.luma, b.luma);
+  EXPECT_EQ(a.cb, b.cb);
+  EXPECT_EQ(a.cr, b.cr);
+}
+
+TEST(Video, MotionTranslatesContent) {
+  // With zero noise, frame k+1 is frame k shifted by the motion vector.
+  const VideoGenerator gen(64, 32, 9, /*mx=*/3, /*my=*/1, /*noise=*/0);
+  const auto f0 = gen.frame(0);
+  const auto f1 = gen.frame(1);
+  // Interior sample: f1(x, y) = f0(x + 3, y + 1).
+  for (int y = 4; y < 24; ++y)
+    for (int x = 4; x < 56; ++x)
+      EXPECT_EQ(f1.luma_at(x, y), f0.luma_at(x + 3, y + 1));
+}
+
+TEST(Video, EdgeClamping) {
+  const VideoGenerator gen(32, 32, 1);
+  const auto f = gen.frame(0);
+  EXPECT_EQ(f.luma_at(-5, -5), f.luma_at(0, 0));
+  EXPECT_EQ(f.luma_at(100, 100), f.luma_at(31, 31));
+}
+
+TEST(Video, RejectsBadGeometry) {
+  EXPECT_THROW(VideoGenerator(30, 32, 1), rispp::util::PreconditionError);
+  EXPECT_THROW(VideoGenerator(32, 0, 1), rispp::util::PreconditionError);
+}
+
+TEST(Encoder, MacroblockSiMixMatchesFig7) {
+  // The per-MB invocation mix the whole evaluation rests on:
+  // 256 SATD + 24 DCT + 1 HT_4x4 + 2 HT_2x2.
+  const VideoGenerator gen(64, 48, 11);
+  const Encoder enc;
+  const auto st = enc.encode_macroblock(gen.frame(1), gen.frame(0), 1, 1);
+  EXPECT_EQ(st.macroblocks, 1u);
+  EXPECT_EQ(st.satd_ops, 256u);
+  EXPECT_EQ(st.dct_ops, 24u);
+  EXPECT_EQ(st.ht4_ops, 1u);
+  EXPECT_EQ(st.ht2_ops, 2u);
+}
+
+TEST(Encoder, FrameAggregatesAllMacroblocks) {
+  const VideoGenerator gen(64, 48, 11);
+  const Encoder enc;
+  const auto st = enc.encode_frame(gen.frame(1), gen.frame(0));
+  EXPECT_EQ(st.macroblocks, 12u);  // 4 × 3 MBs
+  EXPECT_EQ(st.satd_ops, 12u * 256u);
+  EXPECT_EQ(st.dct_ops, 12u * 24u);
+  EXPECT_DOUBLE_EQ(st.satd_per_mb(), 256.0);
+  EXPECT_DOUBLE_EQ(st.dct_per_mb(), 24.0);
+}
+
+TEST(Encoder, MotionSearchFindsTrueDisplacement) {
+  // Noise-free translation within the search range: the best candidates
+  // should reconstruct the content almost exactly → tiny total SATD.
+  const VideoGenerator still(64, 48, 13, /*mx=*/0, /*my=*/0, /*noise=*/0);
+  const Encoder enc;
+  const auto st = enc.encode_frame(still.frame(1), still.frame(0));
+  EXPECT_EQ(st.total_satd, 0);
+  EXPECT_EQ(st.total_distortion, 0);
+}
+
+TEST(Encoder, MovingContentWithinSearchRangeStaysCheap) {
+  // Motion (1,1) per frame is inside the default 4x4 candidate grid, so the
+  // encoder should find (near-)perfect matches without noise.
+  const VideoGenerator mov(64, 48, 13, /*mx=*/1, /*my=*/1, /*noise=*/0);
+  const Encoder enc;
+  const auto st = enc.encode_frame(mov.frame(1), mov.frame(0));
+  // Frame edges clamp, so allow a small non-zero residue.
+  const auto frame_pixels = 64 * 48;
+  EXPECT_LT(st.total_distortion, frame_pixels);
+}
+
+TEST(Encoder, NoiseIncreasesDistortion) {
+  const VideoGenerator clean(64, 48, 17, 1, 1, 0);
+  const VideoGenerator noisy(64, 48, 17, 1, 1, 12);
+  const Encoder enc;
+  const auto st_clean = enc.encode_frame(clean.frame(1), clean.frame(0));
+  const auto st_noisy = enc.encode_frame(noisy.frame(1), noisy.frame(0));
+  EXPECT_GT(st_noisy.total_distortion, st_clean.total_distortion);
+  EXPECT_GT(st_noisy.nonzero_coeffs, st_clean.nonzero_coeffs);
+}
+
+TEST(Encoder, HigherQpFewerNonzeroCoefficients) {
+  const VideoGenerator gen(64, 48, 19, 2, 1, 8);
+  EncoderParams lo_qp;
+  lo_qp.qp = 12;
+  EncoderParams hi_qp;
+  hi_qp.qp = 44;
+  const auto st_lo = Encoder(lo_qp).encode_frame(gen.frame(1), gen.frame(0));
+  const auto st_hi = Encoder(hi_qp).encode_frame(gen.frame(1), gen.frame(0));
+  EXPECT_GT(st_lo.nonzero_coeffs, st_hi.nonzero_coeffs);
+}
+
+TEST(Encoder, ReconstructionMatchesSourceClosely) {
+  // With moderate qp the decoder-side reconstruction must track the source:
+  // PSNR well above 30 dB on this synthetic content.
+  const VideoGenerator gen(64, 48, 21, 1, 1, 3);
+  EncoderParams p;
+  p.qp = 20;
+  const auto st = Encoder(p).encode_frame(gen.frame(1), gen.frame(0));
+  EXPECT_GT(st.psnr_luma, 30.0);
+  EXPECT_LE(st.psnr_luma, 99.0);
+}
+
+TEST(Encoder, PsnrDegradesWithQp) {
+  const VideoGenerator gen(64, 48, 23, 1, 1, 6);
+  auto psnr_at = [&](int qp) {
+    EncoderParams p;
+    p.qp = qp;
+    return Encoder(p).encode_frame(gen.frame(1), gen.frame(0)).psnr_luma;
+  };
+  const double lo = psnr_at(8), mid = psnr_at(28), hi = psnr_at(46);
+  EXPECT_GT(lo, mid);
+  EXPECT_GT(mid, hi);
+}
+
+TEST(Encoder, ReconstructedFrameExposed) {
+  const VideoGenerator gen(32, 32, 25, 1, 0, 2);
+  Frame recon;
+  EncoderParams p;
+  p.qp = 16;
+  const auto st =
+      Encoder(p).encode_frame(gen.frame(1), gen.frame(0), &recon);
+  EXPECT_EQ(recon.width, 32);
+  EXPECT_EQ(recon.luma.size(), gen.frame(1).luma.size());
+  // The exposed frame is exactly what PSNR was computed against.
+  EXPECT_DOUBLE_EQ(psnr_luma(gen.frame(1), recon), st.psnr_luma);
+}
+
+TEST(Encoder, SubpelRefinementNeverWorsensSatd) {
+  const VideoGenerator gen(64, 48, 27, 2, 1, 4);
+  EncoderParams base;
+  EncoderParams refined = base;
+  refined.subpel_refine = true;
+  const auto st_base = Encoder(base).encode_frame(gen.frame(1), gen.frame(0));
+  const auto st_ref =
+      Encoder(refined).encode_frame(gen.frame(1), gen.frame(0));
+  EXPECT_LE(st_ref.total_satd, st_base.total_satd);
+  // 3 extra candidates per sub-block.
+  EXPECT_EQ(st_ref.satd_ops, st_base.satd_ops + st_base.macroblocks * 48);
+  EXPECT_EQ(st_ref.hpel_ops, st_base.macroblocks * 48);
+  EXPECT_EQ(st_base.hpel_ops, 0u);
+}
+
+TEST(Encoder, SubpelRefinementHelpsOnHalfPelMotion) {
+  // A half-pel-ish displacement cannot be matched by integer candidates;
+  // the interpolated candidates must cut the residual noticeably.
+  const VideoGenerator gen(64, 48, 29, 1, 0, 0);
+  // Encode frame 1 against a "stretched" reference: use frame 0 shifted by
+  // a fractional amount by comparing frame(1) against itself is trivial —
+  // instead rely on the generator's integer shift plus noise-free content
+  // and a coarser search step that leaves a 1-pixel miss.
+  EncoderParams base;
+  base.search_step = 2;  // integer grid misses odd displacements
+  EncoderParams refined = base;
+  refined.subpel_refine = true;
+  const auto st_base = Encoder(base).encode_frame(gen.frame(1), gen.frame(0));
+  const auto st_ref =
+      Encoder(refined).encode_frame(gen.frame(1), gen.frame(0));
+  EXPECT_LT(st_ref.total_satd, st_base.total_satd);
+}
+
+TEST(Encoder, TwoStageMeCutsSatdWorkWithSimilarQuality) {
+  const VideoGenerator gen(64, 48, 39, 2, 1, 4);
+  EncoderParams single;
+  EncoderParams two = single;
+  two.two_stage_me = true;
+  two.satd_candidates = 4;
+  const auto st1 = Encoder(single).encode_frame(gen.frame(1), gen.frame(0));
+  const auto st2 = Encoder(two).encode_frame(gen.frame(1), gen.frame(0));
+  // SATD work drops 16 → 4 per sub-block; SAD takes over the ranking.
+  EXPECT_EQ(st2.satd_ops, st1.macroblocks * 16 * 4);
+  EXPECT_EQ(st2.sad_ops, st1.macroblocks * 256);
+  EXPECT_EQ(st1.sad_ops, 0u);
+  // Quality stays close: the SAD pre-ranking keeps the true winner in the
+  // top-4 almost always on this content.
+  EXPECT_LE(st1.total_satd, st2.total_satd);
+  EXPECT_LT(static_cast<double>(st2.total_satd),
+            1.10 * static_cast<double>(st1.total_satd) + 100);
+}
+
+TEST(Deblock, SmoothsQuantizedReconstruction) {
+  // Heavy quantization produces blocking; the loop filter must reduce the
+  // mean discontinuity across 4x4 boundaries.
+  const VideoGenerator gen(64, 48, 31, 1, 1, 4);
+  Frame recon;
+  EncoderParams p;
+  p.qp = 40;
+  Encoder(p).encode_frame(gen.frame(1), gen.frame(0), &recon);
+
+  auto boundary_jump = [&](const Frame& f) {
+    double sum = 0;
+    int n = 0;
+    for (int x = 4; x < f.width; x += 4)
+      for (int y = 0; y < f.height; ++y) {
+        sum += std::abs(static_cast<int>(f.luma_at(x, y)) -
+                        static_cast<int>(f.luma_at(x - 1, y)));
+        ++n;
+      }
+    return sum / n;
+  };
+  const double before = boundary_jump(recon);
+  const auto edges = deblock_luma(recon, p.qp);
+  const double after = boundary_jump(recon);
+  EXPECT_GT(edges, 0u);
+  EXPECT_LE(after, before);
+}
+
+TEST(Deblock, DisabledAtLowQp) {
+  const VideoGenerator gen(32, 32, 33, 1, 1, 4);
+  auto f = gen.frame(0);
+  const auto copy = f.luma;
+  EXPECT_EQ(deblock_luma(f, 5), 0u);  // alpha/beta tables are 0 below 16
+  EXPECT_EQ(f.luma, copy);
+}
+
+TEST(Deblock, EdgeCountMatchesGeometry) {
+  const VideoGenerator gen(64, 48, 35);
+  auto f = gen.frame(0);
+  // Vertical: 15 boundaries × 48 rows; horizontal: 11 × 64 columns.
+  const auto edges = deblock_luma(f, 30);
+  EXPECT_EQ(edges, 15u * 48u + 11u * 64u);
+}
+
+TEST(Psnr, IdenticalFramesCapAt99) {
+  const VideoGenerator gen(32, 32, 37);
+  const auto f = gen.frame(0);
+  EXPECT_DOUBLE_EQ(psnr_luma(f, f), 99.0);
+}
+
+TEST(Encoder, ParamValidation) {
+  EncoderParams p;
+  p.qp = 99;
+  EXPECT_THROW(Encoder{p}, rispp::util::PreconditionError);
+  p = {};
+  p.search_grid = 0;
+  EXPECT_THROW(Encoder{p}, rispp::util::PreconditionError);
+}
+
+TEST(Encoder, FrameSizeMismatchThrows) {
+  const VideoGenerator a(32, 32, 1), b(64, 32, 1);
+  const Encoder enc;
+  EXPECT_THROW(enc.encode_frame(a.frame(0), b.frame(0)),
+               rispp::util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+/// Functional correctness of the Atom-composed kernels: every SI-level
+/// function must match the naive matrix-form reference bit-exactly, and the
+/// Atom data paths must behave like the synthesized units of Fig 8/9.
+
+#include <gtest/gtest.h>
+
+#include "rispp/h264/kernels.hpp"
+#include "rispp/h264/reference.hpp"
+#include "rispp/util/rng.hpp"
+
+namespace {
+
+using namespace rispp::h264;
+
+Block4x4 random_block(rispp::util::Xoshiro256& rng, int lo = -255,
+                      int hi = 255) {
+  Block4x4 b{};
+  for (auto& v : b) v = static_cast<std::int32_t>(rng.range(lo, hi));
+  return b;
+}
+
+TEST(Atoms, QuadSubIsLaneWiseSubtraction) {
+  const Quad a{10, -5, 0, 255};
+  const Quad b{3, 5, -7, 255};
+  EXPECT_EQ(atom_quadsub(a, b), (Quad{7, -10, 7, 0}));
+}
+
+TEST(Atoms, PackUnpackRoundTrip) {
+  rispp::util::Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto lsb = static_cast<std::int16_t>(rng.range(-32768, 32767));
+    const auto msb = static_cast<std::int16_t>(rng.range(-32768, 32767));
+    std::int16_t l2, m2;
+    atom_unpack(atom_pack(lsb, msb), l2, m2);
+    EXPECT_EQ(l2, lsb);
+    EXPECT_EQ(m2, msb);
+  }
+}
+
+TEST(Atoms, TransformDctButterflyMatchesCoreMatrix) {
+  // One row through the DCT butterfly equals kCore · x.
+  const Quad x{10, 20, 30, 40};
+  const auto y = atom_transform(x, TransformMode::Dct);
+  EXPECT_EQ(y[0], 10 + 20 + 30 + 40);
+  EXPECT_EQ(y[1], 2 * 10 + 20 - 30 - 2 * 40);
+  EXPECT_EQ(y[2], 10 - 20 - 30 + 40);
+  EXPECT_EQ(y[3], 10 - 2 * 20 + 2 * 30 - 40);
+}
+
+TEST(Atoms, TransformHadamardButterfly) {
+  const Quad x{1, 2, 3, 4};
+  const auto y = atom_transform(x, TransformMode::Hadamard);
+  EXPECT_EQ(y[0], 10);
+  EXPECT_EQ(y[1], 1 + 2 - 3 - 4);
+  EXPECT_EQ(y[2], 1 - 2 - 3 + 4);
+  EXPECT_EQ(y[3], 1 - 2 + 3 - 4);
+}
+
+TEST(Atoms, SatdAccumulatesAbsoluteValues) {
+  EXPECT_EQ(atom_satd({-1, 2, -3, 4}), 10);
+  EXPECT_EQ(atom_satd({0, 0, 0, 0}), 0);
+}
+
+class KernelVsReference : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  rispp::util::Xoshiro256 rng_{GetParam()};
+};
+
+TEST_P(KernelVsReference, SatdMatches) {
+  const auto cur = random_block(rng_, 0, 255);
+  const auto ref = random_block(rng_, 0, 255);
+  EXPECT_EQ(satd_4x4(cur, ref), ref::satd_4x4(cur, ref));
+}
+
+TEST_P(KernelVsReference, SadMatches) {
+  const auto cur = random_block(rng_, 0, 255);
+  const auto ref = random_block(rng_, 0, 255);
+  EXPECT_EQ(sad_4x4(cur, ref), ref::sad_4x4(cur, ref));
+}
+
+TEST_P(KernelVsReference, DctMatches) {
+  const auto res = random_block(rng_);
+  EXPECT_EQ(dct_4x4(res), ref::dct_4x4(res));
+}
+
+TEST_P(KernelVsReference, Ht4Matches) {
+  const auto dc = random_block(rng_, -2048, 2048);
+  EXPECT_EQ(ht_4x4(dc), ref::ht_4x4(dc));
+}
+
+TEST_P(KernelVsReference, Ht2Matches) {
+  Block2x2 dc{};
+  for (auto& v : dc) v = static_cast<std::int32_t>(rng_.range(-2048, 2048));
+  EXPECT_EQ(ht_2x2(dc), ref::ht_2x2(dc));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBlocks, KernelVsReference,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+TEST(Kernels, SatdProperties) {
+  rispp::util::Xoshiro256 rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = random_block(rng, 0, 255);
+    const auto b = random_block(rng, 0, 255);
+    // Identity → zero; symmetry; non-negativity.
+    EXPECT_EQ(satd_4x4(a, a), 0);
+    EXPECT_EQ(satd_4x4(a, b), satd_4x4(b, a));
+    EXPECT_GE(satd_4x4(a, b), 0);
+    EXPECT_GE(sad_4x4(a, b), 0);
+  }
+}
+
+TEST(Kernels, DctLinearity) {
+  // The integer core transform is linear: T(a + b) = T(a) + T(b).
+  rispp::util::Xoshiro256 rng(19);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = random_block(rng, -100, 100);
+    const auto b = random_block(rng, -100, 100);
+    Block4x4 sum{};
+    for (int k = 0; k < 16; ++k) sum[k] = a[k] + b[k];
+    const auto ta = dct_4x4(a), tb = dct_4x4(b), ts = dct_4x4(sum);
+    for (int k = 0; k < 16; ++k) EXPECT_EQ(ts[k], ta[k] + tb[k]);
+  }
+}
+
+TEST(Kernels, DctDcCoefficientIsBlockSum) {
+  rispp::util::Xoshiro256 rng(23);
+  const auto b = random_block(rng, -64, 64);
+  std::int32_t sum = 0;
+  for (auto v : b) sum += v;
+  EXPECT_EQ(dct_4x4(b)[0], sum);
+}
+
+TEST(Kernels, Ht2x2SelfInverseUpToScale) {
+  // H2·H2 = 4·I: applying the 2x2 Hadamard twice scales by 4.
+  rispp::util::Xoshiro256 rng(29);
+  for (int i = 0; i < 50; ++i) {
+    Block2x2 x{};
+    for (auto& v : x) v = static_cast<std::int32_t>(rng.range(-512, 512));
+    const auto twice = ht_2x2(ht_2x2(x));
+    for (int k = 0; k < 4; ++k) EXPECT_EQ(twice[k], 4 * x[k]);
+  }
+}
+
+TEST(Kernels, QuantizeZeroIsZeroAndSignPreserved) {
+  Block4x4 zero{};
+  const auto q = quantize(zero, 28);
+  for (auto v : q) EXPECT_EQ(v, 0);
+
+  Block4x4 c{};
+  c[0] = 10000;   // position (0,0) — quant class a
+  c[2] = -10000;  // position (0,2) — same class, so same magnitude
+  const auto q2 = quantize(c, 28);
+  EXPECT_GT(q2[0], 0);
+  EXPECT_EQ(q2[2], -q2[0]);
+}
+
+TEST(Kernels, QuantizeCoarserAtHigherQp) {
+  Block4x4 c{};
+  for (int i = 0; i < 16; ++i) c[i] = 5000 + 100 * i;
+  const auto q_low = quantize(c, 10);
+  const auto q_high = quantize(c, 40);
+  for (int i = 0; i < 16; ++i) EXPECT_GE(q_low[i], q_high[i]);
+}
+
+TEST(Kernels, IdctInvertsDctThroughTheScalingChain) {
+  // idct(dct(X)) alone is NOT the identity — the core transform's rows have
+  // unequal norms, which only the position-dependent quant/rescale chain
+  // compensates (H.264 8.5.9). At qp=0 the chain is near-lossless.
+  rispp::util::Xoshiro256 rng(37);
+  for (int t = 0; t < 200; ++t) {
+    const auto x = random_block(rng, -255, 255);
+    const auto recon =
+        idct_scale(idct_4x4(dequantize(quantize(dct_4x4(x), 0), 0)));
+    for (int i = 0; i < 16; ++i)
+      EXPECT_NEAR(recon[i], x[i], 2) << "trial " << t;
+  }
+}
+
+TEST(Kernels, IdctLinearity) {
+  rispp::util::Xoshiro256 rng(41);
+  // The inverse butterfly's >>1 stages are exact (and thus linear) when
+  // inputs are multiples of 4: the row pass then produces even outputs, so
+  // the column pass's shifts are exact too.
+  for (int t = 0; t < 50; ++t) {
+    auto a = random_block(rng, -100, 100);
+    auto b = random_block(rng, -100, 100);
+    for (auto& v : a) v *= 4;
+    for (auto& v : b) v *= 4;
+    Block4x4 sum{};
+    for (int i = 0; i < 16; ++i) sum[i] = a[i] + b[i];
+    const auto ta = idct_4x4(a), tb = idct_4x4(b), ts = idct_4x4(sum);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(ts[i], ta[i] + tb[i]);
+  }
+}
+
+TEST(Kernels, QuantDequantRoundTripBoundedByStep) {
+  // Full encode/decode chain: dct → quantize → dequantize → idct → scale.
+  // Reconstruction error per pixel is bounded by roughly the quantization
+  // step of the chosen qp.
+  rispp::util::Xoshiro256 rng(43);
+  for (int qp : {0, 10, 22, 28}) {
+    const int step = (10 << (qp / 6)) / 4;  // coarse per-pixel step bound
+    for (int t = 0; t < 40; ++t) {
+      const auto x = random_block(rng, -128, 127);
+      const auto recon =
+          idct_scale(idct_4x4(dequantize(quantize(dct_4x4(x), qp), qp)));
+      for (int i = 0; i < 16; ++i)
+        EXPECT_NEAR(recon[i], x[i], step + 2)
+            << "qp " << qp << " trial " << t;
+    }
+  }
+}
+
+TEST(Kernels, HigherQpCoarserReconstruction) {
+  rispp::util::Xoshiro256 rng(47);
+  double err_low = 0, err_high = 0;
+  for (int t = 0; t < 100; ++t) {
+    const auto x = random_block(rng, -128, 127);
+    auto chain = [&](int qp) {
+      const auto recon =
+          idct_scale(idct_4x4(dequantize(quantize(dct_4x4(x), qp), qp)));
+      double e = 0;
+      for (int i = 0; i < 16; ++i) e += std::abs(recon[i] - x[i]);
+      return e;
+    };
+    err_low += chain(10);
+    err_high += chain(40);
+  }
+  EXPECT_LT(err_low, err_high);
+}
+
+TEST(Kernels, ResidualMatchesQuadSubComposition) {
+  rispp::util::Xoshiro256 rng(31);
+  const auto a = random_block(rng, 0, 255);
+  const auto b = random_block(rng, 0, 255);
+  const auto r = residual_4x4(a, b);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r[i], a[i] - b[i]);
+}
+
+}  // namespace

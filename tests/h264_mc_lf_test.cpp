@@ -1,0 +1,159 @@
+/// Functional correctness of the MC (6-tap interpolation) and LF
+/// (deblocking) kernels: Atom-composed versions vs naive references,
+/// plus the standard's structural properties.
+
+#include <gtest/gtest.h>
+
+#include "rispp/h264/mc_lf_kernels.hpp"
+#include "rispp/util/rng.hpp"
+
+namespace {
+
+using namespace rispp::h264;
+
+Patch9 random_patch(rispp::util::Xoshiro256& rng) {
+  Patch9 p{};
+  for (auto& v : p) v = static_cast<std::int32_t>(rng.range(0, 255));
+  return p;
+}
+
+Patch9 constant_patch(std::int32_t value) {
+  Patch9 p{};
+  p.fill(value);
+  return p;
+}
+
+EdgeLine random_edge(rispp::util::Xoshiro256& rng, int spread) {
+  EdgeLine e{};
+  const auto base = rng.range(20, 235);
+  for (auto& v : e)
+    v = static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(base + rng.range(-spread, spread), 0, 255));
+  return e;
+}
+
+TEST(Atoms, SixTapWeights) {
+  const std::int32_t x[6] = {1, 1, 1, 1, 1, 1};
+  EXPECT_EQ(atom_sixtap(x), 32);  // 1-5+20+20-5+1
+  const std::int32_t impulse[6] = {0, 0, 1, 0, 0, 0};
+  EXPECT_EQ(atom_sixtap(impulse), 20);
+}
+
+TEST(Atoms, ClipRoundsAndClamps) {
+  EXPECT_EQ(atom_clip(32 * 100, 5), 100);
+  EXPECT_EQ(atom_clip(32 * 100 + 16, 5), 101);  // rounds up at half
+  EXPECT_EQ(atom_clip(-50, 5), 0);
+  EXPECT_EQ(atom_clip(32 * 400, 5), 255);
+  EXPECT_EQ(atom_clip(300, 0), 255);  // clamp-only mode
+  EXPECT_EQ(atom_clip_delta(9, 4), 4);
+  EXPECT_EQ(atom_clip_delta(-9, 4), -4);
+  EXPECT_EQ(atom_clip_delta(2, 4), 2);
+}
+
+class McVsReference : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  rispp::util::Xoshiro256 rng_{GetParam()};
+};
+
+TEST_P(McVsReference, HpelHorizontalMatches) {
+  const auto p = random_patch(rng_);
+  EXPECT_EQ(mc_hpel_4x4(p, HpelPhase::H), ref::mc_hpel_4x4(p, HpelPhase::H));
+}
+
+TEST_P(McVsReference, HpelVerticalMatches) {
+  const auto p = random_patch(rng_);
+  EXPECT_EQ(mc_hpel_4x4(p, HpelPhase::V), ref::mc_hpel_4x4(p, HpelPhase::V));
+}
+
+TEST_P(McVsReference, HpelCenterMatches) {
+  const auto p = random_patch(rng_);
+  EXPECT_EQ(mc_hpel_4x4(p, HpelPhase::C), ref::mc_hpel_4x4(p, HpelPhase::C));
+}
+
+TEST_P(McVsReference, QpelMatches) {
+  const auto p = random_patch(rng_);
+  EXPECT_EQ(mc_qpel_4x4(p), ref::mc_qpel_4x4(p));
+}
+
+TEST_P(McVsReference, LfEdgeMatches) {
+  for (int spread : {2, 8, 30, 120}) {
+    const auto line = random_edge(rng_, spread);
+    EXPECT_EQ(lf_edge(line, 40, 10, 4), ref::lf_edge(line, 40, 10, 4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPatches, McVsReference,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(Mc, FlatPatchInterpolatesToItself) {
+  // The FIR has unity DC gain (32/32): constant areas stay constant.
+  const auto p = constant_patch(123);
+  for (auto phase : {HpelPhase::H, HpelPhase::V, HpelPhase::C}) {
+    const auto b = mc_hpel_4x4(p, phase);
+    for (auto v : b) EXPECT_EQ(v, 123);
+  }
+  const auto q = mc_qpel_4x4(p);
+  for (auto v : q) EXPECT_EQ(v, 123);
+}
+
+TEST(Mc, OutputAlwaysInPixelRange) {
+  rispp::util::Xoshiro256 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = random_patch(rng);
+    for (auto phase : {HpelPhase::H, HpelPhase::V, HpelPhase::C})
+      for (auto v : mc_hpel_4x4(p, phase)) {
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 255);
+      }
+  }
+}
+
+TEST(Lf, FlatEdgeUnchanged) {
+  // No discontinuity → the filter must not invent one.
+  EdgeLine flat{};
+  flat.fill(100);
+  EXPECT_EQ(lf_edge(flat, 40, 10, 4), flat);
+}
+
+TEST(Lf, StrongEdgePreserved) {
+  // |p0−q0| ≥ α means a real image edge — must pass through unfiltered.
+  EdgeLine edge{50, 50, 50, 50, 200, 200, 200, 200};
+  EXPECT_FALSE(lf_edge_active(edge, 40, 10));
+  EXPECT_EQ(lf_edge(edge, 40, 10, 4), edge);
+}
+
+TEST(Lf, BlockingArtifactSmoothed) {
+  // A small step (blocking artifact) gets reduced, not removed entirely.
+  EdgeLine step{100, 100, 100, 100, 110, 110, 110, 110};
+  ASSERT_TRUE(lf_edge_active(step, 40, 12));
+  const auto out = lf_edge(step, 40, 12, 4);
+  EXPECT_GT(out[3], 100);       // p0 moved towards q0
+  EXPECT_LT(out[4], 110);       // q0 moved towards p0
+  EXPECT_LE(out[4] - out[3], 10);  // discontinuity shrank
+  // Outermost pixels never change.
+  EXPECT_EQ(out[0], step[0]);
+  EXPECT_EQ(out[7], step[7]);
+}
+
+TEST(Lf, DeltaClippedByC) {
+  // Huge flat-sided step within α: delta is clipped to ±c.
+  EdgeLine step{100, 100, 100, 100, 130, 130, 130, 130};
+  const auto out = lf_edge(step, 40, 35, 2);
+  // ap/aq hold (flat sides), so c = c0 + 2 = 4.
+  EXPECT_LE(out[3] - 100, 4);
+  EXPECT_LE(130 - out[4], 4);
+}
+
+TEST(Lf, FilteredValuesStayInRange) {
+  rispp::util::Xoshiro256 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto line = random_edge(rng, 25);
+    const auto out = lf_edge(line, 52, 16, 6);
+    for (auto v : out) {
+      EXPECT_GE(v, 0);
+      EXPECT_LE(v, 255);
+    }
+  }
+}
+
+}  // namespace

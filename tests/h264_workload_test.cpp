@@ -1,0 +1,118 @@
+/// The Fig-12 workload model: calibration against the paper's Opt.SW number
+/// and consistency between the cycle model, the trace generator, and the
+/// simulator.
+
+#include <gtest/gtest.h>
+
+#include "rispp/h264/encoder.hpp"
+#include "rispp/h264/workload.hpp"
+#include "rispp/sim/simulator.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::h264;
+using rispp::isa::SiLibrary;
+
+class Workload : public ::testing::Test {
+ protected:
+  SiLibrary lib_ = SiLibrary::h264();
+};
+
+TEST_F(Workload, SoftwareCyclesPerMbMatchPaperExactly) {
+  // Fig 12 "Opt. SW": 201,065 cycles per macroblock.
+  EXPECT_EQ(software_cycles_per_mb(lib_, MbCounts{}, MbCycleModel{}), 201065u);
+}
+
+TEST_F(Workload, OverheadBreakdown) {
+  const MbCycleModel m{};
+  const MbCounts c{};
+  // 120·256 + 300·16 + 250·24 + 8151 = 49,671 non-SI cycles.
+  EXPECT_EQ(m.overhead_cycles(c), 49671u);
+}
+
+TEST_F(Workload, IdealHwCyclesShrinkWithBudgetAndSaturate) {
+  const MbCounts c{};
+  const MbCycleModel m{};
+  const auto sw = software_cycles_per_mb(lib_, c, m);
+  std::uint64_t prev = sw;
+  for (std::uint64_t budget : {4ull, 5ull, 6ull, 16ull}) {
+    const auto hw = ideal_hw_cycles_per_mb(lib_, c, m, budget);
+    EXPECT_LE(hw, prev);
+    prev = hw;
+  }
+  // Paper: minimal-atom configuration is >3x faster than software.
+  const auto hw4 = ideal_hw_cycles_per_mb(lib_, c, m, 4);
+  EXPECT_GT(static_cast<double>(sw) / static_cast<double>(hw4), 3.0);
+  // Amdahl: going from 4 to 16 atoms gains comparatively little.
+  const auto hw16 = ideal_hw_cycles_per_mb(lib_, c, m, 16);
+  EXPECT_LT(static_cast<double>(hw4) / static_cast<double>(hw16), 1.15);
+}
+
+TEST_F(Workload, MbCountsMatchTheFunctionalEncoder) {
+  // The trace generator and the functional encoder must agree on the SI mix.
+  const VideoGenerator gen(64, 48, 11);
+  const Encoder enc;
+  const auto st = enc.encode_macroblock(gen.frame(1), gen.frame(0), 0, 0);
+  const MbCounts c{};
+  EXPECT_EQ(st.satd_ops, c.satd);
+  EXPECT_EQ(st.dct_ops, c.dct);
+  EXPECT_EQ(st.ht4_ops, c.ht4);
+  EXPECT_EQ(st.ht2_ops, c.ht2);
+}
+
+TEST_F(Workload, TraceWithoutForecastsReproducesSoftwareTotal) {
+  TraceParams p;
+  p.macroblocks = 3;
+  p.forecast_every_mbs = 0;  // forecasting disabled → stays in software
+  const auto trace = make_encode_trace(lib_, p);
+  rispp::sim::Simulator sim(lib_, {});
+  sim.add_task({"enc", trace});
+  const auto r = sim.run();
+  EXPECT_EQ(r.total_cycles,
+            3u * software_cycles_per_mb(lib_, p.counts, p.model));
+  EXPECT_EQ(r.rotations, 0u);
+}
+
+TEST_F(Workload, TraceSiTotalsMatchCounts) {
+  TraceParams p;
+  p.macroblocks = 5;
+  const auto trace = make_encode_trace(lib_, p);
+  rispp::sim::Simulator sim(lib_, {});
+  sim.add_task({"enc", trace});
+  const auto r = sim.run();
+  EXPECT_EQ(r.si("SATD_4x4").invocations, 5u * p.counts.satd);
+  EXPECT_EQ(r.si("DCT_4x4").invocations, 5u * p.counts.dct);
+  EXPECT_EQ(r.si("HT_4x4").invocations, 5u * p.counts.ht4);
+  EXPECT_EQ(r.si("HT_2x2").invocations, 5u * p.counts.ht2);
+}
+
+TEST_F(Workload, ForecastedRunApproachesIdealAfterWarmup) {
+  // Simulate enough macroblocks that the rotation transient amortizes; the
+  // per-MB average must land between the ideal-hardware bound and software.
+  TraceParams p;
+  p.macroblocks = 60;
+  rispp::sim::SimConfig cfg;
+  cfg.rt.atom_containers = 4;
+  cfg.rt.record_events = false;
+  rispp::sim::Simulator sim(lib_, cfg);
+  sim.add_task({"enc", make_encode_trace(lib_, p)});
+  const auto r = sim.run();
+  const double per_mb =
+      static_cast<double>(r.total_cycles) / static_cast<double>(p.macroblocks);
+  const auto ideal = ideal_hw_cycles_per_mb(lib_, p.counts, p.model, 4);
+  const auto sw = software_cycles_per_mb(lib_, p.counts, p.model);
+  EXPECT_GT(per_mb, static_cast<double>(ideal) - 1.0);
+  EXPECT_LT(per_mb, static_cast<double>(sw));
+  // Within 15 % of ideal after warm-up — the paper's 4-Atom 60,244 vs our
+  // ideal bound has the same relationship.
+  EXPECT_LT(per_mb, 1.15 * static_cast<double>(ideal));
+}
+
+TEST_F(Workload, RejectsZeroMacroblocks) {
+  TraceParams p;
+  p.macroblocks = 0;
+  EXPECT_THROW(make_encode_trace(lib_, p), rispp::util::PreconditionError);
+}
+
+}  // namespace

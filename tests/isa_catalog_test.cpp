@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "rispp/isa/atom_catalog.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::isa;
+using rispp::atom::Molecule;
+using rispp::util::PreconditionError;
+
+TEST(AtomCatalog, H264HasSevenAtomsInTable2Order) {
+  const auto cat = AtomCatalog::h264();
+  ASSERT_EQ(cat.size(), 7u);
+  EXPECT_EQ(cat.at(0).name, "Load");
+  EXPECT_EQ(cat.at(1).name, "QuadSub");
+  EXPECT_EQ(cat.at(2).name, "Pack");
+  EXPECT_EQ(cat.at(3).name, "Transform");
+  EXPECT_EQ(cat.at(4).name, "SATD");
+  EXPECT_EQ(cat.at(5).name, "Add");
+  EXPECT_EQ(cat.at(6).name, "Store");
+}
+
+TEST(AtomCatalog, RotatabilityMatchesTable1) {
+  // Exactly the four synthesized compute Atoms of Table 1 live in ACs.
+  const auto cat = AtomCatalog::h264();
+  for (const auto& a : cat.atoms()) {
+    const bool compute = a.name == "QuadSub" || a.name == "Pack" ||
+                         a.name == "Transform" || a.name == "SATD";
+    EXPECT_EQ(a.rotatable, compute) << a.name;
+  }
+}
+
+TEST(AtomCatalog, IndexLookup) {
+  const auto cat = AtomCatalog::h264();
+  EXPECT_EQ(cat.index_of("Transform"), 3u);
+  EXPECT_TRUE(cat.contains("SATD"));
+  EXPECT_FALSE(cat.contains("Nonexistent"));
+  EXPECT_THROW(cat.index_of("Nonexistent"), PreconditionError);
+}
+
+TEST(AtomCatalog, HardwareAttached) {
+  const auto cat = AtomCatalog::h264();
+  EXPECT_EQ(cat.at(cat.index_of("Transform")).hardware.slices, 517u);
+  EXPECT_EQ(cat.at(cat.index_of("Pack")).hardware.bitstream_bytes, 65713u);
+}
+
+TEST(AtomCatalog, ProjectRotatableZeroesStaticComponents) {
+  const auto cat = AtomCatalog::h264();
+  const Molecule m{4, 3, 2, 1, 1, 5, 6};  // L QS P T S A St
+  const auto rot = cat.project_rotatable(m);
+  EXPECT_EQ(rot, (Molecule{0, 3, 2, 1, 1, 0, 0}));
+  EXPECT_EQ(cat.rotatable_determinant(m), 7u);
+}
+
+TEST(AtomCatalog, SatisfiedByIgnoresStaticAtoms) {
+  const auto cat = AtomCatalog::h264();
+  // Need: Load 1 (static) + QuadSub 1 + Transform 1.
+  const Molecule need{1, 1, 0, 1, 0, 1, 1};
+  // Loaded containers: QuadSub 1 + Transform 1, nothing else.
+  const Molecule loaded{0, 1, 0, 1, 0, 0, 0};
+  EXPECT_TRUE(cat.satisfied_by(need, loaded));
+  // Missing Transform → unsatisfied.
+  const Molecule loaded2{0, 1, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(cat.satisfied_by(need, loaded2));
+}
+
+TEST(AtomCatalog, RejectsDuplicates) {
+  EXPECT_THROW(AtomCatalog({{.name = "A", .hardware = {}, .rotatable = true},
+                            {.name = "A", .hardware = {}, .rotatable = true}}),
+               PreconditionError);
+  EXPECT_THROW(AtomCatalog(std::vector<AtomInfo>{}), PreconditionError);
+}
+
+}  // namespace

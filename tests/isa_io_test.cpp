@@ -1,0 +1,141 @@
+/// Text serialization of SI libraries: round-trips, whitespace/comment
+/// handling, and precise error reporting with line numbers.
+
+#include <gtest/gtest.h>
+
+#include "rispp/isa/io.hpp"
+
+namespace {
+
+using namespace rispp::isa;
+
+const char* kMinimal = R"(
+# a two-atom, one-SI library
+catalog
+  atom A slices=100 luts=200 bitstream=50000 rotatable
+  atom Ld slices=50 luts=100 bitstream=40000 static
+end
+
+si DOIT software=100
+  molecule cycles=10 A=1 Ld=1
+  molecule cycles=6 A=2 Ld=1
+end
+)";
+
+TEST(IsaIo, ParsesMinimalLibrary) {
+  const auto lib = parse_si_library(kMinimal);
+  EXPECT_EQ(lib.catalog().size(), 2u);
+  EXPECT_TRUE(lib.catalog().at(0).rotatable);
+  EXPECT_FALSE(lib.catalog().at(1).rotatable);
+  EXPECT_EQ(lib.catalog().at(0).hardware.slices, 100u);
+  EXPECT_EQ(lib.catalog().at(1).hardware.bitstream_bytes, 40000u);
+  ASSERT_EQ(lib.size(), 1u);
+  const auto& si = lib.find("DOIT");
+  EXPECT_EQ(si.software_cycles(), 100u);
+  ASSERT_EQ(si.options().size(), 2u);
+  EXPECT_EQ(si.options()[0].cycles, 10u);
+  EXPECT_EQ(si.options()[1].atoms[0], 2u);
+  EXPECT_EQ(si.options()[1].atoms[1], 1u);
+}
+
+TEST(IsaIo, RoundTripsTheH264Library) {
+  const auto original = SiLibrary::h264();
+  const auto text = write_si_library(original);
+  const auto parsed = parse_si_library(text);
+
+  ASSERT_EQ(parsed.catalog().size(), original.catalog().size());
+  for (std::size_t a = 0; a < original.catalog().size(); ++a) {
+    EXPECT_EQ(parsed.catalog().at(a).name, original.catalog().at(a).name);
+    EXPECT_EQ(parsed.catalog().at(a).rotatable,
+              original.catalog().at(a).rotatable);
+    EXPECT_EQ(parsed.catalog().at(a).hardware.bitstream_bytes,
+              original.catalog().at(a).hardware.bitstream_bytes);
+  }
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t s = 0; s < original.size(); ++s) {
+    const auto& po = parsed.at(s);
+    const auto& oo = original.at(s);
+    EXPECT_EQ(po.name(), oo.name());
+    EXPECT_EQ(po.software_cycles(), oo.software_cycles());
+    ASSERT_EQ(po.options().size(), oo.options().size());
+    for (std::size_t m = 0; m < oo.options().size(); ++m) {
+      EXPECT_EQ(po.options()[m].cycles, oo.options()[m].cycles);
+      EXPECT_EQ(po.options()[m].atoms, oo.options()[m].atoms);
+    }
+  }
+}
+
+TEST(IsaIo, RoundTripsTheFrameLibrary) {
+  const auto original = SiLibrary::h264_frame();
+  const auto parsed = parse_si_library(write_si_library(original));
+  EXPECT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.catalog().size(), original.catalog().size());
+  // Second write must be byte-identical (canonical form).
+  EXPECT_EQ(write_si_library(parsed), write_si_library(original));
+}
+
+TEST(IsaIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# header\n\ncatalog\n  atom X slices=1 luts=1 bitstream=1 # trailing\n"
+      "end\nsi S software=9\n  molecule cycles=3 X=1\nend\n";
+  const auto lib = parse_si_library(text);
+  EXPECT_EQ(lib.find("S").options().front().cycles, 3u);
+  EXPECT_TRUE(lib.catalog().at(0).rotatable);  // default
+}
+
+TEST(IsaIo, ErrorsCarryLineNumbers) {
+  auto expect_error_at = [](const std::string& text, std::size_t line) {
+    try {
+      parse_si_library(text);
+      FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+  // Unknown atom in a molecule (line 5).
+  expect_error_at(
+      "catalog\n  atom A slices=1 luts=1 bitstream=1\nend\n"
+      "si S software=9\n  molecule cycles=3 B=1\nend\n",
+      5);
+  // Malformed count (line 2).
+  expect_error_at("catalog\n  atom A slices=abc\nend\n", 2);
+  // Missing software attribute (line 4).
+  expect_error_at(
+      "catalog\n  atom A slices=1 luts=1 bitstream=1\nend\nsi S\n"
+      "  molecule cycles=3 A=1\nend\n",
+      4);
+  // Molecule without cycles (line 5).
+  expect_error_at(
+      "catalog\n  atom A slices=1 luts=1 bitstream=1\nend\n"
+      "si S software=9\n  molecule A=1\nend\n",
+      5);
+}
+
+TEST(IsaIo, StructuralErrors) {
+  EXPECT_THROW(parse_si_library(""), ParseError);
+  EXPECT_THROW(parse_si_library("si S software=1\nend\n"), ParseError);
+  EXPECT_THROW(parse_si_library("catalog\nend\n"), ParseError);  // empty
+  EXPECT_THROW(
+      parse_si_library("catalog\n  atom A slices=1 luts=1 bitstream=1\nend\n"),
+      ParseError);  // no SIs
+  // Unclosed sections.
+  EXPECT_THROW(parse_si_library("catalog\n  atom A slices=1\n"), ParseError);
+  // Library-level validation surfaces as ParseError (duplicate SI name).
+  EXPECT_THROW(parse_si_library(
+                   "catalog\n  atom A slices=1 luts=1 bitstream=1\nend\n"
+                   "si S software=9\n  molecule cycles=3 A=1\nend\n"
+                   "si S software=9\n  molecule cycles=3 A=1\nend\n"),
+               ParseError);
+}
+
+TEST(IsaIo, ParsedLibraryIsFullyFunctional) {
+  // The parsed library drives the same machinery as the built-in one.
+  const auto lib = parse_si_library(write_si_library(SiLibrary::h264()));
+  const auto& satd = lib.find("SATD_4x4");
+  const auto front = satd.pareto_front(lib.catalog());
+  EXPECT_EQ(front.front().rotatable_atoms, 4u);
+  EXPECT_EQ(front.front().cycles, 24u);
+  EXPECT_GT(satd.max_speedup(), 40.0);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+/// Fig 13 ("RISPP SI Trade-off: Performance vs Resources"): each SI's
+/// Molecule set induces a Pareto front of (#Atoms, cycles) points the
+/// run-time system moves along. These tests pin the fronts of the Table-2
+/// library and verify the front extraction on synthetic molecule sets.
+
+#include <gtest/gtest.h>
+
+#include "rispp/isa/si_library.hpp"
+
+namespace {
+
+using namespace rispp::isa;
+
+class ParetoFronts : public ::testing::Test {
+ protected:
+  SiLibrary lib_ = SiLibrary::h264();
+  const AtomCatalog& cat_ = lib_.catalog();
+};
+
+TEST_F(ParetoFronts, FrontIsStrictlyImproving) {
+  for (const auto& si : lib_.sis()) {
+    const auto front = si.pareto_front(cat_);
+    ASSERT_FALSE(front.empty()) << si.name();
+    for (std::size_t i = 1; i < front.size(); ++i) {
+      EXPECT_GT(front[i].rotatable_atoms, front[i - 1].rotatable_atoms)
+          << si.name();
+      EXPECT_LT(front[i].cycles, front[i - 1].cycles) << si.name();
+    }
+  }
+}
+
+TEST_F(ParetoFronts, FrontDominatesEveryOption) {
+  for (const auto& si : lib_.sis()) {
+    const auto front = si.pareto_front(cat_);
+    for (const auto& o : si.options()) {
+      const auto atoms = cat_.rotatable_determinant(o.atoms);
+      // Some front point must weakly dominate (≤ atoms, ≤ cycles).
+      bool dominated = false;
+      for (const auto& p : front)
+        if (p.rotatable_atoms <= atoms && p.cycles <= o.cycles)
+          dominated = true;
+      EXPECT_TRUE(dominated) << si.name();
+    }
+  }
+}
+
+TEST_F(ParetoFronts, SatdFrontEndpoints) {
+  const auto front = lib_.find("SATD_4x4").pareto_front(cat_);
+  // Leftmost: the minimal molecule (4 compute atoms, 24 cycles).
+  EXPECT_EQ(front.front().rotatable_atoms, 4u);
+  EXPECT_EQ(front.front().cycles, 24u);
+  // Rightmost: the fully spatial molecule (16 compute atoms, 12 cycles).
+  EXPECT_EQ(front.back().rotatable_atoms, 16u);
+  EXPECT_EQ(front.back().cycles, 12u);
+}
+
+TEST_F(ParetoFronts, DctDominatedMoleculeExcluded) {
+  // Table 2's DCT_4x4 18-cycle molecule uses more atoms than the 15-cycle
+  // one — it must not appear on the front.
+  const auto front = lib_.find("DCT_4x4").pareto_front(cat_);
+  for (const auto& p : front) EXPECT_NE(p.cycles, 18u);
+}
+
+TEST_F(ParetoFronts, Ht2x2IsASinglePoint) {
+  const auto front = lib_.find("HT_2x2").pareto_front(cat_);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front.front().rotatable_atoms, 1u);
+  EXPECT_EQ(front.front().cycles, 5u);
+}
+
+TEST(ParetoSynthetic, TiesOnAtomsKeepFastest) {
+  AtomCatalog cat({{.name = "A", .hardware = {}, .rotatable = true},
+                   {.name = "B", .hardware = {}, .rotatable = true}});
+  SpecialInstruction si("S", 100,
+                        {
+                            {rispp::atom::Molecule{1, 0}, 50},
+                            {rispp::atom::Molecule{0, 1}, 40},  // same det
+                            {rispp::atom::Molecule{1, 1}, 30},
+                        });
+  const auto front = si.pareto_front(cat);
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front[0].rotatable_atoms, 1u);
+  EXPECT_EQ(front[0].cycles, 40u);
+  EXPECT_EQ(front[1].rotatable_atoms, 2u);
+  EXPECT_EQ(front[1].cycles, 30u);
+}
+
+TEST(ParetoSynthetic, SlowerBiggerMoleculeDropped) {
+  AtomCatalog cat({{.name = "A", .hardware = {}, .rotatable = true}});
+  SpecialInstruction si("S", 100,
+                        {
+                            {rispp::atom::Molecule{1}, 40},
+                            {rispp::atom::Molecule{2}, 60},  // dominated
+                        });
+  const auto front = si.pareto_front(cat);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].cycles, 40u);
+}
+
+}  // namespace

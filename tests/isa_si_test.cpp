@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "rispp/isa/si_library.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::isa;
+using rispp::atom::Molecule;
+using rispp::util::PreconditionError;
+
+class H264Library : public ::testing::Test {
+ protected:
+  SiLibrary lib_ = SiLibrary::h264();
+  const AtomCatalog& cat_ = lib_.catalog();
+};
+
+TEST_F(H264Library, ContainsTheFourCaseStudySis) {
+  EXPECT_EQ(lib_.size(), 4u);
+  EXPECT_TRUE(lib_.contains("HT_2x2"));
+  EXPECT_TRUE(lib_.contains("HT_4x4"));
+  EXPECT_TRUE(lib_.contains("DCT_4x4"));
+  EXPECT_TRUE(lib_.contains("SATD_4x4"));
+  EXPECT_THROW(lib_.find("SAD_4x4"), PreconditionError);
+}
+
+TEST_F(H264Library, Table2MoleculeCounts) {
+  // Column-group sizes of Table 2: 1 + 6 + 8 + 15 = 30 molecules.
+  EXPECT_EQ(lib_.find("HT_2x2").options().size(), 1u);
+  EXPECT_EQ(lib_.find("HT_4x4").options().size(), 6u);
+  EXPECT_EQ(lib_.find("DCT_4x4").options().size(), 8u);
+  EXPECT_EQ(lib_.find("SATD_4x4").options().size(), 15u);
+}
+
+TEST_F(H264Library, Table2CycleValues) {
+  auto cycles = [](const SpecialInstruction& si) {
+    std::vector<std::uint32_t> v;
+    for (const auto& o : si.options()) v.push_back(o.cycles);
+    return v;
+  };
+  EXPECT_EQ(cycles(lib_.find("HT_2x2")), (std::vector<std::uint32_t>{5}));
+  EXPECT_EQ(cycles(lib_.find("HT_4x4")),
+            (std::vector<std::uint32_t>{22, 17, 17, 12, 11, 8}));
+  EXPECT_EQ(cycles(lib_.find("DCT_4x4")),
+            (std::vector<std::uint32_t>{24, 23, 19, 15, 18, 12, 12, 9}));
+  EXPECT_EQ(cycles(lib_.find("SATD_4x4")),
+            (std::vector<std::uint32_t>{24, 22, 22, 20, 18, 18, 17, 15, 14, 15,
+                                        14, 14, 13, 13, 12}));
+}
+
+TEST_F(H264Library, SatdMinimalMoleculeIsOneAtomOfEachComputeKind) {
+  // Paper §6: "The minimum requirement for this SI is 4 Atoms, i.e. 1 Atom
+  // of each kind" (QuadSub, Pack, Transform, SATD).
+  const auto& satd = lib_.find("SATD_4x4");
+  const auto& min = satd.minimal(cat_);
+  EXPECT_EQ(min.cycles, 24u);
+  EXPECT_EQ(cat_.rotatable_determinant(min.atoms), 4u);
+  EXPECT_EQ(min.atoms[cat_.index_of("QuadSub")], 1u);
+  EXPECT_EQ(min.atoms[cat_.index_of("Pack")], 1u);
+  EXPECT_EQ(min.atoms[cat_.index_of("Transform")], 1u);
+  EXPECT_EQ(min.atoms[cat_.index_of("SATD")], 1u);
+}
+
+TEST_F(H264Library, Ht2x2ConstitutesOnlyOneComputeAtom) {
+  const auto& min = lib_.find("HT_2x2").minimal(cat_);
+  EXPECT_EQ(cat_.rotatable_determinant(min.atoms), 1u);
+  EXPECT_EQ(min.atoms[cat_.index_of("Transform")], 1u);
+}
+
+TEST_F(H264Library, SiMoreThan22TimesFasterThanSoftware) {
+  // Paper §6: "the SIs with min. Atom requirements are more than 22 times
+  // faster than the optimized software implementation."
+  const auto& satd = lib_.find("SATD_4x4");
+  const double min_speedup = satd.speedup(satd.minimal(cat_));
+  EXPECT_GT(min_speedup, 22.0);
+  EXPECT_GT(satd.max_speedup(), min_speedup);
+}
+
+TEST_F(H264Library, FastestSupportedPicksBestFittingMolecule) {
+  const auto& dct = lib_.find("DCT_4x4");
+  // QuadSub 2, Pack 1, Transform 2 loaded → the 15-cycle molecule fits.
+  Molecule loaded(cat_.size());
+  loaded.set(cat_.index_of("QuadSub"), 2);
+  loaded.set(cat_.index_of("Pack"), 1);
+  loaded.set(cat_.index_of("Transform"), 2);
+  const auto* opt = dct.fastest_supported(loaded, cat_);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(opt->cycles, 15u);
+  EXPECT_EQ(dct.cycles_with(loaded, cat_), 15u);
+}
+
+TEST_F(H264Library, NoAtomsMeansSoftwareExecution) {
+  const auto& satd = lib_.find("SATD_4x4");
+  const Molecule empty(cat_.size());
+  EXPECT_EQ(satd.fastest_supported(empty, cat_), nullptr);
+  EXPECT_EQ(satd.cycles_with(empty, cat_), satd.software_cycles());
+  EXPECT_EQ(satd.software_cycles(), 544u);
+}
+
+TEST_F(H264Library, BestWithBudgetMonotone) {
+  const auto& satd = lib_.find("SATD_4x4");
+  std::uint32_t prev = satd.software_cycles();
+  for (std::uint64_t budget = 0; budget <= 20; ++budget) {
+    const auto best = satd.best_with_budget(budget, cat_);
+    const std::uint32_t c = best ? best->cycles : satd.software_cycles();
+    EXPECT_LE(c, prev) << "budget " << budget;
+    prev = c;
+  }
+  // Below the minimal molecule's 4 compute atoms: no hardware option.
+  EXPECT_FALSE(satd.best_with_budget(3, cat_).has_value());
+  EXPECT_TRUE(satd.best_with_budget(4, cat_).has_value());
+}
+
+TEST_F(H264Library, RepIsCeilAverageOverHardwareMolecules) {
+  const auto& ht2 = lib_.find("HT_2x2");
+  // Single molecule → Rep = that molecule.
+  EXPECT_EQ(ht2.rep(cat_), ht2.options().front().atoms);
+
+  const auto& satd = lib_.find("SATD_4x4");
+  const auto rep = satd.rep(cat_);
+  // Every component must lie between the min and max over the molecules.
+  for (std::size_t i = 0; i < cat_.size(); ++i) {
+    rispp::atom::Count lo = ~0u, hi = 0;
+    for (const auto& o : satd.options()) {
+      lo = std::min(lo, o.atoms[i]);
+      hi = std::max(hi, o.atoms[i]);
+    }
+    EXPECT_GE(rep[i], lo);
+    EXPECT_LE(rep[i], hi);
+  }
+}
+
+TEST_F(H264Library, WithSadExtension) {
+  const auto lib = SiLibrary::h264_with_sad();
+  EXPECT_EQ(lib.size(), 5u);
+  const auto& sad = lib.find("SAD_4x4");
+  // The sketched SAD SI combines QuadSub and SATD Atoms, no Transform/Pack.
+  for (const auto& o : sad.options()) {
+    EXPECT_EQ(o.atoms[lib.catalog().index_of("Transform")], 0u);
+    EXPECT_EQ(o.atoms[lib.catalog().index_of("Pack")], 0u);
+    EXPECT_GT(o.atoms[lib.catalog().index_of("QuadSub")], 0u);
+    EXPECT_GT(o.atoms[lib.catalog().index_of("SATD")], 0u);
+  }
+}
+
+TEST(SpecialInstructionValidation, RejectsBadConstruction) {
+  EXPECT_THROW(SpecialInstruction("", 10, {{Molecule{1}, 5}}),
+               PreconditionError);
+  EXPECT_THROW(SpecialInstruction("X", 0, {{Molecule{1}, 5}}),
+               PreconditionError);
+  EXPECT_THROW(SpecialInstruction("X", 10, {}), PreconditionError);
+  EXPECT_THROW(SpecialInstruction("X", 10, {{Molecule{0}, 5}}),
+               PreconditionError);  // zero molecule
+  EXPECT_THROW(SpecialInstruction("X", 10, {{Molecule{1}, 0}}),
+               PreconditionError);  // zero latency
+}
+
+TEST(SiLibraryValidation, RejectsDuplicatesAndDimensionMismatch) {
+  auto cat = AtomCatalog::h264();
+  SpecialInstruction si("X", 100, {{Molecule{0, 1, 0, 0, 0, 0, 0}, 5}});
+  EXPECT_THROW(SiLibrary(cat, {si, si}), PreconditionError);
+  SpecialInstruction bad_dim("Y", 100, {{Molecule{1, 1}, 5}});
+  EXPECT_THROW(SiLibrary(cat, {bad_dim}), PreconditionError);
+}
+
+}  // namespace

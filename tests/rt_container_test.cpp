@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "rispp/rt/container.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::rt;
+using rispp::isa::AtomCatalog;
+using rispp::util::PreconditionError;
+
+class Containers : public ::testing::Test {
+ protected:
+  AtomCatalog cat_ = AtomCatalog::h264();
+  std::size_t quadsub_ = cat_.index_of("QuadSub");
+  std::size_t pack_ = cat_.index_of("Pack");
+  std::size_t transform_ = cat_.index_of("Transform");
+};
+
+TEST_F(Containers, StartsEmpty) {
+  ContainerFile cf(4, cat_);
+  EXPECT_EQ(cf.size(), 4u);
+  EXPECT_TRUE(cf.available_atoms(0).is_zero());
+  EXPECT_TRUE(cf.committed_atoms().is_zero());
+}
+
+TEST_F(Containers, RotationBecomesAvailableAtReadyTime) {
+  ContainerFile cf(2, cat_);
+  cf.start_rotation(0, quadsub_, /*ready_at=*/100, /*owner=*/1);
+  EXPECT_TRUE(cf.available_atoms(50).is_zero());   // still transferring
+  EXPECT_EQ(cf.committed_atoms()[quadsub_], 1u);   // but committed
+  EXPECT_EQ(cf.available_atoms(100)[quadsub_], 1u);
+  cf.refresh(100);
+  EXPECT_EQ(cf.at(0).atom, quadsub_);
+  EXPECT_FALSE(cf.at(0).loading.has_value());
+  EXPECT_EQ(cf.at(0).owner_task, 1);
+}
+
+TEST_F(Containers, RotationDestroysOldContentImmediately) {
+  ContainerFile cf(1, cat_);
+  cf.start_rotation(0, quadsub_, 10, kNoTask);
+  cf.refresh(10);
+  EXPECT_EQ(cf.available_atoms(10)[quadsub_], 1u);
+  // Re-rotate to Pack: QuadSub unusable from the moment the rotation starts.
+  cf.start_rotation(0, pack_, 200, kNoTask);
+  EXPECT_TRUE(cf.available_atoms(50).is_zero());
+  EXPECT_EQ(cf.committed_atoms()[pack_], 1u);
+  EXPECT_EQ(cf.committed_atoms()[quadsub_], 0u);
+}
+
+TEST_F(Containers, StaticAtomsCannotBeRotated) {
+  ContainerFile cf(1, cat_);
+  EXPECT_THROW(cf.start_rotation(0, cat_.index_of("Load"), 10, kNoTask),
+               PreconditionError);
+}
+
+TEST_F(Containers, VictimPrefersEmpty) {
+  ContainerFile cf(3, cat_);
+  cf.start_rotation(0, quadsub_, 10, kNoTask);
+  cf.refresh(10);
+  const auto target = cat_.zero();
+  const auto victim = cf.choose_victim(target, 20);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_NE(*victim, 0u);  // containers 1 and 2 are empty
+}
+
+TEST_F(Containers, VictimIsLruExcessContainer) {
+  ContainerFile cf(2, cat_);
+  cf.start_rotation(0, quadsub_, 10, kNoTask);
+  cf.start_rotation(1, pack_, 20, kNoTask);
+  cf.refresh(20);
+  // Touch Pack recently; QuadSub is stale.
+  rispp::atom::Molecule used(cat_.size());
+  used.set(pack_, 1);
+  cf.touch(used, 100);
+  // Target wants neither → both in excess; LRU = container 0 (QuadSub).
+  const auto victim = cf.choose_victim(cat_.zero(), 200);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0u);
+}
+
+TEST_F(Containers, NeededContainersAreNotVictims) {
+  ContainerFile cf(2, cat_);
+  cf.start_rotation(0, quadsub_, 10, kNoTask);
+  cf.start_rotation(1, pack_, 20, kNoTask);
+  cf.refresh(20);
+  // Target needs exactly these two atoms → no victim available.
+  rispp::atom::Molecule target(cat_.size());
+  target.set(quadsub_, 1);
+  target.set(pack_, 1);
+  EXPECT_FALSE(cf.choose_victim(target, 100).has_value());
+  // Target needs only Pack → QuadSub's container is expendable.
+  rispp::atom::Molecule target2(cat_.size());
+  target2.set(pack_, 1);
+  const auto victim = cf.choose_victim(target2, 100);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0u);
+}
+
+TEST_F(Containers, BusyContainerIsNotVictim) {
+  ContainerFile cf(1, cat_);
+  cf.start_rotation(0, quadsub_, 1000, kNoTask);
+  // At cycle 10 the transfer is still in flight — not preemptible.
+  EXPECT_FALSE(cf.choose_victim(cat_.zero(), 10).has_value());
+  // After completion it becomes a normal (excess) victim.
+  cf.refresh(1000);
+  EXPECT_TRUE(cf.choose_victim(cat_.zero(), 1000).has_value());
+}
+
+TEST_F(Containers, AggregationCountsInstances) {
+  ContainerFile cf(3, cat_);
+  cf.start_rotation(0, transform_, 10, kNoTask);
+  cf.start_rotation(1, transform_, 20, kNoTask);
+  cf.start_rotation(2, quadsub_, 30, kNoTask);
+  cf.refresh(30);
+  const auto avail = cf.available_atoms(30);
+  EXPECT_EQ(avail[transform_], 2u);
+  EXPECT_EQ(avail[quadsub_], 1u);
+  EXPECT_EQ(avail.determinant(), 3u);
+}
+
+TEST_F(Containers, Preconditions) {
+  EXPECT_THROW(ContainerFile(0, cat_), PreconditionError);
+  ContainerFile cf(1, cat_);
+  EXPECT_THROW(cf.start_rotation(5, quadsub_, 10, kNoTask), PreconditionError);
+  EXPECT_THROW(cf.start_rotation(0, 99, 10, kNoTask), PreconditionError);
+  EXPECT_THROW((void)cf.at(7), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+/// Property testing of the Molecule selector over RANDOM SI libraries (not
+/// just the paper's nested H.264 lattice): plan feasibility, step soundness,
+/// monotonicity in budget, and bounded loss vs the exhaustive optimum.
+
+#include <gtest/gtest.h>
+
+#include "rispp/rt/selection.hpp"
+#include "rispp/util/rng.hpp"
+
+namespace {
+
+using namespace rispp::rt;
+using rispp::atom::Molecule;
+using rispp::isa::AtomCatalog;
+using rispp::isa::MoleculeOption;
+using rispp::isa::SiLibrary;
+using rispp::isa::SpecialInstruction;
+
+SiLibrary random_library(rispp::util::Xoshiro256& rng) {
+  const std::size_t atoms = 2 + rng.below(4);
+  std::vector<rispp::isa::AtomInfo> infos;
+  for (std::size_t a = 0; a < atoms; ++a)
+    infos.push_back({.name = "A" + std::to_string(a),
+                     .hardware = {},
+                     .rotatable = true});
+  AtomCatalog cat(std::move(infos));
+
+  const std::size_t sis = 1 + rng.below(3);
+  std::vector<SpecialInstruction> list;
+  for (std::size_t s = 0; s < sis; ++s) {
+    const std::uint32_t sw = 200 + static_cast<std::uint32_t>(rng.below(800));
+    std::vector<MoleculeOption> options;
+    const std::size_t count = 1 + rng.below(4);
+    std::uint32_t cycles = sw / (2 + static_cast<std::uint32_t>(rng.below(8)));
+    for (std::size_t m = 0; m < count; ++m) {
+      Molecule mol(cat.size());
+      bool nonzero = false;
+      for (std::size_t a = 0; a < cat.size(); ++a) {
+        const auto c = rng.below(3);
+        mol.set(a, static_cast<rispp::atom::Count>(c));
+        nonzero |= c > 0;
+      }
+      if (!nonzero) mol.set(rng.below(cat.size()), 1);
+      options.push_back({mol, std::max<std::uint32_t>(cycles, 1)});
+      cycles = std::max<std::uint32_t>(cycles / 2, 1);  // later = faster-ish
+    }
+    list.emplace_back("S" + std::to_string(s), sw, std::move(options));
+  }
+  return SiLibrary(std::move(cat), std::move(list));
+}
+
+class SelectionProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectionProperties, PlanInvariantsOnRandomLibraries) {
+  rispp::util::Xoshiro256 rng(GetParam());
+  const auto lib = random_library(rng);
+  const GreedySelector sel(lib);
+
+  std::vector<ForecastDemand> demands;
+  for (std::size_t s = 0; s < lib.size(); ++s)
+    demands.push_back(
+        {s, 1.0 + static_cast<double>(rng.below(500)), 1.0, -1});
+
+  for (std::uint64_t budget = 0; budget <= 8; ++budget) {
+    const auto plan = sel.plan(demands, budget);
+    const auto& cat = lib.catalog();
+
+    // Feasibility: the target never exceeds the budget.
+    EXPECT_LE(cat.rotatable_determinant(plan.target), budget);
+
+    // Step soundness: steps sum to the target, each strictly improves its
+    // SI, and the final target supports each step's promised latency.
+    Molecule sum(cat.size());
+    for (const auto& step : plan.steps) {
+      EXPECT_LT(step.new_cycles, step.old_cycles);
+      EXPECT_FALSE(step.additional.is_zero());
+      EXPECT_GT(step.gain_per_container, 0.0);
+      sum = sum.plus(step.additional);
+      EXPECT_LE(lib.at(step.si_index).cycles_with(plan.target, cat),
+                step.new_cycles);
+    }
+    EXPECT_EQ(sum, plan.target);
+
+    // Benefit is non-negative and monotone in budget.
+    EXPECT_GE(sel.benefit(plan.target, demands), -1e-9);
+    if (budget > 0) {
+      const auto smaller = sel.plan(demands, budget - 1);
+      EXPECT_GE(sel.benefit(plan.target, demands),
+                sel.benefit(smaller.target, demands) - 1e-9);
+    }
+  }
+}
+
+TEST_P(SelectionProperties, GreedyWithinHalfOfExhaustive) {
+  // Greedy marginal-gain selection has no universal optimality guarantee on
+  // arbitrary molecule lattices, but on these random instances it must stay
+  // within 50 % of the exhaustive optimum (empirically it is far closer;
+  // the H.264 library is exact — see rt_selection_test).
+  rispp::util::Xoshiro256 rng(GetParam() * 7919);
+  const auto lib = random_library(rng);
+  const GreedySelector sel(lib);
+  std::vector<ForecastDemand> demands;
+  for (std::size_t s = 0; s < lib.size(); ++s)
+    demands.push_back(
+        {s, 1.0 + static_cast<double>(rng.below(500)), 1.0, -1});
+
+  for (std::uint64_t budget : {2ull, 4ull, 6ull}) {
+    const auto greedy = sel.plan(demands, budget);
+    const auto best = sel.exhaustive(demands, budget);
+    const double g = sel.benefit(greedy.target, demands);
+    const double b = sel.benefit(best.target, demands);
+    EXPECT_GE(g, 0.5 * b) << "budget " << budget;
+    EXPECT_LE(g, b + 1e-9) << "budget " << budget;  // exhaustive is optimal
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLibraries, SelectionProperties,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace

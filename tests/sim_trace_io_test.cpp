@@ -1,0 +1,114 @@
+/// The trace text format: parsing, error reporting, round-trips, and
+/// execution equivalence with programmatically built traces.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rispp/sim/simulator.hpp"
+#include "rispp/sim/trace_io.hpp"
+
+namespace {
+
+using namespace rispp::sim;
+using rispp::isa::SiLibrary;
+
+const char* kTwoTasks = R"(
+# Fig-6-flavoured two-task scenario
+task A
+  forecast SATD_4x4 256 0.9
+  compute 30000
+  si SATD_4x4 10
+  label "A warmed up"
+task B
+  compute 50000
+  si HT_2x2           # count defaults to 1
+  release SATD_4x4
+)";
+
+TEST(TraceIo, ParsesTwoTasks) {
+  const auto lib = SiLibrary::h264();
+  const auto tasks = parse_tasks(kTwoTasks, lib);
+  ASSERT_EQ(tasks.size(), 2u);
+  EXPECT_EQ(tasks[0].name, "A");
+  ASSERT_EQ(tasks[0].trace.size(), 4u);
+  EXPECT_EQ(tasks[0].trace[0].kind, TraceOp::Kind::Forecast);
+  EXPECT_DOUBLE_EQ(tasks[0].trace[0].expected, 256.0);
+  EXPECT_DOUBLE_EQ(tasks[0].trace[0].probability, 0.9);
+  EXPECT_EQ(tasks[0].trace[2].count, 10u);
+  EXPECT_EQ(tasks[0].trace[3].text, "A warmed up");
+  ASSERT_EQ(tasks[1].trace.size(), 3u);
+  EXPECT_EQ(tasks[1].trace[1].count, 1u);  // default count
+  EXPECT_EQ(tasks[1].trace[2].kind, TraceOp::Kind::Release);
+}
+
+TEST(TraceIo, RoundTrip) {
+  const auto lib = SiLibrary::h264();
+  const auto tasks = parse_tasks(kTwoTasks, lib);
+  std::ostringstream os;
+  write_tasks(os, tasks, lib);
+  const auto reparsed = parse_tasks(os.str(), lib);
+  ASSERT_EQ(reparsed.size(), tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    ASSERT_EQ(reparsed[t].trace.size(), tasks[t].trace.size());
+    for (std::size_t o = 0; o < tasks[t].trace.size(); ++o) {
+      EXPECT_EQ(reparsed[t].trace[o].kind, tasks[t].trace[o].kind);
+      EXPECT_EQ(reparsed[t].trace[o].cycles, tasks[t].trace[o].cycles);
+      EXPECT_EQ(reparsed[t].trace[o].si_index, tasks[t].trace[o].si_index);
+      EXPECT_EQ(reparsed[t].trace[o].count, tasks[t].trace[o].count);
+      EXPECT_EQ(reparsed[t].trace[o].text, tasks[t].trace[o].text);
+    }
+  }
+  // Canonical: second write identical.
+  std::ostringstream os2;
+  write_tasks(os2, reparsed, lib);
+  EXPECT_EQ(os2.str(), os.str());
+}
+
+TEST(TraceIo, ParsedTraceExecutesLikeBuiltTrace) {
+  const auto lib = SiLibrary::h264();
+  const std::string text =
+      "task t\n  forecast SATD_4x4 500\n  compute 500000\n  si SATD_4x4 100\n";
+  const auto tasks = parse_tasks(text, lib);
+
+  Trace built;
+  built.push_back(TraceOp::forecast(lib.index_of("SATD_4x4"), 500));
+  built.push_back(TraceOp::compute(500000));
+  built.push_back(TraceOp::si(lib.index_of("SATD_4x4"), 100));
+
+  auto run = [&](Trace trace) {
+    Simulator sim(lib, {});
+    sim.add_task({"t", std::move(trace)});
+    return sim.run().total_cycles;
+  };
+  EXPECT_EQ(run(tasks[0].trace), run(built));
+}
+
+TEST(TraceIo, HashInsideLabelIsNotAComment) {
+  const auto lib = SiLibrary::h264();
+  const auto tasks =
+      parse_tasks("task t\n  label \"phase #2 starts\"\n", lib);
+  EXPECT_EQ(tasks[0].trace[0].text, "phase #2 starts");
+}
+
+TEST(TraceIo, ErrorsCarryLineNumbers) {
+  const auto lib = SiLibrary::h264();
+  auto expect_error_at = [&](const std::string& text, std::size_t line) {
+    try {
+      parse_tasks(text, lib);
+      FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+  expect_error_at("compute 5\n", 1);                       // op before task
+  expect_error_at("task t\n  si NOPE 3\n", 2);             // unknown SI
+  expect_error_at("task t\n  compute abc\n", 2);           // bad number
+  expect_error_at("task t\n  si SATD_4x4 0\n", 2);         // zero count
+  expect_error_at("task t\n  forecast SATD_4x4 5 1.5\n", 2);  // bad prob
+  expect_error_at("task t\n  label no-quotes\n", 2);       // unquoted label
+  expect_error_at("task t\n  frobnicate 1\n", 2);          // unknown op
+  expect_error_at("", 0);                                  // empty input
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rispp/util/log.hpp"
+
+namespace {
+
+using namespace rispp::util;
+
+struct CapturedLine {
+  LogLevel level;
+  std::string message;
+};
+
+class LogCapture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_level(LogLevel::Trace);
+    Log::set_sink([this](LogLevel lvl, const std::string& msg) {
+      lines_.push_back({lvl, msg});
+    });
+  }
+  void TearDown() override {
+    Log::reset_sink();
+    Log::set_level(LogLevel::Warn);  // the default benches rely on
+  }
+  std::vector<CapturedLine> lines_;
+};
+
+TEST_F(LogCapture, MacroRoutesToSink) {
+  RISPP_INFO << "hello " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].level, LogLevel::Info);
+  EXPECT_EQ(lines_[0].message, "hello 42");
+}
+
+TEST_F(LogCapture, LevelFilters) {
+  Log::set_level(LogLevel::Warn);
+  RISPP_DEBUG << "dropped";
+  RISPP_TRACE << "dropped too";
+  RISPP_WARN << "kept";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].message, "kept");
+}
+
+TEST_F(LogCapture, EnabledMatchesLevel) {
+  Log::set_level(LogLevel::Info);
+  EXPECT_FALSE(Log::enabled(LogLevel::Debug));
+  EXPECT_TRUE(Log::enabled(LogLevel::Info));
+  EXPECT_TRUE(Log::enabled(LogLevel::Error));
+}
+
+TEST_F(LogCapture, OffSilencesEverything) {
+  Log::set_level(LogLevel::Off);
+  RISPP_WARN << "nope";
+  Log::write(LogLevel::Error, "also nope");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogCapture, LevelNames) {
+  EXPECT_STREQ(Log::level_name(LogLevel::Trace), "trace");
+  EXPECT_STREQ(Log::level_name(LogLevel::Error), "error");
+  EXPECT_STREQ(Log::level_name(LogLevel::Off), "off");
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "rispp/util/csv.hpp"
+#include "rispp/util/error.hpp"
+#include "rispp/util/rng.hpp"
+#include "rispp/util/stats.hpp"
+#include "rispp/util/table.hpp"
+
+namespace {
+
+using namespace rispp::util;
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.total(), 40.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  // Population variance is 4; sample variance 32/7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyThrowsOnMinMax) {
+  Accumulator a;
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_THROW(a.min(), PreconditionError);
+  EXPECT_THROW(a.max(), PreconditionError);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator all, left, right;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10;
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_NEAR(left.min(), all.min(), 0.0);
+  EXPECT_NEAR(left.max(), all.max(), 0.0);
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(Histogram, BucketsAndSaturation) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.5);   // bucket 4
+  h.add(-3.0);  // clamps to bucket 0
+  h.add(42.0);  // clamps to bucket 4
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(Counters, BumpAndGet) {
+  Counters c;
+  c.bump("x");
+  c.bump("x", 4);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("missing"), 0u);
+}
+
+TEST(TextTable, AlignsAndGroups) {
+  TextTable t{"name", "value"};
+  t.add_row({"a", TextTable::grouped(1234567)});
+  t.add_row({"bb", TextTable::num(3.14159, 2)});
+  const auto s = t.str();
+  EXPECT_NE(s.find("1,234,567"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, GroupedNegative) {
+  EXPECT_EQ(TextTable::grouped(-1234), "-1,234");
+  EXPECT_EQ(TextTable::grouped(0), "0");
+  EXPECT_EQ(TextTable::grouped(999), "999");
+}
+
+TEST(Csv, EscapesSpecials) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("plain", "with,comma", "with\"quote");
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, VariadicNumbers) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("k", 42, 1.5);
+  EXPECT_NE(os.str().find("k,42,"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+/// rispp_explorer — command-line front end to the platform:
+///
+///   rispp_explorer info <library.txt>
+///       catalog and SI summary of a library file
+///   rispp_explorer pareto <library.txt>
+///       per-SI Pareto fronts (the Fig-13 view) for any library
+///   rispp_explorer budget <library.txt> <atoms>
+///       budget-best molecule per SI at a given container count
+///   rispp_explorer simulate <library.txt> <trace.txt> [containers] [quantum]
+///       run a multi-task trace file on the cycle simulator
+///   rispp_explorer emit <h264|h264_sad|h264_frame>
+///       print a built-in library in the text format (a starting point for
+///       custom libraries)
+
+#include <fstream>
+#include <iostream>
+
+#include "rispp/isa/io.hpp"
+#include "rispp/sim/simulator.hpp"
+#include "rispp/sim/trace_io.hpp"
+#include "rispp/util/table.hpp"
+
+namespace {
+
+using rispp::util::TextTable;
+
+int usage() {
+  std::cerr << "usage: rispp_explorer <info|pareto|budget|simulate|emit> ...\n"
+               "  info <library.txt>\n"
+               "  pareto <library.txt>\n"
+               "  budget <library.txt> <atoms>\n"
+               "  simulate <library.txt> <trace.txt> [containers] [quantum]\n"
+               "  emit <h264|h264_sad|h264_frame>\n";
+  return 2;
+}
+
+rispp::isa::SiLibrary load_library(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open library file: " + path);
+  return rispp::isa::parse_si_library(in);
+}
+
+int cmd_info(const std::string& path) {
+  const auto lib = load_library(path);
+  TextTable atoms{"atom", "slices", "LUTs", "bitstream [B]", "placement"};
+  atoms.set_title("Catalog (" + std::to_string(lib.catalog().size()) + " atoms)");
+  for (const auto& a : lib.catalog().atoms())
+    atoms.add_row({a.name, std::to_string(a.hardware.slices),
+                   std::to_string(a.hardware.luts),
+                   TextTable::grouped(a.hardware.bitstream_bytes),
+                   a.rotatable ? "atom container" : "static region"});
+  std::cout << atoms.str() << "\n";
+
+  TextTable sis{"SI", "software", "molecules", "min atoms", "max speed-up"};
+  sis.set_title("Special Instructions (" + std::to_string(lib.size()) + ")");
+  for (const auto& si : lib.sis()) {
+    const auto& min = si.minimal(lib.catalog());
+    sis.add_row({si.name(), std::to_string(si.software_cycles()),
+                 std::to_string(si.options().size()),
+                 std::to_string(lib.catalog().rotatable_determinant(min.atoms)),
+                 TextTable::num(si.max_speedup(), 1) + "x"});
+  }
+  std::cout << sis.str();
+  return 0;
+}
+
+int cmd_pareto(const std::string& path) {
+  const auto lib = load_library(path);
+  for (const auto& si : lib.sis()) {
+    TextTable t{"#atoms", "cycles", "molecule"};
+    t.set_title(si.name() + " Pareto front");
+    for (const auto& p : si.pareto_front(lib.catalog()))
+      t.add_row({std::to_string(p.rotatable_atoms), std::to_string(p.cycles),
+                 p.option->atoms.str()});
+    std::cout << t.str() << "\n";
+  }
+  return 0;
+}
+
+int cmd_budget(const std::string& path, const std::string& atoms) {
+  const auto lib = load_library(path);
+  const auto budget = std::stoull(atoms);
+  TextTable t{"SI", "best cycles", "vs software"};
+  t.set_title("Budget-best execution at " + atoms + " atom containers");
+  for (const auto& si : lib.sis()) {
+    const auto best = si.best_with_budget(budget, lib.catalog());
+    if (best)
+      t.add_row({si.name(), std::to_string(best->cycles),
+                 TextTable::num(static_cast<double>(si.software_cycles()) /
+                                    best->cycles, 1) + "x"});
+    else
+      t.add_row({si.name(), std::to_string(si.software_cycles()) + " (SW)",
+                 "1.0x"});
+  }
+  std::cout << t.str();
+  return 0;
+}
+
+int cmd_simulate(const std::string& lib_path, const std::string& trace_path,
+                 unsigned containers, std::uint64_t quantum) {
+  const auto lib = load_library(lib_path);
+  std::ifstream in(trace_path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + trace_path);
+  const auto tasks = rispp::sim::parse_tasks(in, lib);
+
+  rispp::sim::SimConfig cfg;
+  cfg.rt.atom_containers = containers;
+  cfg.quantum = quantum;
+  rispp::sim::Simulator sim(lib, cfg);
+  for (auto& t : tasks) sim.add_task(t);
+  const auto r = sim.run();
+
+  std::cout << "total cycles: " << TextTable::grouped(static_cast<long long>(r.total_cycles))
+            << ", rotations: " << r.rotations << ", energy: "
+            << TextTable::grouped(static_cast<long long>(r.energy_total_nj))
+            << " nJ\n\n";
+  TextTable t{"SI", "invocations", "hw", "sw", "cycles"};
+  for (const auto& [name, st] : r.per_si)
+    t.add_row({name, std::to_string(st.invocations),
+               std::to_string(st.hw_invocations),
+               std::to_string(st.sw_invocations),
+               TextTable::grouped(static_cast<long long>(st.total_cycles))});
+  std::cout << t.str();
+  if (!r.timeline.empty()) {
+    std::cout << "\ntimeline:\n";
+    for (const auto& e : r.timeline)
+      std::cout << "  @" << e.at << " [" << e.task << "] " << e.text << "\n";
+  }
+  return 0;
+}
+
+int cmd_emit(const std::string& which) {
+  if (which == "h264")
+    rispp::isa::write_si_library(std::cout, rispp::isa::SiLibrary::h264());
+  else if (which == "h264_sad")
+    rispp::isa::write_si_library(std::cout,
+                                 rispp::isa::SiLibrary::h264_with_sad());
+  else if (which == "h264_frame")
+    rispp::isa::write_si_library(std::cout,
+                                 rispp::isa::SiLibrary::h264_frame());
+  else
+    return usage();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
+    if (cmd == "pareto" && argc == 3) return cmd_pareto(argv[2]);
+    if (cmd == "budget" && argc == 4) return cmd_budget(argv[2], argv[3]);
+    if (cmd == "simulate" && (argc == 4 || argc == 5 || argc == 6)) {
+      const unsigned containers =
+          argc >= 5 ? static_cast<unsigned>(std::stoul(argv[4])) : 4;
+      const std::uint64_t quantum = argc >= 6 ? std::stoull(argv[5]) : 10000;
+      return cmd_simulate(argv[2], argv[3], containers, quantum);
+    }
+    if (cmd == "emit" && argc == 3) return cmd_emit(argv[2]);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
