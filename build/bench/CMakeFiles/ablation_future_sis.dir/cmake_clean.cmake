@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_future_sis.dir/ablation_future_sis.cpp.o"
+  "CMakeFiles/ablation_future_sis.dir/ablation_future_sis.cpp.o.d"
+  "ablation_future_sis"
+  "ablation_future_sis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_future_sis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

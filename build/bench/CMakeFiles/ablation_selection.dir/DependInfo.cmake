@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_selection.cpp" "bench/CMakeFiles/ablation_selection.dir/ablation_selection.cpp.o" "gcc" "bench/CMakeFiles/ablation_selection.dir/ablation_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/rispp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/rispp_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rispp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/atom/CMakeFiles/rispp_atom.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/rispp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rispp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rispp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_end_to_end.dir/aes_end_to_end.cpp.o"
+  "CMakeFiles/aes_end_to_end.dir/aes_end_to_end.cpp.o.d"
+  "aes_end_to_end"
+  "aes_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

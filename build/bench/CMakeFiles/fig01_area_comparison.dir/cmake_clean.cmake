@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_area_comparison.dir/fig01_area_comparison.cpp.o"
+  "CMakeFiles/fig01_area_comparison.dir/fig01_area_comparison.cpp.o.d"
+  "fig01_area_comparison"
+  "fig01_area_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_area_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_dynamic_rotation.dir/fig01_dynamic_rotation.cpp.o"
+  "CMakeFiles/fig01_dynamic_rotation.dir/fig01_dynamic_rotation.cpp.o.d"
+  "fig01_dynamic_rotation"
+  "fig01_dynamic_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_dynamic_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_molecule_sharing.dir/fig02_molecule_sharing.cpp.o"
+  "CMakeFiles/fig02_molecule_sharing.dir/fig02_molecule_sharing.cpp.o.d"
+  "fig02_molecule_sharing"
+  "fig02_molecule_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_molecule_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_aes_forecast.dir/fig03_aes_forecast.cpp.o"
+  "CMakeFiles/fig03_aes_forecast.dir/fig03_aes_forecast.cpp.o.d"
+  "fig03_aes_forecast"
+  "fig03_aes_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_aes_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_fdf_surface.dir/fig04_fdf_surface.cpp.o"
+  "CMakeFiles/fig04_fdf_surface.dir/fig04_fdf_surface.cpp.o.d"
+  "fig04_fdf_surface"
+  "fig04_fdf_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fdf_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_runtime_scenario.dir/fig06_runtime_scenario.cpp.o"
+  "CMakeFiles/fig06_runtime_scenario.dir/fig06_runtime_scenario.cpp.o.d"
+  "fig06_runtime_scenario"
+  "fig06_runtime_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_runtime_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

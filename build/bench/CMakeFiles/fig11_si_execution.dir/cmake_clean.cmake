@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_si_execution.dir/fig11_si_execution.cpp.o"
+  "CMakeFiles/fig11_si_execution.dir/fig11_si_execution.cpp.o.d"
+  "fig11_si_execution"
+  "fig11_si_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_si_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

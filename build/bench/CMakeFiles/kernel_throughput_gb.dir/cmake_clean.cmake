@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_throughput_gb.dir/kernel_throughput_gb.cpp.o"
+  "CMakeFiles/kernel_throughput_gb.dir/kernel_throughput_gb.cpp.o.d"
+  "kernel_throughput_gb"
+  "kernel_throughput_gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_throughput_gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

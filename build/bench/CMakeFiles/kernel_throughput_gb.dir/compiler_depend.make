@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kernel_throughput_gb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_tv.dir/multimedia_tv.cpp.o"
+  "CMakeFiles/multimedia_tv.dir/multimedia_tv.cpp.o.d"
+  "multimedia_tv"
+  "multimedia_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_atom_hw.dir/table1_atom_hw.cpp.o"
+  "CMakeFiles/table1_atom_hw.dir/table1_atom_hw.cpp.o.d"
+  "table1_atom_hw"
+  "table1_atom_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_atom_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

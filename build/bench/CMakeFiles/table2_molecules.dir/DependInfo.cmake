@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_molecules.cpp" "bench/CMakeFiles/table2_molecules.dir/table2_molecules.cpp.o" "gcc" "bench/CMakeFiles/table2_molecules.dir/table2_molecules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rispp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/atom/CMakeFiles/rispp_atom.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rispp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rispp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

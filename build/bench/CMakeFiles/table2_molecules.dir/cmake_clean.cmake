@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_molecules.dir/table2_molecules.cpp.o"
+  "CMakeFiles/table2_molecules.dir/table2_molecules.cpp.o.d"
+  "table2_molecules"
+  "table2_molecules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_molecules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_forecast.dir/aes_forecast.cpp.o"
+  "CMakeFiles/aes_forecast.dir/aes_forecast.cpp.o.d"
+  "aes_forecast"
+  "aes_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

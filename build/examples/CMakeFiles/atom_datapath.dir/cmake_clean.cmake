@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_datapath.dir/atom_datapath.cpp.o"
+  "CMakeFiles/atom_datapath.dir/atom_datapath.cpp.o.d"
+  "atom_datapath"
+  "atom_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_isa.dir/custom_isa.cpp.o"
+  "CMakeFiles/custom_isa.dir/custom_isa.cpp.o.d"
+  "custom_isa"
+  "custom_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_cosim.dir/dlx_cosim.cpp.o"
+  "CMakeFiles/dlx_cosim.dir/dlx_cosim.cpp.o.d"
+  "dlx_cosim"
+  "dlx_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h264_encoder.dir/h264_encoder.cpp.o"
+  "CMakeFiles/h264_encoder.dir/h264_encoder.cpp.o.d"
+  "h264_encoder"
+  "h264_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h264_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitask_rotation.dir/multitask_rotation.cpp.o"
+  "CMakeFiles/multitask_rotation.dir/multitask_rotation.cpp.o.d"
+  "multitask_rotation"
+  "multitask_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitask_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("atom")
+subdirs("hw")
+subdirs("isa")
+subdirs("cfg")
+subdirs("forecast")
+subdirs("rt")
+subdirs("sim")
+subdirs("workload")
+subdirs("dlx")
+subdirs("h264")
+subdirs("aes")
+subdirs("baseline")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_aes.dir/aes128.cpp.o"
+  "CMakeFiles/rispp_aes.dir/aes128.cpp.o.d"
+  "CMakeFiles/rispp_aes.dir/graph.cpp.o"
+  "CMakeFiles/rispp_aes.dir/graph.cpp.o.d"
+  "librispp_aes.a"
+  "librispp_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_atom.dir/molecule.cpp.o"
+  "CMakeFiles/rispp_atom.dir/molecule.cpp.o.d"
+  "librispp_atom.a"
+  "librispp_atom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_atom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

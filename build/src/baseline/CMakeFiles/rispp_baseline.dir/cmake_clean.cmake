@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_baseline.dir/asip.cpp.o"
+  "CMakeFiles/rispp_baseline.dir/asip.cpp.o.d"
+  "librispp_baseline.a"
+  "librispp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/distance.cpp" "src/cfg/CMakeFiles/rispp_cfg.dir/distance.cpp.o" "gcc" "src/cfg/CMakeFiles/rispp_cfg.dir/distance.cpp.o.d"
+  "/root/repo/src/cfg/dot.cpp" "src/cfg/CMakeFiles/rispp_cfg.dir/dot.cpp.o" "gcc" "src/cfg/CMakeFiles/rispp_cfg.dir/dot.cpp.o.d"
+  "/root/repo/src/cfg/graph.cpp" "src/cfg/CMakeFiles/rispp_cfg.dir/graph.cpp.o" "gcc" "src/cfg/CMakeFiles/rispp_cfg.dir/graph.cpp.o.d"
+  "/root/repo/src/cfg/probability.cpp" "src/cfg/CMakeFiles/rispp_cfg.dir/probability.cpp.o" "gcc" "src/cfg/CMakeFiles/rispp_cfg.dir/probability.cpp.o.d"
+  "/root/repo/src/cfg/scc.cpp" "src/cfg/CMakeFiles/rispp_cfg.dir/scc.cpp.o" "gcc" "src/cfg/CMakeFiles/rispp_cfg.dir/scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rispp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_cfg.dir/distance.cpp.o"
+  "CMakeFiles/rispp_cfg.dir/distance.cpp.o.d"
+  "CMakeFiles/rispp_cfg.dir/dot.cpp.o"
+  "CMakeFiles/rispp_cfg.dir/dot.cpp.o.d"
+  "CMakeFiles/rispp_cfg.dir/graph.cpp.o"
+  "CMakeFiles/rispp_cfg.dir/graph.cpp.o.d"
+  "CMakeFiles/rispp_cfg.dir/probability.cpp.o"
+  "CMakeFiles/rispp_cfg.dir/probability.cpp.o.d"
+  "CMakeFiles/rispp_cfg.dir/scc.cpp.o"
+  "CMakeFiles/rispp_cfg.dir/scc.cpp.o.d"
+  "librispp_cfg.a"
+  "librispp_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_dlx.dir/assembler.cpp.o"
+  "CMakeFiles/rispp_dlx.dir/assembler.cpp.o.d"
+  "CMakeFiles/rispp_dlx.dir/cfg_extract.cpp.o"
+  "CMakeFiles/rispp_dlx.dir/cfg_extract.cpp.o.d"
+  "CMakeFiles/rispp_dlx.dir/cpu.cpp.o"
+  "CMakeFiles/rispp_dlx.dir/cpu.cpp.o.d"
+  "CMakeFiles/rispp_dlx.dir/h264_binding.cpp.o"
+  "CMakeFiles/rispp_dlx.dir/h264_binding.cpp.o.d"
+  "librispp_dlx.a"
+  "librispp_dlx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_dlx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

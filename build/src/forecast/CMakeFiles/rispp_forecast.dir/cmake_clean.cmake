@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_forecast.dir/candidates.cpp.o"
+  "CMakeFiles/rispp_forecast.dir/candidates.cpp.o.d"
+  "CMakeFiles/rispp_forecast.dir/fdf.cpp.o"
+  "CMakeFiles/rispp_forecast.dir/fdf.cpp.o.d"
+  "CMakeFiles/rispp_forecast.dir/forecast_pass.cpp.o"
+  "CMakeFiles/rispp_forecast.dir/forecast_pass.cpp.o.d"
+  "CMakeFiles/rispp_forecast.dir/placement.cpp.o"
+  "CMakeFiles/rispp_forecast.dir/placement.cpp.o.d"
+  "CMakeFiles/rispp_forecast.dir/trimming.cpp.o"
+  "CMakeFiles/rispp_forecast.dir/trimming.cpp.o.d"
+  "librispp_forecast.a"
+  "librispp_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

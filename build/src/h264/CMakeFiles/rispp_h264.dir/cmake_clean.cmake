@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_h264.dir/encoder.cpp.o"
+  "CMakeFiles/rispp_h264.dir/encoder.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/kernels.cpp.o"
+  "CMakeFiles/rispp_h264.dir/kernels.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/mc_lf_kernels.cpp.o"
+  "CMakeFiles/rispp_h264.dir/mc_lf_kernels.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/phases.cpp.o"
+  "CMakeFiles/rispp_h264.dir/phases.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/reference.cpp.o"
+  "CMakeFiles/rispp_h264.dir/reference.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/video.cpp.o"
+  "CMakeFiles/rispp_h264.dir/video.cpp.o.d"
+  "CMakeFiles/rispp_h264.dir/workload.cpp.o"
+  "CMakeFiles/rispp_h264.dir/workload.cpp.o.d"
+  "librispp_h264.a"
+  "librispp_h264.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_h264.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/area_model.cpp" "src/hw/CMakeFiles/rispp_hw.dir/area_model.cpp.o" "gcc" "src/hw/CMakeFiles/rispp_hw.dir/area_model.cpp.o.d"
+  "/root/repo/src/hw/atom_hw.cpp" "src/hw/CMakeFiles/rispp_hw.dir/atom_hw.cpp.o" "gcc" "src/hw/CMakeFiles/rispp_hw.dir/atom_hw.cpp.o.d"
+  "/root/repo/src/hw/reconfig_port.cpp" "src/hw/CMakeFiles/rispp_hw.dir/reconfig_port.cpp.o" "gcc" "src/hw/CMakeFiles/rispp_hw.dir/reconfig_port.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rispp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

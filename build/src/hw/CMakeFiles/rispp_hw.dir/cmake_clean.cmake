@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_hw.dir/area_model.cpp.o"
+  "CMakeFiles/rispp_hw.dir/area_model.cpp.o.d"
+  "CMakeFiles/rispp_hw.dir/atom_hw.cpp.o"
+  "CMakeFiles/rispp_hw.dir/atom_hw.cpp.o.d"
+  "CMakeFiles/rispp_hw.dir/reconfig_port.cpp.o"
+  "CMakeFiles/rispp_hw.dir/reconfig_port.cpp.o.d"
+  "librispp_hw.a"
+  "librispp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/atom_catalog.cpp" "src/isa/CMakeFiles/rispp_isa.dir/atom_catalog.cpp.o" "gcc" "src/isa/CMakeFiles/rispp_isa.dir/atom_catalog.cpp.o.d"
+  "/root/repo/src/isa/io.cpp" "src/isa/CMakeFiles/rispp_isa.dir/io.cpp.o" "gcc" "src/isa/CMakeFiles/rispp_isa.dir/io.cpp.o.d"
+  "/root/repo/src/isa/si_library.cpp" "src/isa/CMakeFiles/rispp_isa.dir/si_library.cpp.o" "gcc" "src/isa/CMakeFiles/rispp_isa.dir/si_library.cpp.o.d"
+  "/root/repo/src/isa/si_library_frame.cpp" "src/isa/CMakeFiles/rispp_isa.dir/si_library_frame.cpp.o" "gcc" "src/isa/CMakeFiles/rispp_isa.dir/si_library_frame.cpp.o.d"
+  "/root/repo/src/isa/special_instruction.cpp" "src/isa/CMakeFiles/rispp_isa.dir/special_instruction.cpp.o" "gcc" "src/isa/CMakeFiles/rispp_isa.dir/special_instruction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atom/CMakeFiles/rispp_atom.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rispp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rispp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

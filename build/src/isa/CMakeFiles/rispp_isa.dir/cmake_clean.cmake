@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_isa.dir/atom_catalog.cpp.o"
+  "CMakeFiles/rispp_isa.dir/atom_catalog.cpp.o.d"
+  "CMakeFiles/rispp_isa.dir/io.cpp.o"
+  "CMakeFiles/rispp_isa.dir/io.cpp.o.d"
+  "CMakeFiles/rispp_isa.dir/si_library.cpp.o"
+  "CMakeFiles/rispp_isa.dir/si_library.cpp.o.d"
+  "CMakeFiles/rispp_isa.dir/si_library_frame.cpp.o"
+  "CMakeFiles/rispp_isa.dir/si_library_frame.cpp.o.d"
+  "CMakeFiles/rispp_isa.dir/special_instruction.cpp.o"
+  "CMakeFiles/rispp_isa.dir/special_instruction.cpp.o.d"
+  "librispp_isa.a"
+  "librispp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_rt.dir/container.cpp.o"
+  "CMakeFiles/rispp_rt.dir/container.cpp.o.d"
+  "CMakeFiles/rispp_rt.dir/manager.cpp.o"
+  "CMakeFiles/rispp_rt.dir/manager.cpp.o.d"
+  "CMakeFiles/rispp_rt.dir/rotation.cpp.o"
+  "CMakeFiles/rispp_rt.dir/rotation.cpp.o.d"
+  "CMakeFiles/rispp_rt.dir/selection.cpp.o"
+  "CMakeFiles/rispp_rt.dir/selection.cpp.o.d"
+  "librispp_rt.a"
+  "librispp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_util.dir/csv.cpp.o"
+  "CMakeFiles/rispp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rispp_util.dir/log.cpp.o"
+  "CMakeFiles/rispp_util.dir/log.cpp.o.d"
+  "CMakeFiles/rispp_util.dir/stats.cpp.o"
+  "CMakeFiles/rispp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rispp_util.dir/table.cpp.o"
+  "CMakeFiles/rispp_util.dir/table.cpp.o.d"
+  "librispp_util.a"
+  "librispp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_workload.dir/graph_walk.cpp.o"
+  "CMakeFiles/rispp_workload.dir/graph_walk.cpp.o.d"
+  "librispp_workload.a"
+  "librispp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_lattice_property_test.dir/atom_lattice_property_test.cpp.o"
+  "CMakeFiles/atom_lattice_property_test.dir/atom_lattice_property_test.cpp.o.d"
+  "atom_lattice_property_test"
+  "atom_lattice_property_test.pdb"
+  "atom_lattice_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_lattice_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

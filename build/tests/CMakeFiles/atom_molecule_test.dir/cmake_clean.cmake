@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_molecule_test.dir/atom_molecule_test.cpp.o"
+  "CMakeFiles/atom_molecule_test.dir/atom_molecule_test.cpp.o.d"
+  "atom_molecule_test"
+  "atom_molecule_test.pdb"
+  "atom_molecule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_molecule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

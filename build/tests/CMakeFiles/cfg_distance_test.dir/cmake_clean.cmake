@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_distance_test.dir/cfg_distance_test.cpp.o"
+  "CMakeFiles/cfg_distance_test.dir/cfg_distance_test.cpp.o.d"
+  "cfg_distance_test"
+  "cfg_distance_test.pdb"
+  "cfg_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_probability_test.dir/cfg_probability_test.cpp.o"
+  "CMakeFiles/cfg_probability_test.dir/cfg_probability_test.cpp.o.d"
+  "cfg_probability_test"
+  "cfg_probability_test.pdb"
+  "cfg_probability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_probability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_scc_test.dir/cfg_scc_test.cpp.o"
+  "CMakeFiles/cfg_scc_test.dir/cfg_scc_test.cpp.o.d"
+  "cfg_scc_test"
+  "cfg_scc_test.pdb"
+  "cfg_scc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_scc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

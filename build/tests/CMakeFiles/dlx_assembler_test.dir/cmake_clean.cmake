@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_assembler_test.dir/dlx_assembler_test.cpp.o"
+  "CMakeFiles/dlx_assembler_test.dir/dlx_assembler_test.cpp.o.d"
+  "dlx_assembler_test"
+  "dlx_assembler_test.pdb"
+  "dlx_assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_cfg_test.dir/dlx_cfg_test.cpp.o"
+  "CMakeFiles/dlx_cfg_test.dir/dlx_cfg_test.cpp.o.d"
+  "dlx_cfg_test"
+  "dlx_cfg_test.pdb"
+  "dlx_cfg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_cfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

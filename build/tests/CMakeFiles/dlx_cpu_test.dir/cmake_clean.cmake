@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_cpu_test.dir/dlx_cpu_test.cpp.o"
+  "CMakeFiles/dlx_cpu_test.dir/dlx_cpu_test.cpp.o.d"
+  "dlx_cpu_test"
+  "dlx_cpu_test.pdb"
+  "dlx_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_candidates_test.dir/forecast_candidates_test.cpp.o"
+  "CMakeFiles/forecast_candidates_test.dir/forecast_candidates_test.cpp.o.d"
+  "forecast_candidates_test"
+  "forecast_candidates_test.pdb"
+  "forecast_candidates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_candidates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

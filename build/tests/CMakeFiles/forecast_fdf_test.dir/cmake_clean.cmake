@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_fdf_test.dir/forecast_fdf_test.cpp.o"
+  "CMakeFiles/forecast_fdf_test.dir/forecast_fdf_test.cpp.o.d"
+  "forecast_fdf_test"
+  "forecast_fdf_test.pdb"
+  "forecast_fdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_fdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_placement_test.dir/forecast_placement_test.cpp.o"
+  "CMakeFiles/forecast_placement_test.dir/forecast_placement_test.cpp.o.d"
+  "forecast_placement_test"
+  "forecast_placement_test.pdb"
+  "forecast_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_trimming_test.dir/forecast_trimming_test.cpp.o"
+  "CMakeFiles/forecast_trimming_test.dir/forecast_trimming_test.cpp.o.d"
+  "forecast_trimming_test"
+  "forecast_trimming_test.pdb"
+  "forecast_trimming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_trimming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

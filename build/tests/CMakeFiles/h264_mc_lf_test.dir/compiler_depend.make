@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for h264_mc_lf_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h264_workload_test.dir/h264_workload_test.cpp.o"
+  "CMakeFiles/h264_workload_test.dir/h264_workload_test.cpp.o.d"
+  "h264_workload_test"
+  "h264_workload_test.pdb"
+  "h264_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h264_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

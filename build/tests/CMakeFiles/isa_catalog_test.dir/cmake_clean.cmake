@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_catalog_test.dir/isa_catalog_test.cpp.o"
+  "CMakeFiles/isa_catalog_test.dir/isa_catalog_test.cpp.o.d"
+  "isa_catalog_test"
+  "isa_catalog_test.pdb"
+  "isa_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

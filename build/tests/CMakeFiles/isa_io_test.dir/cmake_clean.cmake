@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_io_test.dir/isa_io_test.cpp.o"
+  "CMakeFiles/isa_io_test.dir/isa_io_test.cpp.o.d"
+  "isa_io_test"
+  "isa_io_test.pdb"
+  "isa_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_pareto_test.dir/isa_pareto_test.cpp.o"
+  "CMakeFiles/isa_pareto_test.dir/isa_pareto_test.cpp.o.d"
+  "isa_pareto_test"
+  "isa_pareto_test.pdb"
+  "isa_pareto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_pareto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

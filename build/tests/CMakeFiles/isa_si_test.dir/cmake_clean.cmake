@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_si_test.dir/isa_si_test.cpp.o"
+  "CMakeFiles/isa_si_test.dir/isa_si_test.cpp.o.d"
+  "isa_si_test"
+  "isa_si_test.pdb"
+  "isa_si_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_si_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_container_test.dir/rt_container_test.cpp.o"
+  "CMakeFiles/rt_container_test.dir/rt_container_test.cpp.o.d"
+  "rt_container_test"
+  "rt_container_test.pdb"
+  "rt_container_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_manager_test.dir/rt_manager_test.cpp.o"
+  "CMakeFiles/rt_manager_test.dir/rt_manager_test.cpp.o.d"
+  "rt_manager_test"
+  "rt_manager_test.pdb"
+  "rt_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_selection_property_test.dir/rt_selection_property_test.cpp.o"
+  "CMakeFiles/rt_selection_property_test.dir/rt_selection_property_test.cpp.o.d"
+  "rt_selection_property_test"
+  "rt_selection_property_test.pdb"
+  "rt_selection_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_selection_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

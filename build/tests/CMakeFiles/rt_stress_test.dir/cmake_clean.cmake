@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_stress_test.dir/rt_stress_test.cpp.o"
+  "CMakeFiles/rt_stress_test.dir/rt_stress_test.cpp.o.d"
+  "rt_stress_test"
+  "rt_stress_test.pdb"
+  "rt_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

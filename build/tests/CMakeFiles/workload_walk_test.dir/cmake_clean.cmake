@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_walk_test.dir/workload_walk_test.cpp.o"
+  "CMakeFiles/workload_walk_test.dir/workload_walk_test.cpp.o.d"
+  "workload_walk_test"
+  "workload_walk_test.pdb"
+  "workload_walk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_walk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

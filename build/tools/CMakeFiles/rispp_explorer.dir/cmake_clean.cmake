@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rispp_explorer.dir/rispp_explorer.cpp.o"
+  "CMakeFiles/rispp_explorer.dir/rispp_explorer.cpp.o.d"
+  "rispp_explorer"
+  "rispp_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rispp_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
