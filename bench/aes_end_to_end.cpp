@@ -15,6 +15,8 @@
 #include "rispp/aes/graph.hpp"
 #include "rispp/cfg/dot.hpp"
 #include "rispp/forecast/forecast_pass.hpp"
+#include "rispp/obs/trace_export.hpp"
+#include "rispp/sim/observe.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
 #include "rispp/workload/graph_walk.hpp"
@@ -59,7 +61,7 @@ Aggregate run(const rispp::cfg::BBGraph& g, const rispp::forecast::FcPlan& plan,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using rispp::util::TextTable;
   const auto lib = rispp::aes::si_library();
   const auto g = rispp::aes::build_graph(/*blocks=*/2000);
@@ -106,5 +108,27 @@ int main() {
   std::cout << t.str() << "\n";
   std::cout << "SI invocations across walks: " << rep.si_invocations
             << "\n(graph written to fig03_aes_graph.dot)\n";
+
+  if (const auto trace_out = rispp::obs::trace_out_arg(argc, argv)) {
+    // One representative traced walk (seed 1, the paper's Rep trimming).
+    rispp::workload::WalkParams wp;
+    wp.seed = 1;
+    wp.emit_forecasts = true;
+    const auto trace = rispp::workload::walk_graph(g, plan_rep, lib, wp);
+    rispp::obs::TraceRecorder recorder;
+    rispp::sim::SimConfig cfg;
+    cfg.rt.atom_containers = 6;
+    cfg.rt.sink = &recorder;
+    rispp::sim::Simulator sim(lib, cfg);
+    sim.add_task({"aes", trace});
+    sim.run();
+    rispp::obs::write_trace_file(*trace_out, recorder.events(),
+                                 make_trace_meta(lib, cfg, {"aes"}));
+    std::cout << "Trace (" << recorder.events().size() << " events, seed-1 "
+              << "walk) written to " << *trace_out << "\n";
+  }
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -20,10 +20,12 @@
 
 #include <iostream>
 
+#include "rispp/obs/trace_export.hpp"
+#include "rispp/sim/observe.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rispp::sim;
   using rispp::util::TextTable;
 
@@ -32,9 +34,12 @@ int main() {
   const auto si0 = lib.index_of("HT_2x2");
   const auto si1 = lib.index_of("HT_4x4");
 
+  const auto trace_out = rispp::obs::trace_out_arg(argc, argv);
+  rispp::obs::TraceRecorder recorder;
   SimConfig cfg;
   cfg.rt.atom_containers = 6;
   cfg.quantum = 25000;
+  if (trace_out) cfg.rt.sink = &recorder;
   Simulator sim(lib, cfg);
 
   Trace a;
@@ -105,5 +110,17 @@ int main() {
                    std::to_string(st.sw_invocations)});
   std::cout << stats.str();
   std::cout << "Rotations performed: " << r.rotations << "\n";
+
+  if (trace_out) {
+    rispp::obs::write_trace_file(*trace_out, recorder.events(),
+                                 make_trace_meta(lib, cfg, {"A", "B"}));
+    std::cout << "Trace (" << recorder.events().size() << " events) written to "
+              << *trace_out
+              << " — open .json output in chrome://tracing or Perfetto,\n"
+                 "or summarize .csv output with tools/trace_summary.\n";
+  }
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

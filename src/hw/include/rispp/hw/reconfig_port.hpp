@@ -31,7 +31,8 @@ class ReconfigPort {
   /// Rotation latency for one partial bitstream, in microseconds.
   double rotation_time_us(std::uint32_t bitstream_bytes) const;
 
-  /// Same latency expressed in core clock cycles at `clock_mhz`.
+  /// Same latency expressed in core clock cycles at `clock_mhz`, rounded
+  /// up (partial cycles occupy the port; nonzero bytes never cost 0 cycles).
   std::uint64_t rotation_time_cycles(std::uint32_t bitstream_bytes,
                                      double clock_mhz) const;
 

@@ -17,8 +17,14 @@ double ReconfigPort::rotation_time_us(std::uint32_t bitstream_bytes) const {
 std::uint64_t ReconfigPort::rotation_time_cycles(std::uint32_t bitstream_bytes,
                                                  double clock_mhz) const {
   RISPP_REQUIRE(clock_mhz > 0.0, "clock frequency must be positive");
-  return static_cast<std::uint64_t>(
-      std::llround(rotation_time_us(bitstream_bytes) * clock_mhz));
+  // Ceiling, not round-to-nearest: a transfer occupying a fraction of a
+  // cycle still occupies the port for that cycle. llround let a
+  // small-but-nonzero bitstream cost 0 cycles — a free rotation.
+  const auto cycles = static_cast<std::uint64_t>(
+      std::ceil(rotation_time_us(bitstream_bytes) * clock_mhz));
+  RISPP_ENSURE(bitstream_bytes == 0 || cycles > 0,
+               "nonzero bitstream must cost at least one cycle");
+  return cycles;
 }
 
 }  // namespace rispp::hw

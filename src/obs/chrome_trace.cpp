@@ -1,0 +1,201 @@
+#include "rispp/obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace rispp::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+constexpr std::int64_t kSchedulerTid = 0;
+constexpr std::int64_t kPortTid = 50;
+constexpr std::int64_t kTaskTidBase = 1;
+constexpr std::int64_t kContainerTidBase = 100;
+
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microsecond value with trailing zeros trimmed (deterministic, compact).
+std::string us(std::uint64_t cycles, double clock_mhz) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f",
+                static_cast<double>(cycles) / clock_mhz);
+  std::string s(buf);
+  s.erase(s.find_last_not_of('0') + 1);
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(&out) {}
+
+  void open() { *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["; }
+  void close() { *out_ << "\n]}\n"; }
+
+  void raw(const std::string& json_object) {
+    *out_ << (first_ ? "\n" : ",\n") << json_object;
+    first_ = false;
+  }
+
+  void meta(const char* name, std::int64_t tid, const std::string& value) {
+    raw("{\"name\":\"" + std::string(name) + "\",\"ph\":\"M\",\"pid\":" +
+        std::to_string(kPid) + ",\"tid\":" + std::to_string(tid) +
+        ",\"args\":{\"name\":\"" + esc(value) + "\"}}");
+  }
+
+  void sort_index(std::int64_t tid, std::int64_t index) {
+    raw("{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":" +
+        std::to_string(kPid) + ",\"tid\":" + std::to_string(tid) +
+        ",\"args\":{\"sort_index\":" + std::to_string(index) + "}}");
+  }
+
+  void complete(const std::string& name, const char* cat, std::int64_t tid,
+                const std::string& ts, const std::string& dur,
+                const std::string& args) {
+    raw("{\"name\":\"" + esc(name) + "\",\"cat\":\"" + cat +
+        "\",\"ph\":\"X\",\"ts\":" + ts + ",\"dur\":" + dur +
+        ",\"pid\":" + std::to_string(kPid) + ",\"tid\":" +
+        std::to_string(tid) + ",\"args\":{" + args + "}}");
+  }
+
+  void instant(const std::string& name, const char* cat, std::int64_t tid,
+               const std::string& ts, const std::string& args) {
+    raw("{\"name\":\"" + esc(name) + "\",\"cat\":\"" + cat +
+        "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + ts +
+        ",\"pid\":" + std::to_string(kPid) + ",\"tid\":" +
+        std::to_string(tid) + ",\"args\":{" + args + "}}");
+  }
+
+ private:
+  std::ostream* out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
+                        const TraceMeta& meta) {
+  const double mhz = meta.clock_mhz > 0 ? meta.clock_mhz : 100.0;
+
+  // Track extents: count tasks/containers actually referenced so traces
+  // without meta hints still get named tracks.
+  std::int64_t tasks = static_cast<std::int64_t>(meta.task_names.size());
+  std::int64_t containers = static_cast<std::int64_t>(meta.containers);
+  bool any_rotation = false, any_switch = false;
+  for (const auto& e : events) {
+    tasks = std::max<std::int64_t>(tasks, e.task + 1);
+    containers = std::max<std::int64_t>(containers, e.container + 1);
+    any_rotation |= e.kind == EventKind::RotationStarted;
+    any_switch |= e.kind == EventKind::TaskSwitch;
+  }
+
+  // Cancelled bookings, keyed by (container, transfer-start cycle): their
+  // RotationStarted/Finished spans never happen and must not be drawn.
+  std::set<std::pair<std::int32_t, std::uint64_t>> cancelled;
+  for (const auto& e : events)
+    if (e.kind == EventKind::RotationCancelled)
+      cancelled.insert({e.container, e.prev_cycles});
+
+  Writer w(out);
+  w.open();
+  w.meta("process_name", kSchedulerTid, "rispp");
+  if (any_switch) {
+    w.meta("thread_name", kSchedulerTid, "scheduler");
+    w.sort_index(kSchedulerTid, kSchedulerTid);
+  }
+  for (std::int64_t t = 0; t < tasks; ++t) {
+    w.meta("thread_name", kTaskTidBase + t,
+           "task " + meta.task_name(static_cast<std::int32_t>(t)));
+    w.sort_index(kTaskTidBase + t, kTaskTidBase + t);
+  }
+  if (any_rotation) {
+    w.meta("thread_name", kPortTid, "SelectMap port");
+    w.sort_index(kPortTid, kPortTid);
+  }
+  for (std::int64_t c = 0; c < containers; ++c) {
+    w.meta("thread_name", kContainerTidBase + c, "AC " + std::to_string(c));
+    w.sort_index(kContainerTidBase + c, kContainerTidBase + c);
+  }
+
+  for (const auto& e : events) {
+    const auto ts = us(e.at, mhz);
+    const auto task_tid = kTaskTidBase + std::max<std::int64_t>(e.task, 0);
+    const auto ac_tid = kContainerTidBase + std::max<std::int64_t>(e.container, 0);
+    switch (e.kind) {
+      case EventKind::SiExecuted:
+        w.complete(meta.si_name(e.si), "si", task_tid, ts, us(e.cycles, mhz),
+                   "\"cycles\":" + std::to_string(e.cycles) +
+                       ",\"molecule\":\"" + (e.hardware ? "hw" : "sw") + "\"");
+        break;
+      case EventKind::ForecastSeen:
+        w.instant("forecast " + meta.si_name(e.si), "forecast", task_tid, ts,
+                  "\"si\":\"" + esc(meta.si_name(e.si)) + "\"");
+        break;
+      case EventKind::ForecastReleased:
+        w.instant("release " + meta.si_name(e.si), "forecast", task_tid, ts,
+                  "\"si\":\"" + esc(meta.si_name(e.si)) + "\"");
+        break;
+      case EventKind::RotationStarted: {
+        if (cancelled.count({e.container, e.at})) break;
+        const auto args = "\"atom\":\"" + esc(meta.atom_name(e.atom)) +
+                          "\",\"container\":" + std::to_string(e.container) +
+                          ",\"cycles\":" + std::to_string(e.cycles);
+        w.complete("rotate " + meta.atom_name(e.atom), "rotation", ac_tid, ts,
+                   us(e.cycles, mhz), args);
+        w.complete("rotate " + meta.atom_name(e.atom) + " → AC " +
+                       std::to_string(e.container),
+                   "rotation", kPortTid, ts, us(e.cycles, mhz), args);
+        break;
+      }
+      case EventKind::RotationFinished:
+        break;  // the span is drawn from RotationStarted
+      case EventKind::RotationCancelled:
+        w.instant("cancel " + meta.atom_name(e.atom), "rotation", ac_tid, ts,
+                  "\"atom\":\"" + esc(meta.atom_name(e.atom)) + "\"");
+        break;
+      case EventKind::MoleculeUpgraded:
+        w.instant("upgrade " + meta.si_name(e.si), "upgrade", task_tid, ts,
+                  "\"from_cycles\":" + std::to_string(e.prev_cycles) +
+                      ",\"to_cycles\":" + std::to_string(e.cycles) +
+                      ",\"molecule\":\"" + (e.hardware ? "hw" : "sw") + "\"");
+        break;
+      case EventKind::TaskSwitch:
+        w.instant("switch → " + meta.task_name(e.task), "sched",
+                  kSchedulerTid, ts,
+                  "\"task\":\"" + esc(meta.task_name(e.task)) + "\"");
+        break;
+      case EventKind::AtomEvicted:
+        w.instant("evict " + meta.atom_name(e.atom), "rotation", ac_tid, ts,
+                  "\"atom\":\"" + esc(meta.atom_name(e.atom)) + "\"");
+        break;
+    }
+  }
+  w.close();
+}
+
+}  // namespace rispp::obs

@@ -1,0 +1,59 @@
+#include "rispp/obs/event.hpp"
+
+namespace rispp::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::SiExecuted: return "si-executed";
+    case EventKind::ForecastSeen: return "forecast-seen";
+    case EventKind::ForecastReleased: return "forecast-released";
+    case EventKind::RotationStarted: return "rotation-started";
+    case EventKind::RotationFinished: return "rotation-finished";
+    case EventKind::RotationCancelled: return "rotation-cancelled";
+    case EventKind::MoleculeUpgraded: return "molecule-upgraded";
+    case EventKind::TaskSwitch: return "task-switch";
+    case EventKind::AtomEvicted: return "atom-evicted";
+  }
+  return "?";
+}
+
+bool kind_from_string(const std::string& s, EventKind& out) {
+  for (const auto k :
+       {EventKind::SiExecuted, EventKind::ForecastSeen,
+        EventKind::ForecastReleased, EventKind::RotationStarted,
+        EventKind::RotationFinished, EventKind::RotationCancelled,
+        EventKind::MoleculeUpgraded, EventKind::TaskSwitch,
+        EventKind::AtomEvicted}) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+std::string fallback(const char* prefix, std::int64_t index) {
+  return std::string(prefix) + "#" + std::to_string(index);
+}
+}  // namespace
+
+std::string TraceMeta::task_name(std::int32_t t) const {
+  if (t >= 0 && static_cast<std::size_t>(t) < task_names.size())
+    return task_names[static_cast<std::size_t>(t)];
+  return fallback("task", t);
+}
+
+std::string TraceMeta::si_name(std::int64_t s) const {
+  if (s >= 0 && static_cast<std::size_t>(s) < si_names.size())
+    return si_names[static_cast<std::size_t>(s)];
+  return fallback("si", s);
+}
+
+std::string TraceMeta::atom_name(std::int64_t a) const {
+  if (a >= 0 && static_cast<std::size_t>(a) < atom_names.size())
+    return atom_names[static_cast<std::size_t>(a)];
+  return fallback("atom", a);
+}
+
+}  // namespace rispp::obs

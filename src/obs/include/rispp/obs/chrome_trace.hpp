@@ -1,0 +1,26 @@
+#pragma once
+/// \file chrome_trace.hpp
+/// \brief Chrome `trace_event` JSON exporter for recorded event streams.
+///
+/// The output loads directly in `chrome://tracing` and https://ui.perfetto.dev.
+/// Track layout (all under one process "rispp"):
+///   tid 0        "scheduler"      — task-switch instants
+///   tid 1+t      one per task     — SI execution spans, forecast/upgrade marks
+///   tid 50       "SelectMap port" — every rotation span (port occupancy)
+///   tid 100+c    one per AC       — the same rotation spans per container,
+///                                   plus eviction/cancellation instants
+/// Timestamps are microseconds (cycles ÷ clock_mhz). Rotation spans cover
+/// exactly the bitstream transfer window, i.e. their duration equals the
+/// hw::ReconfigPort latency and excludes port queueing delay.
+
+#include <iosfwd>
+#include <vector>
+
+#include "rispp/obs/event.hpp"
+
+namespace rispp::obs {
+
+void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
+                        const TraceMeta& meta);
+
+}  // namespace rispp::obs

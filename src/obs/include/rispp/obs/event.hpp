@@ -1,0 +1,93 @@
+#pragma once
+/// \file event.hpp
+/// \brief Structured run-time events — the observability layer's vocabulary.
+///
+/// The simulator and the run-time manager emit timestamped typed events
+/// through an EventSink; exporters (chrome_trace.hpp, csv_trace.hpp) turn a
+/// recorded stream into files, summary.hpp aggregates it into metrics. The
+/// disabled path is a null sink pointer: every emission site is a single
+/// `if (sink)` branch, so instrumented code pays nothing when tracing is
+/// off (the acceptance budget is < 2 % on fig06).
+///
+/// Events are emitted at *issue* time: a RotationFinished event is recorded
+/// the moment the transfer is booked, carrying its (future) completion
+/// timestamp. Streams are therefore ordered by emission, not by timestamp —
+/// exporters and consumers must not assume `at` is monotone.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rispp::obs {
+
+enum class EventKind {
+  SiExecuted,        ///< one SI invocation completed (hw or sw Molecule)
+  ForecastSeen,      ///< a Forecast point fired
+  ForecastReleased,  ///< a forecast declared its SI no longer needed
+  RotationStarted,   ///< a bitstream transfer begins occupying the port
+  RotationFinished,  ///< the transfer completes; the Atom becomes usable
+  RotationCancelled, ///< a queued (not yet started) transfer was cancelled
+  MoleculeUpgraded,  ///< an SI's effective latency changed (SW→HW→faster)
+  TaskSwitch,        ///< the round-robin scheduler switched tasks
+  AtomEvicted,       ///< a loaded Atom was given up to a new rotation
+};
+
+const char* to_string(EventKind k);
+/// Inverse of to_string; returns false when `s` names no kind.
+bool kind_from_string(const std::string& s, EventKind& out);
+
+/// One timestamped event. Unused reference fields stay at their -1 / 0
+/// defaults; consumers key off `kind` to know which fields are meaningful.
+struct Event {
+  std::uint64_t at = 0;           ///< cycle timestamp
+  EventKind kind{};
+  std::int32_t task = -1;         ///< task id (simulator slot), -1 = none
+  std::int32_t container = -1;    ///< Atom Container id, -1 = none
+  std::int64_t si = -1;           ///< SI index, -1 = none
+  std::int64_t atom = -1;         ///< Atom kind (catalog index), -1 = none
+  /// SiExecuted: invocation latency. Rotation*: transfer duration (the
+  /// hw::ReconfigPort latency, excluding port queueing). MoleculeUpgraded:
+  /// the new latency.
+  std::uint64_t cycles = 0;
+  /// MoleculeUpgraded: the previous latency. RotationCancelled: the start
+  /// cycle of the cancelled booking (identifies the span to drop).
+  std::uint64_t prev_cycles = 0;
+  bool hardware = false;          ///< SiExecuted/MoleculeUpgraded: hw Molecule
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Receiver of an event stream. Implementations must tolerate events whose
+/// timestamps are not monotone (see file comment).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
+/// Buffers the stream in emission order — the input to every exporter.
+class TraceRecorder final : public EventSink {
+ public:
+  void on_event(const Event& e) override { events_.push_back(e); }
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Static names and unit conversions the exporters need to render a stream.
+/// Indices not covered by a name vector fall back to "si#3"-style labels.
+struct TraceMeta {
+  double clock_mhz = 100.0;             ///< converts cycles to microseconds
+  unsigned containers = 0;              ///< Atom Container count (track hint)
+  std::vector<std::string> task_names;  ///< by simulator task id
+  std::vector<std::string> si_names;    ///< by SI index
+  std::vector<std::string> atom_names;  ///< by catalog index
+
+  std::string task_name(std::int32_t t) const;
+  std::string si_name(std::int64_t s) const;
+  std::string atom_name(std::int64_t a) const;
+};
+
+}  // namespace rispp::obs

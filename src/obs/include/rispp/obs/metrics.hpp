@@ -1,0 +1,71 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Named counters, accumulators and histograms for run-time metrics.
+///
+/// A MetricsRegistry is the aggregate side of the observability layer: where
+/// the event stream answers "what happened when", the registry answers "how
+/// often / how long on average". MetricsSink bridges the two by folding an
+/// event stream into a registry, so any instrumented component gets both
+/// views from one sink.
+
+#include <map>
+#include <string>
+
+#include "rispp/obs/event.hpp"
+#include "rispp/util/stats.hpp"
+
+namespace rispp::obs {
+
+/// Get-or-create registry of named metrics. Counter, accumulator and
+/// histogram names live in independent namespaces.
+class MetricsRegistry {
+ public:
+  void bump(const std::string& name, std::uint64_t by = 1);
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Streaming moments (mean/variance/min/max) of a named sample series.
+  util::Accumulator& accumulator(const std::string& name);
+
+  /// Fixed-range histogram; the range is fixed by the first call and later
+  /// calls with the same name must repeat it (checked).
+  util::Histogram& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, util::Accumulator>& accumulators() const {
+    return accumulators_;
+  }
+  const std::map<std::string, util::Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// "name value" lines for every counter plus "name mean±stddev [min,max]"
+  /// for every accumulator — the quick bench-footer view.
+  std::string summary() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, util::Accumulator> accumulators_;
+  std::map<std::string, util::Histogram> histograms_;
+};
+
+/// EventSink that folds the stream into a registry as it is emitted:
+/// per-kind counters ("events.si-executed", …), per-SI latency
+/// accumulators ("si.<name>.cycles"), rotation durations
+/// ("rotation.cycles"), and the forecast→upgrade reaction gap
+/// ("si.<name>.upgrade_gap").
+class MetricsSink final : public EventSink {
+ public:
+  explicit MetricsSink(MetricsRegistry& registry, TraceMeta meta = {});
+
+  void on_event(const Event& e) override;
+
+ private:
+  MetricsRegistry* registry_;
+  TraceMeta meta_;
+  std::map<std::int64_t, std::uint64_t> last_forecast_at_;  ///< by SI index
+};
+
+}  // namespace rispp::obs

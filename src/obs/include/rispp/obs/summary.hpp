@@ -1,0 +1,49 @@
+#pragma once
+/// \file summary.hpp
+/// \brief Aggregate view of a recorded event stream — what tools/trace_summary
+/// prints: rotation utilization of the SelectMap port, per-SI execution mix
+/// and latency moments, and the forecast→upgrade reaction gap.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rispp/obs/event.hpp"
+#include "rispp/util/stats.hpp"
+
+namespace rispp::obs {
+
+struct SiSummary {
+  std::uint64_t invocations = 0;
+  std::uint64_t hw_invocations = 0;
+  std::uint64_t sw_invocations = 0;
+  std::uint64_t upgrades = 0;    ///< latency decreased
+  std::uint64_t downgrades = 0;  ///< latency increased (atoms stolen)
+  util::Accumulator latency;     ///< cycles per invocation
+  /// Cycles from the most recent ForecastSeen to each MoleculeUpgraded —
+  /// how long the SI waited for the rotation chain to reach it.
+  util::Accumulator upgrade_gap;
+};
+
+struct TraceSummary {
+  std::uint64_t first_cycle = 0;
+  std::uint64_t last_cycle = 0;       ///< max timestamp incl. span ends
+  std::uint64_t rotations = 0;        ///< completed transfers
+  std::uint64_t rotations_cancelled = 0;
+  std::uint64_t rotation_busy_cycles = 0;  ///< port occupancy (serial port)
+  std::uint64_t evictions = 0;
+  std::uint64_t task_switches = 0;
+  std::uint64_t forecasts = 0;
+  std::uint64_t releases = 0;
+  std::map<std::int64_t, SiSummary> per_si;  ///< keyed by SI index
+
+  std::uint64_t span_cycles() const {
+    return last_cycle > first_cycle ? last_cycle - first_cycle : 0;
+  }
+  /// Fraction of the trace span the reconfiguration port spent transferring.
+  double rotation_utilization() const;
+};
+
+TraceSummary summarize(const std::vector<Event>& events);
+
+}  // namespace rispp::obs

@@ -1,0 +1,23 @@
+#pragma once
+/// \file trace_export.hpp
+/// \brief File-level glue for the exporters: extension dispatch and the
+/// `--trace-out=<file>` flag shared by the instrumented benches.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rispp/obs/event.hpp"
+
+namespace rispp::obs {
+
+/// Writes `events` to `path`: `.csv` selects the CSV exporter, anything
+/// else (canonically `.json`) the Chrome trace_event exporter. Throws
+/// util::PreconditionError when the file cannot be opened.
+void write_trace_file(const std::string& path,
+                      const std::vector<Event>& events, const TraceMeta& meta);
+
+/// Scans argv for `--trace-out=<file>`; nullopt when absent.
+std::optional<std::string> trace_out_arg(int argc, char** argv);
+
+}  // namespace rispp::obs

@@ -1,0 +1,77 @@
+#include "rispp/obs/metrics.hpp"
+
+#include <sstream>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::obs {
+
+void MetricsRegistry::bump(const std::string& name, std::uint64_t by) {
+  counters_[name] += by;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+util::Accumulator& MetricsRegistry::accumulator(const std::string& name) {
+  return accumulators_[name];
+}
+
+util::Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t buckets) {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    return histograms_.emplace(name, util::Histogram(lo, hi, buckets))
+        .first->second;
+  RISPP_REQUIRE(it->second.bucket_count() == buckets &&
+                    it->second.bucket_lo(0) == lo &&
+                    it->second.bucket_hi(buckets - 1) == hi,
+                "histogram '" + name + "' re-registered with a different shape");
+  return it->second;
+}
+
+std::string MetricsRegistry::summary() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) os << name << " " << value << "\n";
+  for (const auto& [name, acc] : accumulators_) {
+    os << name << " n=" << acc.count();
+    if (acc.count() > 0)
+      os << " mean=" << acc.mean() << " stddev=" << acc.stddev() << " ["
+         << acc.min() << ", " << acc.max() << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+MetricsSink::MetricsSink(MetricsRegistry& registry, TraceMeta meta)
+    : registry_(&registry), meta_(std::move(meta)) {}
+
+void MetricsSink::on_event(const Event& e) {
+  registry_->bump(std::string("events.") + to_string(e.kind));
+  switch (e.kind) {
+    case EventKind::SiExecuted:
+      registry_->accumulator("si." + meta_.si_name(e.si) + ".cycles")
+          .add(static_cast<double>(e.cycles));
+      registry_->bump(e.hardware ? "exec.hw" : "exec.sw");
+      break;
+    case EventKind::ForecastSeen:
+      last_forecast_at_[e.si] = e.at;
+      break;
+    case EventKind::RotationStarted:
+      registry_->accumulator("rotation.cycles")
+          .add(static_cast<double>(e.cycles));
+      break;
+    case EventKind::MoleculeUpgraded:
+      if (const auto it = last_forecast_at_.find(e.si);
+          it != last_forecast_at_.end() && e.at >= it->second)
+        registry_->accumulator("si." + meta_.si_name(e.si) + ".upgrade_gap")
+            .add(static_cast<double>(e.at - it->second));
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace rispp::obs

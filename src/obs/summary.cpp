@@ -1,0 +1,85 @@
+#include "rispp/obs/summary.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace rispp::obs {
+
+double TraceSummary::rotation_utilization() const {
+  const auto span = span_cycles();
+  return span ? static_cast<double>(rotation_busy_cycles) /
+                    static_cast<double>(span)
+              : 0.0;
+}
+
+TraceSummary summarize(const std::vector<Event>& events) {
+  TraceSummary s;
+  if (events.empty()) return s;
+
+  // Spans of cancelled bookings never occupy the port.
+  std::set<std::pair<std::int32_t, std::uint64_t>> cancelled;
+  for (const auto& e : events)
+    if (e.kind == EventKind::RotationCancelled)
+      cancelled.insert({e.container, e.prev_cycles});
+
+  bool first = true;
+  std::map<std::int64_t, std::uint64_t> last_forecast_at;
+  std::map<std::int64_t, std::uint64_t> last_latency;
+  for (const auto& e : events) {
+    const std::uint64_t end =
+        e.at + (e.kind == EventKind::SiExecuted ||
+                        e.kind == EventKind::RotationStarted
+                    ? e.cycles
+                    : 0);
+    s.first_cycle = first ? e.at : std::min(s.first_cycle, e.at);
+    s.last_cycle = first ? end : std::max(s.last_cycle, end);
+    first = false;
+
+    switch (e.kind) {
+      case EventKind::SiExecuted: {
+        auto& si = s.per_si[e.si];
+        ++si.invocations;
+        e.hardware ? ++si.hw_invocations : ++si.sw_invocations;
+        si.latency.add(static_cast<double>(e.cycles));
+        last_latency[e.si] = e.cycles;
+        break;
+      }
+      case EventKind::ForecastSeen:
+        ++s.forecasts;
+        last_forecast_at[e.si] = e.at;
+        break;
+      case EventKind::ForecastReleased:
+        ++s.releases;
+        break;
+      case EventKind::RotationStarted:
+        if (!cancelled.count({e.container, e.at})) {
+          ++s.rotations;
+          s.rotation_busy_cycles += e.cycles;
+        }
+        break;
+      case EventKind::RotationFinished:
+        break;  // counted at the Started edge
+      case EventKind::RotationCancelled:
+        ++s.rotations_cancelled;
+        break;
+      case EventKind::MoleculeUpgraded: {
+        auto& si = s.per_si[e.si];
+        e.cycles < e.prev_cycles ? ++si.upgrades : ++si.downgrades;
+        if (const auto it = last_forecast_at.find(e.si);
+            it != last_forecast_at.end() && e.cycles < e.prev_cycles &&
+            e.at >= it->second)
+          si.upgrade_gap.add(static_cast<double>(e.at - it->second));
+        break;
+      }
+      case EventKind::TaskSwitch:
+        ++s.task_switches;
+        break;
+      case EventKind::AtomEvicted:
+        ++s.evictions;
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace rispp::obs

@@ -1,0 +1,36 @@
+#include "rispp/obs/trace_export.hpp"
+
+#include <fstream>
+
+#include "rispp/obs/chrome_trace.hpp"
+#include "rispp/obs/csv_trace.hpp"
+#include "rispp/util/error.hpp"
+
+namespace rispp::obs {
+
+void write_trace_file(const std::string& path,
+                      const std::vector<Event>& events,
+                      const TraceMeta& meta) {
+  std::ofstream out(path);
+  RISPP_REQUIRE(out.good(), "cannot open trace output file: " + path);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+    write_csv_trace(out, events, meta);
+  else
+    write_chrome_trace(out, events, meta);
+}
+
+std::optional<std::string> trace_out_arg(int argc, char** argv) {
+  const std::string prefix = "--trace-out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      auto path = arg.substr(prefix.size());
+      // Fail before the (possibly long) run, not at export time.
+      RISPP_REQUIRE(!path.empty(), "--trace-out= requires a file path");
+      return path;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rispp::obs

@@ -22,6 +22,7 @@
 #include "rispp/forecast/forecast_pass.hpp"
 #include "rispp/hw/reconfig_port.hpp"
 #include "rispp/isa/si_library.hpp"
+#include "rispp/obs/event.hpp"
 #include "rispp/rt/container.hpp"
 #include "rispp/rt/energy.hpp"
 #include "rispp/rt/rotation.hpp"
@@ -56,6 +57,11 @@ struct RtConfig {
   /// Record a structured event trace (Fig 6 timelines); benches running
   /// millions of SIs switch this off.
   bool record_events = true;
+  /// Observability sink (non-owning). When set, the manager streams typed
+  /// obs::Events (forecasts, rotations, evictions, executions, Molecule
+  /// upgrades) through it; when null, every emission site is one dead
+  /// branch, so the disabled path costs nothing.
+  obs::EventSink* sink = nullptr;
 };
 
 struct RtEvent {
@@ -163,6 +169,9 @@ class RisppManager {
   /// independent demands on the same SI.
   std::map<std::pair<std::size_t, int>, DemandState> active_;
   std::map<std::size_t, double> learned_;  ///< EWMA over release cycles
+  /// Last observed execution latency per SI (0 = never executed) — detects
+  /// the SW→HW→faster-HW transitions reported as MoleculeUpgraded events.
+  std::vector<std::uint32_t> last_exec_cycles_;
 
   std::vector<RtEvent> events_;
   util::Counters counters_;

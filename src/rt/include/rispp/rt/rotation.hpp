@@ -32,9 +32,10 @@ class RotationScheduler {
   };
 
   /// Books the transfer of `atom_kind`'s bitstream into `container`,
-  /// starting no earlier than `now`; returns the completion cycle.
-  Cycle schedule(Cycle now, std::size_t atom_kind,
-                 const isa::AtomCatalog& catalog, unsigned container = 0);
+  /// starting no earlier than `now` (later when the port is busy); returns
+  /// the booking with its actual transfer window [start, done).
+  Booking schedule(Cycle now, std::size_t atom_kind,
+                   const isa::AtomCatalog& catalog, unsigned container = 0);
 
   /// Cancels the pending booking for `container` if (and only if) its
   /// transfer has not started by `now`. Returns true when cancelled. The

@@ -27,7 +27,8 @@ RisppManager::RisppManager(const isa::SiLibrary& lib, RtConfig cfg)
       containers_(cfg.atom_containers, lib.catalog()),
       rotations_(cfg.port, cfg.clock_mhz),
       selector_(lib),
-      energy_(cfg.power, cfg.clock_mhz) {}
+      energy_(cfg.power, cfg.clock_mhz),
+      last_exec_cycles_(lib.size(), 0) {}
 
 std::uint64_t RisppManager::loaded_slices() const {
   std::uint64_t slices = 0;
@@ -64,6 +65,11 @@ void RisppManager::forecast(std::size_t si, double expected_executions,
   counters_.bump("forecasts");
   record({.at = now, .kind = RtEvent::Kind::Forecast, .si_index = si,
           .task = task});
+  if (cfg_.sink)
+    cfg_.sink->on_event({.at = now,
+                         .kind = obs::EventKind::ForecastSeen,
+                         .task = task,
+                         .si = static_cast<std::int64_t>(si)});
   RISPP_DEBUG << "forecast " << lib_->at(si).name() << " E=" << expectation
               << " p=" << probability << " @" << now;
   reallocate(now);
@@ -85,6 +91,11 @@ void RisppManager::forecast_release(std::size_t si, Cycle now, int task) {
   active_.erase(it);
   counters_.bump("forecast_releases");
   record({.at = now, .kind = RtEvent::Kind::ForecastRelease, .si_index = si});
+  if (cfg_.sink)
+    cfg_.sink->on_event({.at = now,
+                         .kind = obs::EventKind::ForecastReleased,
+                         .task = task,
+                         .si = static_cast<std::int64_t>(si)});
   reallocate(now);
 }
 
@@ -143,6 +154,14 @@ void RisppManager::reallocate(Cycle now) {
           });
         record({.at = now, .kind = RtEvent::Kind::RotationCancelled,
                 .atom_kind = kind, .container = c});
+        if (cfg_.sink)
+          cfg_.sink->on_event({.at = now,
+                               .kind = obs::EventKind::RotationCancelled,
+                               .container = static_cast<std::int32_t>(c),
+                               .atom = static_cast<std::int64_t>(kind),
+                               .cycles = pending->done - pending->start,
+                               // identifies the span that will never happen
+                               .prev_cycles = pending->start});
       }
     }
   }
@@ -160,17 +179,42 @@ void RisppManager::reallocate(Cycle now) {
             containers_.choose_victim(plan.target, now, cfg_.victim_policy);
         if (!victim) return;  // all remaining containers busy or needed;
                               // the next forecast event retries
-        const Cycle done =
+        const auto& vc = containers_.at(*victim);
+        const auto evicted = vc.loading ? vc.loading : vc.atom;
+        const auto booking =
             rotations_.schedule(now, kind, lib_->catalog(), *victim);
-        containers_.start_rotation(*victim, kind, done, step.task);
+        containers_.start_rotation(*victim, kind, booking.done, step.task);
         energy_.add_rotation(rotations_.duration_cycles(kind, lib_->catalog()));
         counters_.bump("rotations");
         record({.at = now, .kind = RtEvent::Kind::RotationStart,
                 .si_index = step.si_index, .atom_kind = kind,
                 .container = *victim, .task = step.task});
-        record({.at = done, .kind = RtEvent::Kind::RotationDone,
+        record({.at = booking.done, .kind = RtEvent::Kind::RotationDone,
                 .si_index = step.si_index, .atom_kind = kind,
                 .container = *victim, .task = step.task});
+        if (cfg_.sink) {
+          if (evicted)
+            cfg_.sink->on_event(
+                {.at = now,
+                 .kind = obs::EventKind::AtomEvicted,
+                 .task = step.task,
+                 .container = static_cast<std::int32_t>(*victim),
+                 .atom = static_cast<std::int64_t>(*evicted)});
+          // The span covers the actual transfer window [start, done) — the
+          // hw::ReconfigPort latency — not the queueing delay before it.
+          const obs::Event span{.at = booking.start,
+                                .kind = obs::EventKind::RotationStarted,
+                                .task = step.task,
+                                .container = static_cast<std::int32_t>(*victim),
+                                .si = static_cast<std::int64_t>(step.si_index),
+                                .atom = static_cast<std::int64_t>(kind),
+                                .cycles = booking.done - booking.start};
+          cfg_.sink->on_event(span);
+          obs::Event fin = span;
+          fin.at = booking.done;
+          fin.kind = obs::EventKind::RotationFinished;
+          cfg_.sink->on_event(fin);
+        }
       }
     }
   }
@@ -208,6 +252,23 @@ RisppManager::ExecResult RisppManager::execute(std::size_t si, Cycle now,
     record({.at = now, .kind = RtEvent::Kind::ExecuteSw, .si_index = si,
             .task = task, .cycles = instr.software_cycles()});
   }
+  if (cfg_.sink) {
+    cfg_.sink->on_event({.at = now,
+                         .kind = obs::EventKind::SiExecuted,
+                         .task = task,
+                         .si = static_cast<std::int64_t>(si),
+                         .cycles = res.cycles,
+                         .hardware = res.hardware});
+    if (last_exec_cycles_[si] != 0 && last_exec_cycles_[si] != res.cycles)
+      cfg_.sink->on_event({.at = now,
+                           .kind = obs::EventKind::MoleculeUpgraded,
+                           .task = task,
+                           .si = static_cast<std::int64_t>(si),
+                           .cycles = res.cycles,
+                           .prev_cycles = last_exec_cycles_[si],
+                           .hardware = res.hardware});
+  }
+  last_exec_cycles_[si] = res.cycles;
   return res;
 }
 

@@ -21,16 +21,17 @@ void RotationScheduler::prune(Cycle now) {
   std::erase_if(bookings_, [&](const Booking& b) { return b.done <= now; });
 }
 
-Cycle RotationScheduler::schedule(Cycle now, std::size_t atom_kind,
-                                  const isa::AtomCatalog& catalog,
-                                  unsigned container) {
+RotationScheduler::Booking RotationScheduler::schedule(
+    Cycle now, std::size_t atom_kind, const isa::AtomCatalog& catalog,
+    unsigned container) {
   prune(now);
   const Cycle start = std::max(now, busy_until_);
   const Cycle done = start + duration_cycles(atom_kind, catalog);
   busy_until_ = done;
   ++rotations_;
-  bookings_.push_back(Booking{start, done, container, atom_kind});
-  return done;
+  const Booking booking{start, done, container, atom_kind};
+  bookings_.push_back(booking);
+  return booking;
 }
 
 std::optional<RotationScheduler::Booking> RotationScheduler::pending_for(

@@ -1,0 +1,24 @@
+#pragma once
+/// \file observe.hpp
+/// \brief Glue between the simulator and the observability layer.
+///
+/// Attach a sink via SimConfig::rt::sink (the simulator emits TaskSwitch,
+/// the manager everything else); this header only builds the TraceMeta the
+/// exporters need — names and clock — from the objects a bench already has.
+
+#include <string>
+#include <vector>
+
+#include "rispp/isa/si_library.hpp"
+#include "rispp/obs/event.hpp"
+#include "rispp/sim/simulator.hpp"
+
+namespace rispp::sim {
+
+/// TraceMeta with SI/Atom names from `lib`, clock and container count from
+/// `cfg`, and the given task names (simulator task ids index into it in
+/// add_task order).
+obs::TraceMeta make_trace_meta(const isa::SiLibrary& lib, const SimConfig& cfg,
+                               std::vector<std::string> task_names);
+
+}  // namespace rispp::sim

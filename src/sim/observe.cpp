@@ -1,0 +1,17 @@
+#include "rispp/sim/observe.hpp"
+
+namespace rispp::sim {
+
+obs::TraceMeta make_trace_meta(const isa::SiLibrary& lib, const SimConfig& cfg,
+                               std::vector<std::string> task_names) {
+  obs::TraceMeta meta;
+  meta.clock_mhz = cfg.rt.clock_mhz;
+  meta.containers = cfg.rt.atom_containers;
+  meta.task_names = std::move(task_names);
+  for (const auto& si : lib.sis()) meta.si_names.push_back(si.name());
+  for (const auto& atom : lib.catalog().atoms())
+    meta.atom_names.push_back(atom.name);
+  return meta;
+}
+
+}  // namespace rispp::sim

@@ -36,11 +36,17 @@ SimResult Simulator::run() {
   };
 
   std::size_t current = 0;
+  int last_task = -1;
   while (any_running()) {
     // Pick the next runnable task, round-robin.
     while (tasks_[current].done()) current = (current + 1) % tasks_.size();
     TaskState& task = tasks_[current];
     const int task_id = static_cast<int>(current);
+    if (cfg_.rt.sink && task_id != last_task)
+      cfg_.rt.sink->on_event({.at = now_,
+                              .kind = obs::EventKind::TaskSwitch,
+                              .task = task_id});
+    last_task = task_id;
 
     if (cfg_.poll_on_switch) manager_.poll(now_);
 

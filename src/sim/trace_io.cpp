@@ -9,6 +9,10 @@ namespace rispp::sim {
 namespace {
 
 std::uint64_t parse_u64(std::size_t line, const std::string& value) {
+  // std::stoull alone is too permissive: it skips leading whitespace,
+  // accepts '+', and silently wraps "-1" to 2^64−1. Require digit-leading.
+  if (value.empty() || value[0] < '0' || value[0] > '9')
+    throw TraceParseError(line, "invalid number: '" + value + "'");
   try {
     std::size_t pos = 0;
     const auto v = std::stoull(value, &pos);
@@ -54,6 +58,9 @@ std::vector<TaskDef> parse_tasks(std::istream& in, const isa::SiLibrary& lib) {
         break;
       }
     }
+    // A quote left open at end-of-line would otherwise be accepted as a
+    // malformed label (and swallow any '#' comment after it).
+    if (in_quote) throw TraceParseError(line_no, "unterminated quote");
     std::istringstream ls(raw);
     std::string op;
     if (!(ls >> op)) continue;

@@ -65,6 +65,26 @@ TEST(ReconfigPort, CyclesAtClock) {
   EXPECT_EQ(port.rotation_time_cycles(66000, 100.0), 100000u);
 }
 
+TEST(ReconfigPort, NonzeroBitstreamNeverRoundsToZeroCycles) {
+  // Regression: llround turned a sub-half-cycle transfer into a free
+  // rotation. 1 byte at the Table-1 rate and a 1 MHz core is ~0.014 cycles
+  // and must still cost a full cycle (ceiling semantics).
+  const ReconfigPort port;
+  EXPECT_GE(port.rotation_time_cycles(1, 1.0), 1u);
+  EXPECT_GE(port.rotation_time_cycles(1, 100.0), 1u);
+  // Zero bytes is genuinely free.
+  EXPECT_EQ(port.rotation_time_cycles(0, 100.0), 0u);
+}
+
+TEST(ReconfigPort, CyclesRoundUpNotToNearest) {
+  const ReconfigPort port(66.0);
+  // 33 bytes at 66 B/µs = 0.5 µs = 50 cycles at 100 MHz — exact, no rounding.
+  EXPECT_EQ(port.rotation_time_cycles(33, 100.0), 50u);
+  // 1 byte at 66 B/µs on a 90 MHz core ≈ 1.36 cycles → ceiling 2 (llround
+  // used to give 1: the tail of the transfer still occupies the port).
+  EXPECT_EQ(port.rotation_time_cycles(1, 90.0), 2u);
+}
+
 TEST(ReconfigPort, RejectsBadParameters) {
   EXPECT_THROW(ReconfigPort(0.0), PreconditionError);
   EXPECT_THROW(ReconfigPort(-1.0), PreconditionError);

@@ -111,4 +111,47 @@ TEST(TraceIo, ErrorsCarryLineNumbers) {
   expect_error_at("", 0);                                  // empty input
 }
 
+TEST(TraceIo, RejectsNonDigitLeadingNumbers) {
+  // Regression: std::stoull silently wrapped "-1" to 2^64−1 and accepted
+  // "+5"; counts and cycles must be plain digit-leading integers.
+  const auto lib = SiLibrary::h264();
+  for (const char* text : {
+           "task t\n  si SATD_4x4 -1\n",
+           "task t\n  compute -1\n",
+           "task t\n  compute +5\n",
+           "task t\n  si SATD_4x4 0x10\n",  // stoull(base 10) stops at 'x'
+       }) {
+    try {
+      parse_tasks(text, lib);
+      FAIL() << "expected TraceParseError for: " << text;
+    } catch (const TraceParseError& e) {
+      EXPECT_EQ(e.line(), 2u) << text;
+    }
+  }
+  // Plain digits still parse.
+  const auto tasks = parse_tasks("task t\n  compute 42\n", lib);
+  EXPECT_EQ(tasks[0].trace[0].cycles, 42u);
+}
+
+TEST(TraceIo, RejectsUnterminatedQuote) {
+  const auto lib = SiLibrary::h264();
+  auto expect_error_at = [&](const std::string& text, std::size_t line) {
+    try {
+      parse_tasks(text, lib);
+      FAIL() << "expected TraceParseError for: " << text;
+    } catch (const TraceParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+  // Regression: a quote left open to end-of-line was accepted as a label.
+  expect_error_at("task t\n  label \"half open\n", 2);
+  // An open quote must not swallow a trailing comment either.
+  expect_error_at("task t\n  label \"half open # not a comment\n", 2);
+  expect_error_at("task t\n  label \"a\"b\"\n", 2);  // stray third quote
+  // Balanced quotes keep working, including '#' inside them.
+  const auto tasks =
+      parse_tasks("task t\n  label \"ok #1\"  # real comment\n", lib);
+  EXPECT_EQ(tasks[0].trace[0].text, "ok #1");
+}
+
 }  // namespace

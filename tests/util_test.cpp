@@ -103,6 +103,63 @@ TEST(Accumulator, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(empty.count(), 2u);
 }
 
+TEST(Accumulator, MergeEmptyWithEmptyStaysEmpty) {
+  Accumulator a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_THROW(a.min(), PreconditionError);
+  // Still usable after the empty merge.
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(Accumulator, MergeEmptyIntoNonEmptyPreservesMinMax) {
+  Accumulator a, empty;
+  a.add(-2.0);
+  a.add(7.0);
+  a.merge(empty);
+  // min_/max_ of a default-constructed accumulator are 0 — they must not
+  // leak into the merged extrema.
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+  EXPECT_DOUBLE_EQ(a.total(), 5.0);
+  Accumulator b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.min(), -2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 7.0);
+}
+
+TEST(Accumulator, MergeTwoSingleSamplesGivesTwoSampleVariance) {
+  Accumulator a, b;
+  a.add(2.0);
+  b.add(6.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);  // n−1 denominator, n = 1
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  // Sample variance of {2, 6}: ((2−4)² + (6−4)²) / 1 = 8.
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+}
+
+TEST(Accumulator, MergeSingleIntoManyMatchesSequential) {
+  Accumulator merged, sequential, single;
+  for (double x : {1.0, 2.0, 3.0}) {
+    merged.add(x);
+    sequential.add(x);
+  }
+  single.add(10.0);
+  sequential.add(10.0);
+  merged.merge(single);
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-12);
+}
+
 TEST(Histogram, BucketsAndSaturation) {
   Histogram h(0.0, 10.0, 5);
   h.add(0.5);   // bucket 0

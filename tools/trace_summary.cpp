@@ -1,0 +1,96 @@
+/// trace_summary — summarizes a recorded observability trace:
+///
+///   trace_summary <trace.csv>
+///
+/// Input is the CSV event dump written by `--trace-out=<file>.csv` (the
+/// benches) or obs::write_csv_trace. Prints port (rotation) utilization,
+/// the per-SI execution mix with latency moments, and the forecast→upgrade
+/// reaction-gap distribution. The Chrome-JSON flavour of the same trace is
+/// for chrome://tracing / Perfetto; this tool is its terminal counterpart.
+
+#include <fstream>
+#include <iostream>
+
+#include "rispp/obs/csv_trace.hpp"
+#include "rispp/obs/summary.hpp"
+#include "rispp/util/stats.hpp"
+#include "rispp/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using rispp::util::TextTable;
+
+  if (argc != 2) {
+    std::cerr << "usage: trace_summary <trace.csv>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open trace file: " << argv[1] << "\n";
+    return 1;
+  }
+
+  rispp::obs::TraceMeta meta;
+  std::vector<rispp::obs::Event> events;
+  try {
+    events = rispp::obs::read_csv_trace(in, &meta);
+  } catch (const std::exception& e) {
+    std::cerr << "failed to parse " << argv[1] << ": " << e.what() << "\n";
+    return 1;
+  }
+  const auto s = rispp::obs::summarize(events);
+
+  TextTable overall{"metric", "value"};
+  overall.set_title("Trace summary (" + std::to_string(events.size()) +
+                    " events)");
+  overall.add_row({"span [cycles]",
+                   TextTable::grouped(static_cast<long long>(s.span_cycles()))});
+  overall.add_row({"rotations", std::to_string(s.rotations)});
+  overall.add_row({"rotations cancelled",
+                   std::to_string(s.rotations_cancelled)});
+  overall.add_row({"port busy [cycles]",
+                   TextTable::grouped(
+                       static_cast<long long>(s.rotation_busy_cycles))});
+  overall.add_row({"rotation utilization",
+                   TextTable::num(s.rotation_utilization() * 100, 2) + "%"});
+  overall.add_row({"atom evictions", std::to_string(s.evictions)});
+  overall.add_row({"task switches", std::to_string(s.task_switches)});
+  overall.add_row({"forecasts / releases", std::to_string(s.forecasts) +
+                                               " / " +
+                                               std::to_string(s.releases)});
+  std::cout << overall.str() << "\n";
+
+  TextTable per_si{"SI", "invocations", "hw", "sw", "latency mean", "min",
+                   "max", "upgrades", "downgrades"};
+  per_si.set_title("Per-SI execution mix");
+  for (const auto& [si, st] : s.per_si)
+    per_si.add_row({meta.si_name(si), std::to_string(st.invocations),
+                    std::to_string(st.hw_invocations),
+                    std::to_string(st.sw_invocations),
+                    TextTable::num(st.latency.mean(), 1),
+                    st.latency.count() ? TextTable::num(st.latency.min(), 0)
+                                       : "-",
+                    st.latency.count() ? TextTable::num(st.latency.max(), 0)
+                                       : "-",
+                    std::to_string(st.upgrades),
+                    std::to_string(st.downgrades)});
+  std::cout << per_si.str() << "\n";
+
+  TextTable gaps{"SI", "samples", "mean", "stddev", "min", "max"};
+  gaps.set_title("Forecast→upgrade latency [cycles]");
+  bool any_gap = false;
+  for (const auto& [si, st] : s.per_si) {
+    if (!st.upgrade_gap.count()) continue;
+    any_gap = true;
+    gaps.add_row({meta.si_name(si), std::to_string(st.upgrade_gap.count()),
+                  TextTable::grouped(
+                      static_cast<long long>(st.upgrade_gap.mean())),
+                  TextTable::grouped(
+                      static_cast<long long>(st.upgrade_gap.stddev())),
+                  TextTable::grouped(
+                      static_cast<long long>(st.upgrade_gap.min())),
+                  TextTable::grouped(
+                      static_cast<long long>(st.upgrade_gap.max()))});
+  }
+  if (any_gap) std::cout << gaps.str();
+  return 0;
+}
