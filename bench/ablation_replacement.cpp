@@ -1,38 +1,66 @@
 /// Ablation — Atom replacement policy. When a rotation needs a container,
 /// the platform only ever evicts atoms in excess of the target
 /// configuration; among those, the pick order still matters for quickly
-/// alternating multi-task demands (re-rotation churn). Compares LRU against
-/// MRU (adversarial) and round-robin on the Multimedia-TV co-run.
+/// alternating multi-task demands (re-rotation churn). Sweeps the
+/// replacement policies registered in the factory — `--victim=lru,mru`
+/// restricts the sweep (default: all registered policies, plus LRU with
+/// stale-transfer cancellation) — on the encoder+decoder co-run.
 
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "rispp/h264/phases.hpp"
+#include "rispp/rt/policy.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
 
-int main() {
+namespace {
+
+std::vector<std::string> parse_list_arg(int argc, char** argv,
+                                        const std::string& prefix) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) != 0) continue;
+    std::vector<std::string> out;
+    std::stringstream ss(arg.substr(prefix.size()));
+    std::string item;
+    while (std::getline(ss, item, ','))
+      if (!item.empty()) out.push_back(item);
+    return out;
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   using rispp::util::TextTable;
   const auto lib = rispp::isa::SiLibrary::h264_frame();
+
+  struct Case {
+    std::string label;
+    std::string policy;  ///< replacement factory key
+    bool cancel = false;
+  };
+  std::vector<Case> cases;
+  const auto victims = parse_list_arg(argc, argv, "--victim=");
+  if (victims.empty()) {
+    for (const auto& name : rispp::rt::replacement_policy_names())
+      cases.push_back({name, name, false});
+    cases.push_back({"lru + cancel stale transfers", "lru", true});
+  } else {
+    for (const auto& name : victims) cases.push_back({name, name, false});
+  }
 
   TextTable t{"policy", "total cycles", "rotations", "SW executions"};
   t.set_title("Replacement policy ablation (encoder+decoder, 10 ACs)");
 
-  struct Case {
-    const char* name;
-    rispp::rt::VictimPolicy policy;
-    bool cancel;
-  };
-  for (const auto& c :
-       {Case{"LRU excess (default)", rispp::rt::VictimPolicy::LruExcess, false},
-        Case{"MRU excess (adversarial)", rispp::rt::VictimPolicy::MruExcess,
-             false},
-        Case{"round-robin excess", rispp::rt::VictimPolicy::RoundRobinExcess,
-             false},
-        Case{"LRU + cancel stale transfers", rispp::rt::VictimPolicy::LruExcess,
-             true}}) {
+  for (const auto& c : cases) {
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = 10;
-    cfg.rt.victim_policy = c.policy;
+    cfg.rt.replacement_policy = c.policy;
     cfg.rt.cancel_stale_rotations = c.cancel;
     cfg.rt.record_events = false;
     cfg.quantum = 30000;
@@ -47,7 +75,8 @@ int main() {
     const auto r = sim.run();
     std::uint64_t sw = 0;
     for (const auto& [name, st] : r.per_si) sw += st.sw_invocations;
-    t.add_row({c.name, TextTable::grouped(static_cast<long long>(r.total_cycles)),
+    t.add_row({c.label,
+               TextTable::grouped(static_cast<long long>(r.total_cycles)),
                std::to_string(r.rotations),
                TextTable::grouped(static_cast<long long>(sw))});
   }
@@ -55,4 +84,7 @@ int main() {
   std::cout << "(excess-only eviction keeps all policies close; the paper's "
                "platform never evicts atoms its target still needs)\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -1,11 +1,14 @@
 #include "rispp/rt/container.hpp"
 
+#include <algorithm>
+
+#include "rispp/rt/policy.hpp"
 #include "rispp/util/error.hpp"
 
 namespace rispp::rt {
 
 ContainerFile::ContainerFile(unsigned count, const isa::AtomCatalog& catalog)
-    : catalog_(&catalog) {
+    : catalog_(&catalog), committed_(catalog.size()) {
   RISPP_REQUIRE(count > 0, "need at least one atom container");
   containers_.resize(count);
   for (unsigned i = 0; i < count; ++i) containers_[i].id = i;
@@ -17,6 +20,8 @@ const AtomContainer& ContainerFile::at(unsigned i) const {
 }
 
 void ContainerFile::refresh(Cycle now) {
+  // Promotion keeps the container's committed kind, so committed_ is
+  // unaffected here.
   for (auto& c : containers_) {
     if (c.loading && now >= c.ready_at) {
       c.atom = c.loading;
@@ -37,15 +42,6 @@ atom::Molecule ContainerFile::available_atoms(Cycle now) const {
   return m;
 }
 
-atom::Molecule ContainerFile::committed_atoms() const {
-  atom::Molecule m(catalog_->size());
-  for (const auto& c : containers_) {
-    const auto kind = c.loading ? c.loading : c.atom;
-    if (kind) m.set(*kind, m[*kind] + 1);
-  }
-  return m;
-}
-
 void ContainerFile::start_rotation(unsigned c, std::size_t atom_kind,
                                    Cycle ready_at, int owner_task) {
   RISPP_REQUIRE(c < containers_.size(), "container index out of range");
@@ -53,6 +49,9 @@ void ContainerFile::start_rotation(unsigned c, std::size_t atom_kind,
   RISPP_REQUIRE(catalog_->at(atom_kind).rotatable,
                 "static atoms are never rotated into containers");
   auto& ac = containers_[c];
+  const auto old = ac.loading ? ac.loading : ac.atom;
+  if (old) committed_.set(*old, committed_[*old] - 1);
+  committed_.set(atom_kind, committed_[atom_kind] + 1);
   // The old content becomes unusable the moment reconfiguration begins.
   ac.atom.reset();
   ac.loading = atom_kind;
@@ -64,6 +63,7 @@ void ContainerFile::abort_rotation(unsigned c) {
   RISPP_REQUIRE(c < containers_.size(), "container index out of range");
   auto& ac = containers_[c];
   RISPP_REQUIRE(ac.loading.has_value(), "no rotation to abort");
+  committed_.set(*ac.loading, committed_[*ac.loading] - 1);
   ac.loading.reset();
   ac.atom.reset();
   ac.ready_at = 0;
@@ -71,16 +71,47 @@ void ContainerFile::abort_rotation(unsigned c) {
 }
 
 void ContainerFile::touch(const atom::Molecule& used, Cycle now) {
-  // Mark one container per required atom instance as used; LRU order makes
-  // the marking deterministic.
+  // Mark one container per required atom instance as used, visiting
+  // containers least-recently-used first (ties towards the lowest id) so
+  // repeated touches of a partially-used kind cycle through its instances
+  // and keep the timestamps coherent instead of re-marking the same ids.
+  std::vector<unsigned> order;
+  order.reserve(containers_.size());
+  for (const auto& c : containers_)
+    if (c.atom && !c.loading) order.push_back(c.id);
+  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return containers_[a].last_used < containers_[b].last_used;
+  });
+
   atom::Molecule remaining = used;
-  for (auto& c : containers_) {
-    if (!c.atom || c.loading) continue;
+  for (const auto id : order) {
+    auto& c = containers_[id];
     if (remaining[*c.atom] > 0) {
       remaining.set(*c.atom, remaining[*c.atom] - 1);
       c.last_used = now;
     }
   }
+}
+
+std::vector<VictimCandidate> ContainerFile::victim_candidates(
+    const atom::Molecule& target, Cycle now) const {
+  // A container is expendable when its kind's committed count exceeds the
+  // target's demand for that kind (needed atoms are never evicted).
+  std::vector<VictimCandidate> out;
+  atom::Molecule excess = committed_.saturating_sub(target);
+  for (const auto& c : containers_) {
+    if (c.busy(now)) continue;  // cannot preempt an in-flight transfer
+    const auto kind = c.loading ? c.loading : c.atom;
+    if (!kind) continue;
+    if (excess[*kind] == 0) continue;
+    out.push_back(VictimCandidate{
+        .container = c.id,
+        .atom_kind = *kind,
+        .last_used = c.last_used,
+        .owner_task = c.owner_task,
+    });
+  }
+  return out;
 }
 
 std::optional<unsigned> ContainerFile::choose_victim(
@@ -89,29 +120,42 @@ std::optional<unsigned> ContainerFile::choose_victim(
   for (const auto& c : containers_)
     if (!c.atom && !c.loading) return c.id;
 
-  // Count committed instances per kind; a container is expendable when its
-  // kind's committed count exceeds the target's demand for that kind.
-  const auto committed = committed_atoms();
-  std::optional<unsigned> victim;
-  Cycle best_ts = 0;
-  atom::Molecule excess = committed.saturating_sub(target);
-  for (const auto& c : containers_) {
-    if (c.busy(now)) continue;  // cannot preempt an in-flight transfer
-    const auto kind = c.loading ? c.loading : c.atom;
-    if (!kind) continue;
-    if (excess[*kind] == 0) continue;
-    bool better = false;
-    switch (policy) {
-      case VictimPolicy::LruExcess: better = !victim || c.last_used < best_ts; break;
-      case VictimPolicy::MruExcess: better = !victim || c.last_used > best_ts; break;
-      case VictimPolicy::RoundRobinExcess: better = !victim; break;  // first id
-    }
-    if (better) {
-      victim = c.id;
-      best_ts = c.last_used;
-    }
+  const auto candidates = victim_candidates(target, now);
+  if (candidates.empty()) return std::nullopt;
+
+  const VictimCandidate* chosen = nullptr;
+  switch (policy) {
+    case VictimPolicy::LruExcess:
+      for (const auto& c : candidates)
+        if (!chosen || c.last_used < chosen->last_used) chosen = &c;
+      break;
+    case VictimPolicy::MruExcess:
+      for (const auto& c : candidates)
+        if (!chosen || c.last_used > chosen->last_used) chosen = &c;
+      break;
+    case VictimPolicy::RoundRobinExcess:
+      // Rotating cursor: first expendable container at or past the cursor,
+      // wrapping to the lowest id, so successive evictions round-robin.
+      for (const auto& c : candidates)
+        if (c.container >= rr_cursor_) {
+          chosen = &c;
+          break;
+        }
+      if (!chosen) chosen = &candidates.front();
+      rr_cursor_ = chosen->container + 1;
+      break;
   }
-  return victim;
+  return chosen->container;
+}
+
+std::optional<unsigned> ContainerFile::choose_victim(
+    const atom::Molecule& target, Cycle now, ReplacementPolicy& policy) const {
+  for (const auto& c : containers_)
+    if (!c.atom && !c.loading) return c.id;
+
+  const auto candidates = victim_candidates(target, now);
+  if (candidates.empty()) return std::nullopt;
+  return policy.pick(candidates);
 }
 
 }  // namespace rispp::rt

@@ -28,8 +28,11 @@ constexpr int kNoTask = -1;
 enum class VictimPolicy {
   LruExcess,        ///< least-recently-used excess container (default)
   MruExcess,        ///< most-recently-used — an adversarial anti-policy
-  RoundRobinExcess, ///< lowest container id first
+  RoundRobinExcess, ///< rotating cursor over container ids
 };
+
+class ReplacementPolicy;  // policy.hpp
+struct VictimCandidate;   // policy.hpp
 
 struct AtomContainer {
   unsigned id = 0;
@@ -61,7 +64,9 @@ class ContainerFile {
 
   /// Atom instances the file is committed to after all in-flight rotations
   /// finish — what the selection logic must diff its target against.
-  atom::Molecule committed_atoms() const;
+  /// Maintained incrementally by start_rotation/abort_rotation, so reading
+  /// it inside the kernel's per-step issue loop is O(1).
+  const atom::Molecule& committed_atoms() const { return committed_; }
 
   /// Begin a rotation: container `c` will hold `atom_kind` at `ready_at`.
   void start_rotation(unsigned c, std::size_t atom_kind, Cycle ready_at,
@@ -82,9 +87,24 @@ class ContainerFile {
       const atom::Molecule& target, Cycle now,
       VictimPolicy policy = VictimPolicy::LruExcess) const;
 
+  /// Same contract, but the victim among expendable candidates is picked by
+  /// a ReplacementPolicy strategy object (see policy.hpp). This is the
+  /// overload the reallocation kernel uses.
+  std::optional<unsigned> choose_victim(const atom::Molecule& target,
+                                        Cycle now,
+                                        ReplacementPolicy& policy) const;
+
  private:
+  /// Expendable containers for `target` at `now`, in container-id order.
+  std::vector<VictimCandidate> victim_candidates(const atom::Molecule& target,
+                                                 Cycle now) const;
+
   std::vector<AtomContainer> containers_;
   const isa::AtomCatalog* catalog_;
+  atom::Molecule committed_;  ///< incremental committed_atoms() view
+  /// Cursor for the legacy VictimPolicy::RoundRobinExcess path; the
+  /// policy-object path keeps its cursor inside RoundRobinReplacement.
+  mutable unsigned rr_cursor_ = 0;
 };
 
 }  // namespace rispp::rt

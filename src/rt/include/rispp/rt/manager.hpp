@@ -19,12 +19,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "rispp/forecast/forecast_pass.hpp"
 #include "rispp/hw/reconfig_port.hpp"
 #include "rispp/isa/si_library.hpp"
 #include "rispp/obs/event.hpp"
 #include "rispp/rt/container.hpp"
 #include "rispp/rt/energy.hpp"
+#include "rispp/rt/policy.hpp"
 #include "rispp/rt/rotation.hpp"
 #include "rispp/rt/selection.hpp"
 #include "rispp/util/stats.hpp"
@@ -40,8 +43,17 @@ struct RtConfig {
   double learning_rate = 0.5;
   /// Power model for the energy meter (execution / rotation / leakage).
   PowerModel power{};
-  /// Replacement policy for rotation victims (ablation knob).
+  /// Replacement policy for rotation victims (ablation knob). Kept for
+  /// source compatibility; `replacement_policy` (the factory key) wins when
+  /// non-empty.
   VictimPolicy victim_policy = VictimPolicy::LruExcess;
+  /// Molecule selection policy, by factory key ("greedy", "exhaustive", or
+  /// a custom registration — see policy.hpp).
+  std::string selection_policy = "greedy";
+  /// Rotation-victim replacement policy, by factory key ("lru", "mru",
+  /// "round-robin", or a custom registration). Empty = derive from the
+  /// legacy `victim_policy` enum.
+  std::string replacement_policy;
   /// Cancel queued (not yet started) transfers that a reallocation made
   /// stale — the port slot is wasted but the container frees immediately
   /// and the stale atom never loads. Default off (the prototype's
@@ -120,13 +132,27 @@ class RisppManager {
 
   /// Re-evaluates the allocation without a new forecast — used after
   /// rotations complete when a previous reallocation was blocked by
-  /// in-flight transfers.
+  /// in-flight transfers. When nothing changed since the cached plan
+  /// (no forecast activity, no completed rotation) this is a cheap early
+  /// return — the greedy selector does not re-run.
   void poll(Cycle now);
+
+  /// Earliest in-flight rotation completion strictly after `t`, if any.
+  /// Event-driven hosts (sim::Simulator) poll only when `now` crosses this
+  /// wakeup cycle instead of on every scheduling decision.
+  std::optional<Cycle> next_wakeup(Cycle t) const {
+    return rotations_.next_completion_after(t);
+  }
 
   /// --- state inspection -----------------------------------------------
   atom::Molecule available_atoms(Cycle now);
-  atom::Molecule committed_atoms() const { return containers_.committed_atoms(); }
+  const atom::Molecule& committed_atoms() const {
+    return containers_.committed_atoms();
+  }
   const ContainerFile& containers() const { return containers_; }
+  /// The policy objects driving selection/replacement (for introspection).
+  const SelectionPolicy& selection_policy() const { return *selector_; }
+  const ReplacementPolicy& replacement_policy() const { return *replacer_; }
   const std::vector<RtEvent>& events() const { return events_; }
   const util::Counters& counters() const { return counters_; }
   std::uint64_t rotations_performed() const {
@@ -151,14 +177,21 @@ class RisppManager {
   const RtConfig& config() const { return cfg_; }
 
  private:
+  /// The reallocation kernel, staged: plan (cached) → gate → cancel-stale →
+  /// issue. `reallocate` owns the plan cache; the stages below are pure
+  /// helpers over the cached plan.
   void reallocate(Cycle now);
+  bool gate_passes(const std::vector<ForecastDemand>& demands) const;
+  void cancel_stale(Cycle now);
+  void issue(Cycle now);
   void record(RtEvent e);
 
   const isa::SiLibrary* lib_;
   RtConfig cfg_;
   ContainerFile containers_;
   RotationScheduler rotations_;
-  GreedySelector selector_;
+  std::unique_ptr<SelectionPolicy> selector_;
+  std::unique_ptr<ReplacementPolicy> replacer_;
   EnergyMeter energy_;
 
   struct DemandState {
@@ -169,9 +202,30 @@ class RisppManager {
   /// independent demands on the same SI.
   std::map<std::pair<std::size_t, int>, DemandState> active_;
   std::map<std::size_t, double> learned_;  ///< EWMA over release cycles
-  /// Last observed execution latency per SI (0 = never executed) — detects
-  /// the SW→HW→faster-HW transitions reported as MoleculeUpgraded events.
-  std::vector<std::uint32_t> last_exec_cycles_;
+  /// Last observed execution latency keyed per (SI, executing task) —
+  /// detects the SW→HW→faster-HW transitions reported as MoleculeUpgraded
+  /// events. Keying per task keeps one task's first observation from being
+  /// mistaken for another task's upgrade. Maintained only while a sink is
+  /// attached (its sole consumer).
+  std::map<std::pair<std::size_t, int>, std::uint32_t> last_exec_cycles_;
+
+  /// --- plan cache -----------------------------------------------------
+  /// The selector re-runs only when the demand set changed (generation
+  /// counter) or a rotation completed since the plan was computed.
+  SelectionPlan plan_;
+  std::uint64_t demand_generation_ = 0;
+  std::uint64_t plan_generation_ = ~std::uint64_t{0};  ///< none cached yet
+  Cycle plan_time_ = 0;
+
+  /// Index of every recorded-but-not-yet-reached RotationDone event, so a
+  /// cancellation erases its tombstone by position instead of scanning all
+  /// of events_.
+  struct PendingDone {
+    unsigned container = 0;
+    Cycle done = 0;
+    std::size_t event_index = 0;
+  };
+  std::vector<PendingDone> pending_dones_;
 
   std::vector<RtEvent> events_;
   util::Counters counters_;

@@ -46,6 +46,17 @@ class RotationScheduler {
   /// The not-yet-started booking for a container, if any.
   std::optional<Booking> pending_for(unsigned container, Cycle now) const;
 
+  /// Earliest booking completion strictly after `t`, if any transfer is
+  /// still outstanding. The simulator uses this as its wakeup cycle: between
+  /// completions a poll cannot change the platform state, so it only polls
+  /// when `now` crosses this value.
+  std::optional<Cycle> next_completion_after(Cycle t) const;
+
+  /// True when some booking completed in the window (after, upto] — i.e. a
+  /// rotation finished since the plan was last computed, which dirties any
+  /// cached SelectionPlan's notion of what is loaded.
+  bool completed_in(Cycle after, Cycle upto) const;
+
   /// Cycle until which the port is occupied.
   Cycle busy_until() const { return busy_until_; }
 

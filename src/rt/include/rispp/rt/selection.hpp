@@ -4,7 +4,12 @@
 /// forecasted SIs and the Atom Container budget, decide which Atoms the
 /// platform should converge to.
 ///
-/// The selector is greedy over *upgrade steps*: starting from the empty
+/// Both selectors implement rt::SelectionPolicy (policy.hpp) and are
+/// registered in the policy factory ("greedy" / "exhaustive"), so the
+/// reallocation kernel, the ablation benches and tools/rispp_explorer can
+/// swap them by name.
+///
+/// The greedy selector works over *upgrade steps*: starting from the empty
 /// configuration it repeatedly applies the (SI, Molecule) upgrade with the
 /// highest marginal benefit per additionally required container, where the
 /// benefit of an upgrade weighs the SI's forecasted executions against the
@@ -19,58 +24,44 @@
 
 #include "rispp/atom/molecule.hpp"
 #include "rispp/isa/si_library.hpp"
+#include "rispp/rt/policy.hpp"
 
 namespace rispp::rt {
 
-/// One forecasted SI with its run-time-updated expectation values.
-struct ForecastDemand {
-  std::size_t si_index = 0;
-  double expected_executions = 0.0;
-  double probability = 1.0;
-  int task = -1;
-
-  double weight() const { return expected_executions * probability; }
-};
-
-/// One greedy upgrade step: after loading `additional` Atoms, SI `si_index`
-/// runs in `new_cycles` instead of `old_cycles`.
-struct SelectionStep {
-  std::size_t si_index = 0;
-  atom::Molecule additional;  ///< rotatable Atoms this step adds
-  std::uint32_t old_cycles = 0;
-  std::uint32_t new_cycles = 0;
-  double gain_per_container = 0.0;
-  int task = -1;
-};
-
-struct SelectionPlan {
-  atom::Molecule target;             ///< rotatable Atom configuration
-  std::vector<SelectionStep> steps;  ///< in application order
-};
-
-class GreedySelector {
+class GreedySelector : public SelectionPolicy {
  public:
-  explicit GreedySelector(const isa::SiLibrary& lib) : lib_(&lib) {}
+  explicit GreedySelector(const isa::SiLibrary& lib) : SelectionPolicy(lib) {}
 
   /// Plans the target configuration for `containers` AC slots. The plan's
   /// steps start from the empty configuration; the caller diffs the target
   /// against what is already loaded.
   SelectionPlan plan(const std::vector<ForecastDemand>& demands,
-                     std::uint64_t containers) const;
+                     std::uint64_t containers) const override;
 
   /// Exhaustive reference for small instances (tests/ablation): enumerates
   /// all combinations of per-SI Molecule options (including software) and
-  /// returns the feasible configuration with maximal total benefit.
+  /// returns the feasible configuration with maximal total benefit. The
+  /// returned plan carries no steps — use ExhaustiveSelector when the plan
+  /// must drive rotations.
   SelectionPlan exhaustive(const std::vector<ForecastDemand>& demands,
                            std::uint64_t containers) const;
 
-  /// Total expected benefit (weighted cycles saved vs all-software) of a
-  /// configuration for the given demands.
-  double benefit(const atom::Molecule& config,
-                 const std::vector<ForecastDemand>& demands) const;
+  std::string_view name() const override { return "greedy"; }
+};
 
- private:
-  const isa::SiLibrary* lib_;
+/// GreedySelector's exhaustive() search promoted to a first-class policy:
+/// the target is the benefit-optimal configuration over all per-SI Molecule
+/// choices, and the step sequence orders the upgrades *within* that target
+/// greedily so rotations still come online most-valuable-first.
+class ExhaustiveSelector : public SelectionPolicy {
+ public:
+  explicit ExhaustiveSelector(const isa::SiLibrary& lib)
+      : SelectionPolicy(lib) {}
+
+  SelectionPlan plan(const std::vector<ForecastDemand>& demands,
+                     std::uint64_t containers) const override;
+
+  std::string_view name() const override { return "exhaustive"; }
 };
 
 }  // namespace rispp::rt

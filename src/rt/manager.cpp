@@ -1,6 +1,7 @@
 #include "rispp/rt/manager.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "rispp/util/error.hpp"
 #include "rispp/util/log.hpp"
@@ -23,12 +24,14 @@ const char* to_string(RtEvent::Kind k) {
 
 RisppManager::RisppManager(const isa::SiLibrary& lib, RtConfig cfg)
     : lib_(&lib),
-      cfg_(cfg),
-      containers_(cfg.atom_containers, lib.catalog()),
-      rotations_(cfg.port, cfg.clock_mhz),
-      selector_(lib),
-      energy_(cfg.power, cfg.clock_mhz),
-      last_exec_cycles_(lib.size(), 0) {}
+      cfg_(std::move(cfg)),
+      containers_(cfg_.atom_containers, lib.catalog()),
+      rotations_(cfg_.port, cfg_.clock_mhz),
+      selector_(make_selection_policy(cfg_.selection_policy, lib)),
+      replacer_(make_replacement_policy(cfg_.replacement_policy.empty()
+                                            ? to_policy_name(cfg_.victim_policy)
+                                            : cfg_.replacement_policy)),
+      energy_(cfg_.power, cfg_.clock_mhz) {}
 
 std::uint64_t RisppManager::loaded_slices() const {
   std::uint64_t slices = 0;
@@ -61,6 +64,7 @@ void RisppManager::forecast(std::size_t si, double expected_executions,
   auto& state = active_[{si, task}];
   state.demand = ForecastDemand{si, expectation, probability, task};
   state.observed_executions = 0;
+  ++demand_generation_;  // dirties the cached plan
 
   counters_.bump("forecasts");
   record({.at = now, .kind = RtEvent::Kind::Forecast, .si_index = si,
@@ -89,6 +93,7 @@ void RisppManager::forecast_release(std::size_t si, Cycle now, int task) {
     learned_[si] = observed;
 
   active_.erase(it);
+  ++demand_generation_;  // dirties the cached plan
   counters_.bump("forecast_releases");
   record({.at = now, .kind = RtEvent::Kind::ForecastRelease, .si_index = si});
   if (cfg_.sink)
@@ -111,74 +116,108 @@ void RisppManager::reallocate(Cycle now) {
   counters_.bump("reallocations");
   record({.at = now, .kind = RtEvent::Kind::Reallocation});
 
-  const auto demands = active_demands();
-  const auto plan = selector_.plan(demands, containers_.size());
+  // --- plan stage (cached) -------------------------------------------
+  // The plan is a pure function of the demand set, so it only goes stale
+  // when a forecast fired/released (generation counter) or a rotation
+  // completed since it was computed (a blocked issue stage may unblock,
+  // see docs/observability.md). Otherwise nothing downstream can act:
+  // victims unblock only at completions, committed atoms change only here.
+  const bool stale = plan_generation_ != demand_generation_ ||
+                     rotations_.completed_in(plan_time_, now);
+  if (!stale) return;
 
+  const auto demands = active_demands();
+  plan_ = selector_->plan(demands, containers_.size());
+  plan_generation_ = demand_generation_;
+  plan_time_ = now;
+  counters_.bump("selector_plans");
+
+  // --- gate / cancel-stale / issue stages -----------------------------
+  if (!gate_passes(demands)) return;
+  if (cfg_.cancel_stale_rotations) cancel_stale(now);
+  issue(now);
+}
+
+bool RisppManager::gate_passes(
+    const std::vector<ForecastDemand>& demands) const {
   // Cost-aware gate: skip the whole reconfiguration when the expected gain
   // over the *current* configuration does not pay for the transfers.
-  if (cfg_.rotation_cost_factor > 0.0) {
-    const auto current = containers_.committed_atoms();
-    const double gain = selector_.benefit(plan.target, demands) -
-                        selector_.benefit(current, demands);
-    const auto needed =
-        lib_->catalog().project_rotatable(current).residual_to(plan.target);
-    double cost_cycles = 0;
-    for (std::size_t k = 0; k < needed.dimension(); ++k)
-      if (needed[k] > 0)
-        cost_cycles += static_cast<double>(needed[k]) *
-                       static_cast<double>(
-                           rotations_.duration_cycles(k, lib_->catalog()));
-    if (cost_cycles > 0 && gain <= cfg_.rotation_cost_factor * cost_cycles)
-      return;
-  }
+  if (cfg_.rotation_cost_factor <= 0.0) return true;
+  const auto& current = containers_.committed_atoms();
+  const double gain = selector_->benefit(plan_.target, demands) -
+                      selector_->benefit(current, demands);
+  const auto needed =
+      lib_->catalog().project_rotatable(current).residual_to(plan_.target);
+  double cost_cycles = 0;
+  for (std::size_t k = 0; k < needed.dimension(); ++k)
+    if (needed[k] > 0)
+      cost_cycles += static_cast<double>(needed[k]) *
+                     static_cast<double>(
+                         rotations_.duration_cycles(k, lib_->catalog()));
+  return !(cost_cycles > 0 && gain <= cfg_.rotation_cost_factor * cost_cycles);
+}
 
-  // Optionally cancel queued transfers the new plan no longer wants: the
-  // port slot is lost, but the container frees immediately and the stale
-  // atom never occupies it.
-  if (cfg_.cancel_stale_rotations) {
-    for (unsigned c = 0; c < containers_.size(); ++c) {
-      const auto pending = rotations_.pending_for(c, now);
-      if (!pending) continue;
-      const auto kind = pending->atom_kind;
-      const auto committed = containers_.committed_atoms();
-      if (committed[kind] <= plan.target[kind]) continue;  // still wanted
-      if (rotations_.cancel_pending(c, now)) {
-        containers_.abort_rotation(c);
-        energy_.refund_rotation(pending->done - pending->start);
-        counters_.bump("rotations_cancelled");
-        // The completion event recorded at issue time will never happen.
-        if (cfg_.record_events)
-          std::erase_if(events_, [&](const RtEvent& e) {
-            return e.kind == RtEvent::Kind::RotationDone && e.container &&
-                   *e.container == c && e.at == pending->done;
-          });
-        record({.at = now, .kind = RtEvent::Kind::RotationCancelled,
-                .atom_kind = kind, .container = c});
-        if (cfg_.sink)
-          cfg_.sink->on_event({.at = now,
-                               .kind = obs::EventKind::RotationCancelled,
-                               .container = static_cast<std::int32_t>(c),
-                               .atom = static_cast<std::int64_t>(kind),
-                               .cycles = pending->done - pending->start,
-                               // identifies the span that will never happen
-                               .prev_cycles = pending->start});
+void RisppManager::cancel_stale(Cycle now) {
+  // Cancel queued transfers the new plan no longer wants: the port slot is
+  // lost, but the container frees immediately and the stale atom never
+  // occupies it.
+  //
+  // Tombstones whose completion cycle has been reached are final; dropping
+  // them keeps pending_dones_ as small as the rotation queue itself.
+  std::erase_if(pending_dones_,
+                [&](const PendingDone& p) { return p.done <= now; });
+  for (unsigned c = 0; c < containers_.size(); ++c) {
+    const auto pending = rotations_.pending_for(c, now);
+    if (!pending) continue;
+    const auto kind = pending->atom_kind;
+    if (containers_.committed_atoms()[kind] <= plan_.target[kind])
+      continue;  // still wanted
+    if (!rotations_.cancel_pending(c, now)) continue;
+    containers_.abort_rotation(c);
+    energy_.refund_rotation(pending->done - pending->start);
+    counters_.bump("rotations_cancelled");
+    // The completion event recorded at issue time will never happen —
+    // erase it by its remembered position instead of scanning events_.
+    if (cfg_.record_events) {
+      for (auto it = pending_dones_.begin(); it != pending_dones_.end();
+           ++it) {
+        if (it->container != c || it->done != pending->done) continue;
+        const auto erased = it->event_index;
+        events_.erase(events_.begin() +
+                      static_cast<std::ptrdiff_t>(erased));
+        pending_dones_.erase(it);
+        for (auto& p : pending_dones_)
+          if (p.event_index > erased) --p.event_index;
+        break;
       }
     }
+    record({.at = now, .kind = RtEvent::Kind::RotationCancelled,
+            .atom_kind = kind, .container = c});
+    if (cfg_.sink)
+      cfg_.sink->on_event({.at = now,
+                           .kind = obs::EventKind::RotationCancelled,
+                           .container = static_cast<std::int32_t>(c),
+                           .atom = static_cast<std::int64_t>(kind),
+                           .cycles = pending->done - pending->start,
+                           // identifies the span that will never happen
+                           .prev_cycles = pending->start});
   }
+}
 
+void RisppManager::issue(Cycle now) {
   // Issue rotations in greedy step order — most valuable upgrades first —
   // so SIs come online gradually (minimal Molecule before refinements).
   // `cum` is the configuration the plan wants after each step; rotations
   // fill the gap between it and what the containers are committed to.
   atom::Molecule cum(lib_->catalog().size());
-  for (const auto& step : plan.steps) {
+  for (const auto& step : plan_.steps) {
     cum = cum.plus(step.additional);
     for (std::size_t kind = 0; kind < cum.dimension(); ++kind) {
       while (containers_.committed_atoms()[kind] < cum[kind]) {
         const auto victim =
-            containers_.choose_victim(plan.target, now, cfg_.victim_policy);
+            containers_.choose_victim(plan_.target, now, *replacer_);
         if (!victim) return;  // all remaining containers busy or needed;
-                              // the next forecast event retries
+                              // the next wakeup or forecast event retries
         const auto& vc = containers_.at(*victim);
         const auto evicted = vc.loading ? vc.loading : vc.atom;
         const auto booking =
@@ -192,6 +231,9 @@ void RisppManager::reallocate(Cycle now) {
         record({.at = booking.done, .kind = RtEvent::Kind::RotationDone,
                 .si_index = step.si_index, .atom_kind = kind,
                 .container = *victim, .task = step.task});
+        if (cfg_.record_events)
+          pending_dones_.push_back(
+              {*victim, booking.done, events_.size() - 1});
         if (cfg_.sink) {
           if (evicted)
             cfg_.sink->on_event(
@@ -259,16 +301,20 @@ RisppManager::ExecResult RisppManager::execute(std::size_t si, Cycle now,
                          .si = static_cast<std::int64_t>(si),
                          .cycles = res.cycles,
                          .hardware = res.hardware});
-    if (last_exec_cycles_[si] != 0 && last_exec_cycles_[si] != res.cycles)
+    // Upgrade detection is keyed per (SI, task): a task's first execution
+    // of an SI is an observation, not an upgrade, even when another task
+    // already ran the same SI at a different speed.
+    auto& last = last_exec_cycles_[{si, task}];
+    if (last != 0 && last != res.cycles)
       cfg_.sink->on_event({.at = now,
                            .kind = obs::EventKind::MoleculeUpgraded,
                            .task = task,
                            .si = static_cast<std::int64_t>(si),
                            .cycles = res.cycles,
-                           .prev_cycles = last_exec_cycles_[si],
+                           .prev_cycles = last,
                            .hardware = res.hardware});
+    last = res.cycles;
   }
-  last_exec_cycles_[si] = res.cycles;
   return res;
 }
 

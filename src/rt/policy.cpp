@@ -1,0 +1,144 @@
+#include "rispp/rt/policy.hpp"
+
+#include <map>
+
+#include "rispp/rt/selection.hpp"
+#include "rispp/util/error.hpp"
+
+namespace rispp::rt {
+
+double SelectionPolicy::benefit(
+    const atom::Molecule& config,
+    const std::vector<ForecastDemand>& demands) const {
+  const auto& cat = lib_->catalog();
+  double total = 0.0;
+  for (const auto& d : demands) {
+    const auto& si = lib_->at(d.si_index);
+    const auto cycles = si.cycles_with(config, cat);
+    total += d.weight() * static_cast<double>(si.software_cycles() - cycles);
+  }
+  return total;
+}
+
+unsigned LruReplacement::pick(const std::vector<VictimCandidate>& candidates) {
+  const VictimCandidate* best = nullptr;
+  for (const auto& c : candidates)
+    if (!best || c.last_used < best->last_used) best = &c;
+  return best->container;
+}
+
+unsigned MruReplacement::pick(const std::vector<VictimCandidate>& candidates) {
+  const VictimCandidate* best = nullptr;
+  for (const auto& c : candidates)
+    if (!best || c.last_used > best->last_used) best = &c;
+  return best->container;
+}
+
+unsigned RoundRobinReplacement::pick(
+    const std::vector<VictimCandidate>& candidates) {
+  // Candidates arrive in container-id order: take the first at or past the
+  // cursor, wrapping to the lowest id when the cursor ran off the end.
+  const VictimCandidate* chosen = nullptr;
+  for (const auto& c : candidates)
+    if (c.container >= cursor_) {
+      chosen = &c;
+      break;
+    }
+  if (!chosen) chosen = &candidates.front();
+  cursor_ = chosen->container + 1;
+  return chosen->container;
+}
+
+namespace {
+
+std::map<std::string, SelectionPolicyFactory>& selection_registry() {
+  static std::map<std::string, SelectionPolicyFactory> registry = {
+      {"greedy",
+       [](const isa::SiLibrary& lib) {
+         return std::make_unique<GreedySelector>(lib);
+       }},
+      {"exhaustive",
+       [](const isa::SiLibrary& lib) {
+         return std::make_unique<ExhaustiveSelector>(lib);
+       }},
+  };
+  return registry;
+}
+
+std::map<std::string, ReplacementPolicyFactory>& replacement_registry() {
+  static std::map<std::string, ReplacementPolicyFactory> registry = {
+      {"lru", [] { return std::make_unique<LruReplacement>(); }},
+      {"mru", [] { return std::make_unique<MruReplacement>(); }},
+      {"round-robin", [] { return std::make_unique<RoundRobinReplacement>(); }},
+  };
+  return registry;
+}
+
+template <typename Registry>
+std::string known_names(const Registry& registry) {
+  std::string names;
+  for (const auto& [name, factory] : registry) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return names;
+}
+
+}  // namespace
+
+void register_selection_policy(const std::string& name,
+                               SelectionPolicyFactory factory) {
+  RISPP_REQUIRE(static_cast<bool>(factory), "null selection policy factory");
+  selection_registry()[name] = std::move(factory);
+}
+
+void register_replacement_policy(const std::string& name,
+                                 ReplacementPolicyFactory factory) {
+  RISPP_REQUIRE(static_cast<bool>(factory), "null replacement policy factory");
+  replacement_registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<SelectionPolicy> make_selection_policy(
+    const std::string& name, const isa::SiLibrary& lib) {
+  const auto& registry = selection_registry();
+  const auto it = registry.find(name);
+  RISPP_REQUIRE(it != registry.end(),
+                "unknown selection policy '" + name +
+                    "' (registered: " + known_names(registry) + ")");
+  return it->second(lib);
+}
+
+std::unique_ptr<ReplacementPolicy> make_replacement_policy(
+    const std::string& name) {
+  const auto& registry = replacement_registry();
+  const auto it = registry.find(name);
+  RISPP_REQUIRE(it != registry.end(),
+                "unknown replacement policy '" + name +
+                    "' (registered: " + known_names(registry) + ")");
+  return it->second();
+}
+
+std::vector<std::string> selection_policy_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : selection_registry())
+    names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> replacement_policy_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : replacement_registry())
+    names.push_back(name);
+  return names;
+}
+
+const char* to_policy_name(VictimPolicy policy) {
+  switch (policy) {
+    case VictimPolicy::LruExcess: return "lru";
+    case VictimPolicy::MruExcess: return "mru";
+    case VictimPolicy::RoundRobinExcess: return "round-robin";
+  }
+  return "lru";
+}
+
+}  // namespace rispp::rt

@@ -41,6 +41,22 @@ std::optional<RotationScheduler::Booking> RotationScheduler::pending_for(
   return std::nullopt;
 }
 
+std::optional<Cycle> RotationScheduler::next_completion_after(Cycle t) const {
+  std::optional<Cycle> next;
+  for (const auto& b : bookings_)
+    if (b.done > t && (!next || b.done < *next)) next = b.done;
+  return next;
+}
+
+bool RotationScheduler::completed_in(Cycle after, Cycle upto) const {
+  // Bookings are pruned lazily and only from schedule(), which always runs
+  // right after a fresh plan — so everything pruned away completed at or
+  // before the current plan's timestamp and can never fall in this window.
+  for (const auto& b : bookings_)
+    if (b.done > after && b.done <= upto) return true;
+  return false;
+}
+
 bool RotationScheduler::cancel_pending(unsigned container, Cycle now) {
   const auto it =
       std::find_if(bookings_.begin(), bookings_.end(), [&](const Booking& b) {

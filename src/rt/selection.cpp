@@ -6,10 +6,17 @@
 #include "rispp/util/error.hpp"
 
 namespace rispp::rt {
+namespace {
 
-SelectionPlan GreedySelector::plan(const std::vector<ForecastDemand>& demands,
-                                   std::uint64_t containers) const {
-  const auto& cat = lib_->catalog();
+/// Greedy step construction shared by both selectors. When `limit` is given,
+/// only steps whose cumulative target stays within `limit` are admissible —
+/// that is how ExhaustiveSelector orders the upgrades inside its
+/// independently-optimised target.
+SelectionPlan greedy_plan(const isa::SiLibrary& lib,
+                          const std::vector<ForecastDemand>& demands,
+                          std::uint64_t containers,
+                          const atom::Molecule* limit) {
+  const auto& cat = lib.catalog();
   SelectionPlan out;
   out.target = cat.zero();
 
@@ -20,7 +27,7 @@ SelectionPlan GreedySelector::plan(const std::vector<ForecastDemand>& demands,
 
     for (const auto& d : demands) {
       if (d.weight() <= 0) continue;
-      const auto& si = lib_->at(d.si_index);
+      const auto& si = lib.at(d.si_index);
       const auto current = si.cycles_with(out.target, cat);
       for (const auto& opt : si.options()) {
         if (opt.cycles >= current) continue;
@@ -29,6 +36,7 @@ SelectionPlan GreedySelector::plan(const std::vector<ForecastDemand>& demands,
         const auto k = need.determinant();
         if (k == 0) continue;  // already supported (cycles check caught it)
         if (used + k > containers) continue;
+        if (limit && !out.target.plus(need).leq(*limit)) continue;
         const double gain =
             d.weight() * static_cast<double>(current - opt.cycles) /
             static_cast<double>(k);
@@ -52,46 +60,59 @@ SelectionPlan GreedySelector::plan(const std::vector<ForecastDemand>& demands,
   return out;
 }
 
-double GreedySelector::benefit(const atom::Molecule& config,
-                               const std::vector<ForecastDemand>& demands) const {
-  const auto& cat = lib_->catalog();
-  double total = 0.0;
-  for (const auto& d : demands) {
-    const auto& si = lib_->at(d.si_index);
-    const auto cycles = si.cycles_with(config, cat);
-    total += d.weight() *
-             static_cast<double>(si.software_cycles() - cycles);
-  }
-  return total;
+/// Enumerates one option choice (or software = no atoms) per demanded SI and
+/// returns the feasible configuration with the best total benefit.
+atom::Molecule exhaustive_target(const SelectionPolicy& policy,
+                                 const isa::SiLibrary& lib,
+                                 const std::vector<ForecastDemand>& demands,
+                                 std::uint64_t containers) {
+  const auto& cat = lib.catalog();
+  auto best = cat.zero();
+  double best_benefit = 0.0;
+
+  std::function<void(std::size_t, atom::Molecule)> recurse =
+      [&](std::size_t i, atom::Molecule config) {
+        if (cat.rotatable_determinant(config) > containers) return;
+        if (i == demands.size()) {
+          const double b = policy.benefit(config, demands);
+          if (b > best_benefit) {
+            best_benefit = b;
+            best = config;
+          }
+          return;
+        }
+        recurse(i + 1, config);  // software execution for SI i
+        for (const auto& opt : lib.at(demands[i].si_index).options())
+          recurse(i + 1, config.unite(cat.project_rotatable(opt.atoms)));
+      };
+  recurse(0, cat.zero());
+  return best;
+}
+
+}  // namespace
+
+SelectionPlan GreedySelector::plan(const std::vector<ForecastDemand>& demands,
+                                   std::uint64_t containers) const {
+  return greedy_plan(library(), demands, containers, nullptr);
 }
 
 SelectionPlan GreedySelector::exhaustive(
     const std::vector<ForecastDemand>& demands,
     std::uint64_t containers) const {
-  const auto& cat = lib_->catalog();
-  SelectionPlan best;
-  best.target = cat.zero();
-  double best_benefit = 0.0;
+  SelectionPlan out;
+  out.target = exhaustive_target(*this, library(), demands, containers);
+  return out;
+}
 
-  // Enumerate one option choice (or software = no atoms) per demanded SI;
-  // the configuration is the union of the chosen options' rotatable atoms.
-  std::function<void(std::size_t, atom::Molecule)> recurse =
-      [&](std::size_t i, atom::Molecule config) {
-        if (cat.rotatable_determinant(config) > containers) return;
-        if (i == demands.size()) {
-          const double b = benefit(config, demands);
-          if (b > best_benefit) {
-            best_benefit = b;
-            best.target = config;
-          }
-          return;
-        }
-        recurse(i + 1, config);  // software execution for SI i
-        for (const auto& opt : lib_->at(demands[i].si_index).options())
-          recurse(i + 1, config.unite(cat.project_rotatable(opt.atoms)));
-      };
-  recurse(0, cat.zero());
-  return best;
+SelectionPlan ExhaustiveSelector::plan(
+    const std::vector<ForecastDemand>& demands,
+    std::uint64_t containers) const {
+  const auto target = exhaustive_target(*this, library(), demands, containers);
+  auto out = greedy_plan(library(), demands, containers, &target);
+  // Steps may not cover atoms that no SI benefits from incrementally; the
+  // target still protects them from eviction, so report it as planned.
+  out.target = target;
+  return out;
 }
 
 }  // namespace rispp::rt

@@ -25,8 +25,16 @@ struct SimConfig {
   /// Round-robin quantum in cycles. Compute intervals are sliced at quantum
   /// granularity; SI invocations are atomic.
   std::uint64_t quantum = 10000;
-  /// Re-evaluate blocked reallocations at every task switch.
-  bool poll_on_switch = true;
+  /// Re-evaluate blocked reallocations via rotation-completion wakeups: the
+  /// manager exposes its next completion cycle and the simulator polls only
+  /// at task switches where `now` crossed it, instead of on every switch
+  /// (see docs/observability.md for why this is equivalent).
+  bool rotation_wakeups = true;
+  /// Legacy driving mode: poll the manager at every task switch, like the
+  /// seed simulator did. Overrides `rotation_wakeups`. Kept for equivalence
+  /// regression tests and for measuring the kernel's plan cache under
+  /// polling pressure (bench/realloc_hot_path).
+  bool poll_every_switch = false;
 };
 
 struct SiStats {
@@ -87,6 +95,9 @@ class Simulator {
   rt::RisppManager manager_;
   std::vector<TaskState> tasks_;
   rt::Cycle now_ = 0;
+  /// Last task-switch cycle at which wakeups were checked; a poll fires
+  /// when some rotation completed in (wakeup_checked_, now_].
+  rt::Cycle wakeup_checked_ = 0;
 };
 
 }  // namespace rispp::sim

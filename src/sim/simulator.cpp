@@ -48,7 +48,17 @@ SimResult Simulator::run() {
                               .task = task_id});
     last_task = task_id;
 
-    if (cfg_.poll_on_switch) manager_.poll(now_);
+    // Wakeup-driven reallocation retry: between rotation completions a poll
+    // cannot change the platform state (victims unblock only when a
+    // transfer finishes; committed atoms change only inside the manager),
+    // so only poll when a completion landed since the last check.
+    if (cfg_.poll_every_switch) {
+      manager_.poll(now_);
+    } else if (cfg_.rotation_wakeups) {
+      const auto wake = manager_.next_wakeup(wakeup_checked_);
+      if (wake && *wake <= now_) manager_.poll(now_);
+      wakeup_checked_ = now_;
+    }
 
     // Run this task for up to one quantum of busy cycles.
     std::uint64_t budget = cfg_.quantum;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "rispp/rt/container.hpp"
+#include "rispp/rt/policy.hpp"
 #include "rispp/util/error.hpp"
 
 namespace {
@@ -117,6 +118,88 @@ TEST_F(Containers, AggregationCountsInstances) {
   EXPECT_EQ(avail[transform_], 2u);
   EXPECT_EQ(avail[quadsub_], 1u);
   EXPECT_EQ(avail.determinant(), 3u);
+}
+
+TEST_F(Containers, RoundRobinVictimRotatesThroughContainers) {
+  // Regression: the seed picked the lowest-id expendable container on every
+  // eviction ("round-robin" in name only). The per-file cursor must cycle.
+  ContainerFile cf(3, cat_);
+  cf.start_rotation(0, transform_, 10, kNoTask);
+  cf.start_rotation(1, transform_, 20, kNoTask);
+  cf.start_rotation(2, transform_, 30, kNoTask);
+  cf.refresh(30);
+  const auto target = cat_.zero();  // everything is excess
+  const auto v0 = cf.choose_victim(target, 100, VictimPolicy::RoundRobinExcess);
+  const auto v1 = cf.choose_victim(target, 100, VictimPolicy::RoundRobinExcess);
+  const auto v2 = cf.choose_victim(target, 100, VictimPolicy::RoundRobinExcess);
+  const auto v3 = cf.choose_victim(target, 100, VictimPolicy::RoundRobinExcess);
+  ASSERT_TRUE(v0 && v1 && v2 && v3);
+  EXPECT_EQ(*v0, 0u);
+  EXPECT_EQ(*v1, 1u);
+  EXPECT_EQ(*v2, 2u);
+  EXPECT_EQ(*v3, 0u);  // wrapped
+}
+
+TEST_F(Containers, RoundRobinPolicyObjectRotatesToo) {
+  ContainerFile cf(3, cat_);
+  cf.start_rotation(0, transform_, 10, kNoTask);
+  cf.start_rotation(1, transform_, 20, kNoTask);
+  cf.start_rotation(2, transform_, 30, kNoTask);
+  cf.refresh(30);
+  RoundRobinReplacement rr;
+  const auto target = cat_.zero();
+  const auto v0 = cf.choose_victim(target, 100, rr);
+  const auto v1 = cf.choose_victim(target, 100, rr);
+  const auto v2 = cf.choose_victim(target, 100, rr);
+  const auto v3 = cf.choose_victim(target, 100, rr);
+  ASSERT_TRUE(v0 && v1 && v2 && v3);
+  EXPECT_EQ(*v0, 0u);
+  EXPECT_EQ(*v1, 1u);
+  EXPECT_EQ(*v2, 2u);
+  EXPECT_EQ(*v3, 0u);
+}
+
+TEST_F(Containers, TouchMarksLeastRecentlyUsedInstanceFirst) {
+  // Three Transform instances, each touch uses one: the marking must cycle
+  // through the instances (LRU order) instead of re-marking container 0.
+  ContainerFile cf(3, cat_);
+  cf.start_rotation(0, transform_, 10, kNoTask);
+  cf.start_rotation(1, transform_, 20, kNoTask);
+  cf.start_rotation(2, transform_, 30, kNoTask);
+  cf.refresh(30);
+  rispp::atom::Molecule one(cat_.size());
+  one.set(transform_, 1);
+  cf.touch(one, 100);  // all timestamps equal → lowest id marked
+  EXPECT_EQ(cf.at(0).last_used, 100u);
+  cf.touch(one, 200);  // containers 1 and 2 are older than 0
+  EXPECT_EQ(cf.at(1).last_used, 200u);
+  cf.touch(one, 300);
+  EXPECT_EQ(cf.at(2).last_used, 300u);
+  cf.touch(one, 400);  // back to container 0, now the stalest
+  EXPECT_EQ(cf.at(0).last_used, 400u);
+  EXPECT_EQ(cf.at(1).last_used, 200u);
+  EXPECT_EQ(cf.at(2).last_used, 300u);
+}
+
+TEST_F(Containers, CommittedAtomsStayConsistentAcrossRotations) {
+  // committed_atoms() is maintained incrementally; pin it against the
+  // definition (one count per container's loading-or-loaded kind).
+  ContainerFile cf(3, cat_);
+  EXPECT_TRUE(cf.committed_atoms().is_zero());
+  cf.start_rotation(0, transform_, 10, kNoTask);
+  cf.start_rotation(1, quadsub_, 20, kNoTask);
+  EXPECT_EQ(cf.committed_atoms()[transform_], 1u);
+  EXPECT_EQ(cf.committed_atoms()[quadsub_], 1u);
+  cf.refresh(20);  // promotion must not change committed content
+  EXPECT_EQ(cf.committed_atoms()[transform_], 1u);
+  EXPECT_EQ(cf.committed_atoms()[quadsub_], 1u);
+  cf.start_rotation(0, pack_, 50, kNoTask);  // replaces Transform
+  EXPECT_EQ(cf.committed_atoms()[transform_], 0u);
+  EXPECT_EQ(cf.committed_atoms()[pack_], 1u);
+  cf.start_rotation(2, transform_, 60, kNoTask);
+  cf.abort_rotation(2);  // cancelled before starting → empty container
+  EXPECT_EQ(cf.committed_atoms()[transform_], 0u);
+  EXPECT_EQ(cf.committed_atoms().determinant(), 2u);
 }
 
 TEST_F(Containers, Preconditions) {

@@ -7,15 +7,23 @@
 ///   rispp_explorer budget <library.txt> <atoms>
 ///       budget-best molecule per SI at a given container count
 ///   rispp_explorer simulate <library.txt> <trace.txt> [containers] [quantum]
-///       run a multi-task trace file on the cycle simulator
+///                  [--containers=N] [--quantum=N]
+///                  [--selector=greedy|exhaustive] [--victim=lru|mru|round-robin]
+///       run a multi-task trace file on the cycle simulator; the --selector
+///       and --victim keys resolve against the run-time policy factory
+///   rispp_explorer policies
+///       list the registered selection and replacement policies
 ///   rispp_explorer emit <h264|h264_sad|h264_frame>
 ///       print a built-in library in the text format (a starting point for
 ///       custom libraries)
 
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "rispp/isa/io.hpp"
+#include "rispp/rt/policy.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/sim/trace_io.hpp"
 #include "rispp/util/table.hpp"
@@ -25,11 +33,13 @@ namespace {
 using rispp::util::TextTable;
 
 int usage() {
-  std::cerr << "usage: rispp_explorer <info|pareto|budget|simulate|emit> ...\n"
+  std::cerr << "usage: rispp_explorer <info|pareto|budget|simulate|policies|emit> ...\n"
                "  info <library.txt>\n"
                "  pareto <library.txt>\n"
                "  budget <library.txt> <atoms>\n"
                "  simulate <library.txt> <trace.txt> [containers] [quantum]\n"
+               "           [--containers=N] [--quantum=N] [--selector=KEY] [--victim=KEY]\n"
+               "  policies\n"
                "  emit <h264|h264_sad|h264_frame>\n";
   return 2;
 }
@@ -96,20 +106,34 @@ int cmd_budget(const std::string& path, const std::string& atoms) {
   return 0;
 }
 
-int cmd_simulate(const std::string& lib_path, const std::string& trace_path,
-                 unsigned containers, std::uint64_t quantum) {
-  const auto lib = load_library(lib_path);
-  std::ifstream in(trace_path);
-  if (!in) throw std::runtime_error("cannot open trace file: " + trace_path);
+struct SimulateArgs {
+  std::string lib_path;
+  std::string trace_path;
+  unsigned containers = 4;
+  std::uint64_t quantum = 10000;
+  std::string selector = "greedy";
+  std::string victim = "lru";
+};
+
+int cmd_simulate(const SimulateArgs& args) {
+  const auto lib = load_library(args.lib_path);
+  std::ifstream in(args.trace_path);
+  if (!in)
+    throw std::runtime_error("cannot open trace file: " + args.trace_path);
   const auto tasks = rispp::sim::parse_tasks(in, lib);
 
   rispp::sim::SimConfig cfg;
-  cfg.rt.atom_containers = containers;
-  cfg.quantum = quantum;
+  cfg.rt.atom_containers = args.containers;
+  cfg.rt.selection_policy = args.selector;
+  cfg.rt.replacement_policy = args.victim;
+  cfg.quantum = args.quantum;
   rispp::sim::Simulator sim(lib, cfg);
   for (auto& t : tasks) sim.add_task(t);
   const auto r = sim.run();
 
+  std::cout << "policies: selector=" << sim.manager().selection_policy().name()
+            << ", victim=" << sim.manager().replacement_policy().name()
+            << "\n";
   std::cout << "total cycles: " << TextTable::grouped(static_cast<long long>(r.total_cycles))
             << ", rotations: " << r.rotations << ", energy: "
             << TextTable::grouped(static_cast<long long>(r.energy_total_nj))
@@ -126,6 +150,17 @@ int cmd_simulate(const std::string& lib_path, const std::string& trace_path,
     for (const auto& e : r.timeline)
       std::cout << "  @" << e.at << " [" << e.task << "] " << e.text << "\n";
   }
+  return 0;
+}
+
+int cmd_policies() {
+  TextTable t{"kind", "key"};
+  t.set_title("Registered run-time policies");
+  for (const auto& name : rispp::rt::selection_policy_names())
+    t.add_row({"selection", name});
+  for (const auto& name : rispp::rt::replacement_policy_names())
+    t.add_row({"replacement", name});
+  std::cout << t.str();
   return 0;
 }
 
@@ -152,12 +187,33 @@ int main(int argc, char** argv) {
     if (cmd == "info" && argc == 3) return cmd_info(argv[2]);
     if (cmd == "pareto" && argc == 3) return cmd_pareto(argv[2]);
     if (cmd == "budget" && argc == 4) return cmd_budget(argv[2], argv[3]);
-    if (cmd == "simulate" && (argc == 4 || argc == 5 || argc == 6)) {
-      const unsigned containers =
-          argc >= 5 ? static_cast<unsigned>(std::stoul(argv[4])) : 4;
-      const std::uint64_t quantum = argc >= 6 ? std::stoull(argv[5]) : 10000;
-      return cmd_simulate(argv[2], argv[3], containers, quantum);
+    if (cmd == "simulate") {
+      SimulateArgs args;
+      std::vector<std::string> positional;
+      for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--containers=", 0) == 0)
+          args.containers = static_cast<unsigned>(std::stoul(a.substr(13)));
+        else if (a.rfind("--quantum=", 0) == 0)
+          args.quantum = std::stoull(a.substr(10));
+        else if (a.rfind("--selector=", 0) == 0)
+          args.selector = a.substr(11);
+        else if (a.rfind("--victim=", 0) == 0)
+          args.victim = a.substr(9);
+        else if (a.rfind("--", 0) == 0)
+          return usage();
+        else
+          positional.push_back(a);
+      }
+      if (positional.size() < 2 || positional.size() > 4) return usage();
+      args.lib_path = positional[0];
+      args.trace_path = positional[1];
+      if (positional.size() >= 3)
+        args.containers = static_cast<unsigned>(std::stoul(positional[2]));
+      if (positional.size() >= 4) args.quantum = std::stoull(positional[3]);
+      return cmd_simulate(args);
     }
+    if (cmd == "policies" && argc == 2) return cmd_policies();
     if (cmd == "emit" && argc == 3) return cmd_emit(argv[2]);
     return usage();
   } catch (const std::exception& e) {
