@@ -4,46 +4,64 @@
 /// due to e.g. faster memory bandwidth". This bench sweeps the SelectMap
 /// bandwidth from half the Virtex-II rate to 8x and reports the encoder's
 /// cycles/MB and the software-execution fraction of the warm-up transient.
+///
+/// Runs on the exp:: engine as a one-axis grid (`--jobs=N` parallelizes);
+/// the derived columns (cycles/MB, speed-up vs the all-software encoder)
+/// are computed from the engine's ResultTable rows.
 
 #include <iostream>
+#include <string>
 
+#include "rispp/exp/platform.hpp"
+#include "rispp/exp/standard_eval.hpp"
 #include "rispp/h264/workload.hpp"
-#include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using rispp::util::TextTable;
-  const auto lib = rispp::isa::SiLibrary::h264();
+
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0)
+      jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
+  }
+
+  const auto platform = rispp::exp::Platform::builtin("h264");
+  const std::uint64_t macroblocks = 60;  // short run → the transient matters
+
+  rispp::exp::Sweep sweep;
+  sweep.axis("workload", {"fig7"})
+      .axis("containers", {"4"})
+      .axis("mb", {std::to_string(macroblocks)})
+      .axis("bandwidth", {"33", "66", "69.2", "132", "264", "528"});
+
+  const auto table = rispp::exp::run_sim_sweep(platform, sweep, jobs);
 
   rispp::h264::TraceParams p;
-  p.macroblocks = 60;  // short run → the transient matters
+  p.macroblocks = macroblocks;
+  const auto sw_per_mb = rispp::h264::software_cycles_per_mb(
+      platform->library(), p.counts, p.model);
 
   TextTable t{"bandwidth [MB/s]", "cycles/MB", "SW SATD execs",
               "HW SATD execs", "speed-up vs Opt.SW"};
   t.set_title("Bandwidth ablation: encoder warm-up vs rotation speed (" +
-              std::to_string(p.macroblocks) + " MBs, 4 atom containers)");
-  const auto sw_per_mb =
-      rispp::h264::software_cycles_per_mb(lib, p.counts, p.model);
-
-  for (double mbps : {33.0, 66.0, 69.2, 132.0, 264.0, 528.0}) {
-    rispp::sim::SimConfig cfg;
-    cfg.rt.atom_containers = 4;
-    cfg.rt.port = rispp::hw::ReconfigPort(mbps);
-    cfg.rt.record_events = false;
-    rispp::sim::Simulator sim(lib, cfg);
-    sim.add_task({"encoder", rispp::h264::make_encode_trace(lib, p)});
-    const auto r = sim.run();
-    const double per_mb = static_cast<double>(r.total_cycles) /
-                          static_cast<double>(p.macroblocks);
-    const auto& satd = r.si("SATD_4x4");
-    t.add_row({TextTable::num(mbps, 1),
+              std::to_string(macroblocks) + " MBs, 4 atom containers)");
+  for (const auto& row : table.rows()) {
+    const double per_mb = std::stod(row.at("cycles")) /
+                          static_cast<double>(macroblocks);
+    t.add_row({TextTable::num(std::stod(row.at("bandwidth")), 1),
                TextTable::grouped(static_cast<long long>(per_mb)),
-               TextTable::grouped(static_cast<long long>(satd.sw_invocations)),
-               TextTable::grouped(static_cast<long long>(satd.hw_invocations)),
-               TextTable::num(static_cast<double>(sw_per_mb) / per_mb, 2) + "x"});
+               TextTable::grouped(std::stoll(row.at("sw_SATD_4x4"))),
+               TextTable::grouped(std::stoll(row.at("hw_SATD_4x4"))),
+               TextTable::num(static_cast<double>(sw_per_mb) / per_mb, 2) +
+                   "x"});
   }
   std::cout << t.str();
   std::cout << "(faster ports shrink the software warm-up window; steady "
                "state is bandwidth-independent)\n";
   return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
 }

@@ -20,7 +20,7 @@ double run_per_mb(const rispp::isa::SiLibrary& lib,
   rispp::sim::SimConfig cfg;
   cfg.rt.atom_containers = containers;
   cfg.rt.record_events = false;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   sim.add_task({"encoder", rispp::h264::make_encode_trace(lib, p)});
   return static_cast<double>(sim.run().total_cycles) /
          static_cast<double>(p.macroblocks);

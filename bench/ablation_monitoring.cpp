@@ -59,7 +59,7 @@ int main() {
     // window boundaries thrash the two containers regardless of learning.
     cfg.rt.rotation_cost_factor = 1.0;
     cfg.rt.record_events = false;
-    rispp::sim::Simulator sim(lib, cfg);
+    rispp::sim::Simulator sim(borrow(lib), cfg);
     sim.add_task({"app", make_trace(lib)});
     const auto r = sim.run();
     if (lr == 0.0) base_cycles = static_cast<double>(r.total_cycles);

@@ -5,15 +5,19 @@
 /// replacement policies registered in the factory — `--victim=lru,mru`
 /// restricts the sweep (default: all registered policies, plus LRU with
 /// stale-transfer cancellation) — on the encoder+decoder co-run.
+///
+/// Runs on the exp:: engine in explicit-point mode (the plan is not a
+/// rectangle: the cancel-stale case only pairs with LRU); `--jobs=N`
+/// evaluates the points on a worker pool sharing one Platform snapshot.
 
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "rispp/h264/phases.hpp"
+#include "rispp/exp/platform.hpp"
+#include "rispp/exp/standard_eval.hpp"
 #include "rispp/rt/policy.hpp"
-#include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
 
 namespace {
@@ -37,7 +41,13 @@ std::vector<std::string> parse_list_arg(int argc, char** argv,
 
 int main(int argc, char** argv) try {
   using rispp::util::TextTable;
-  const auto lib = rispp::isa::SiLibrary::h264_frame();
+
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0)
+      jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
+  }
 
   struct Case {
     std::string label;
@@ -54,31 +64,25 @@ int main(int argc, char** argv) try {
     for (const auto& name : victims) cases.push_back({name, name, false});
   }
 
+  rispp::exp::Sweep sweep;
+  for (const auto& c : cases)
+    sweep.add_point({{"workload", "encdec"},
+                     {"containers", "10"},
+                     {"quantum", "30000"},
+                     {"replacement", c.policy},
+                     {"cancel_stale", c.cancel ? "1" : "0"}});
+
+  const auto table = rispp::exp::run_sim_sweep(
+      rispp::exp::Platform::builtin("h264_frame"), sweep, jobs);
+
   TextTable t{"policy", "total cycles", "rotations", "SW executions"};
   t.set_title("Replacement policy ablation (encoder+decoder, 10 ACs)");
-
-  for (const auto& c : cases) {
-    rispp::sim::SimConfig cfg;
-    cfg.rt.atom_containers = 10;
-    cfg.rt.replacement_policy = c.policy;
-    cfg.rt.cancel_stale_rotations = c.cancel;
-    cfg.rt.record_events = false;
-    cfg.quantum = 30000;
-    rispp::sim::Simulator sim(lib, cfg);
-    rispp::h264::PhaseTraceParams p;
-    p.frames = 2;
-    p.macroblocks_per_frame = 60;
-    sim.add_task({"enc", rispp::h264::make_phase_trace(
-                             lib, p, rispp::h264::fig1_phases())});
-    sim.add_task({"dec", rispp::h264::make_phase_trace(
-                             lib, p, rispp::h264::decoder_phases())});
-    const auto r = sim.run();
-    std::uint64_t sw = 0;
-    for (const auto& [name, st] : r.per_si) sw += st.sw_invocations;
-    t.add_row({c.label,
-               TextTable::grouped(static_cast<long long>(r.total_cycles)),
-               std::to_string(r.rotations),
-               TextTable::grouped(static_cast<long long>(sw))});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& row = table.rows().at(i);
+    t.add_row({cases[i].label,
+               TextTable::grouped(std::stoll(row.at("cycles"))),
+               row.at("rotations"),
+               TextTable::grouped(std::stoll(row.at("si_sw")))});
   }
   std::cout << t.str();
   std::cout << "(excess-only eviction keeps all policies close; the paper's "

@@ -44,7 +44,7 @@ Aggregate run(const rispp::cfg::BBGraph& g, const rispp::forecast::FcPlan& plan,
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = containers;
     cfg.rt.record_events = false;
-    rispp::sim::Simulator sim(lib, cfg);
+    rispp::sim::Simulator sim(borrow(lib), cfg);
     sim.add_task({"aes", trace});
     const auto r = sim.run();
     agg.cycles += static_cast<double>(r.total_cycles);
@@ -119,7 +119,7 @@ int main(int argc, char** argv) try {
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = 6;
     cfg.rt.sink = &recorder;
-    rispp::sim::Simulator sim(lib, cfg);
+    rispp::sim::Simulator sim(borrow(lib), cfg);
     sim.add_task({"aes", trace});
     sim.run();
     rispp::obs::write_trace_file(*trace_out, recorder.events(),

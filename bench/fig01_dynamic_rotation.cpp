@@ -78,7 +78,7 @@ int main() {
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = containers;
     cfg.rt.record_events = false;
-    rispp::sim::Simulator sim(lib, cfg);
+    rispp::sim::Simulator sim(borrow(lib), cfg);
     sim.add_task({"frame", rispp::h264::make_phase_trace(lib, p)});
     const auto r = sim.run();
     const double per_mb =
@@ -104,7 +104,7 @@ int main() {
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = 10;
     cfg.rt.record_events = false;
-    rispp::sim::Simulator sim(lib, cfg);
+    rispp::sim::Simulator sim(borrow(lib), cfg);
     sim.add_task({"frame", rispp::h264::make_phase_trace(lib, params)});
     const auto r = sim.run();
     std::uint64_t sw_exec = 0;

@@ -40,7 +40,7 @@ int main(int argc, char** argv) try {
   cfg.rt.atom_containers = 6;
   cfg.quantum = 25000;
   if (trace_out) cfg.rt.sink = &recorder;
-  Simulator sim(lib, cfg);
+  Simulator sim(borrow(lib), cfg);
 
   Trace a;
   a.push_back(TraceOp::label("T0: steady state — A forecasts SATD_4x4"));

@@ -68,7 +68,7 @@ int main(int argc, char** argv) try {
   rispp::sim::SimConfig cfg;
   cfg.rt.atom_containers = 6;
   cfg.rt.sink = &recorder;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   std::vector<std::string> task_names;
   for (const auto& si : lib.sis()) {
     rispp::sim::Trace trace;

@@ -30,7 +30,7 @@ RunResult run(const rispp::isa::SiLibrary& lib, bool encoder, bool decoder,
   cfg.rt.atom_containers = containers;
   cfg.rt.record_events = false;
   cfg.quantum = 30000;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   rispp::h264::PhaseTraceParams p;
   p.frames = frames;
   p.macroblocks_per_frame = mbs;

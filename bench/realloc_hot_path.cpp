@@ -35,15 +35,15 @@ struct Run {
   double wall_ms = 0;
 };
 
-Run run_mode(bool poll_every_switch) {
+Run run_mode(rispp::sim::Driving driving) {
   const auto lib = rispp::isa::SiLibrary::h264_frame();
   rispp::sim::SimConfig cfg;
   cfg.rt.atom_containers = 10;
   cfg.rt.record_events = false;
   cfg.quantum = 2000;  // forecast/poll pressure: many switches per phase
-  cfg.poll_every_switch = poll_every_switch;
+  cfg.driving = driving;
 
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   rispp::h264::PhaseTraceParams p;
   p.frames = 4;
   p.macroblocks_per_frame = 99;
@@ -76,8 +76,8 @@ int main(int argc, char** argv) try {
     if (arg.rfind("--out=", 0) == 0) out_path = argv[i] + 6;
   }
 
-  const auto polled = run_mode(/*poll_every_switch=*/true);
-  const auto wakeup = run_mode(/*poll_every_switch=*/false);
+  const auto polled = run_mode(rispp::sim::Driving::PollEverySwitch);
+  const auto wakeup = run_mode(rispp::sim::Driving::Wakeups);
 
   TextTable t{"metric", "every-switch polling", "rotation wakeups"};
   t.set_title("Reallocation hot path (enc+dec co-run, quantum 2000)");

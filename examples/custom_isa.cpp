@@ -63,7 +63,7 @@ int main() {
   //    needs FIR+MIXER, then switches mode to FFT-heavy processing.
   rispp::rt::RtConfig cfg;
   cfg.atom_containers = 5;
-  rispp::rt::RisppManager mgr(lib, cfg);
+  rispp::rt::RisppManager mgr(borrow(lib), cfg);
 
   const auto fir = lib.index_of("FIR_32");
   const auto mixer = lib.index_of("MIXER");

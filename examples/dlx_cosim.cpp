@@ -71,7 +71,7 @@ int main() {
   rispp::rt::RtConfig cfg;
   cfg.atom_containers = 4;
   cfg.record_events = false;
-  rispp::rt::RisppManager manager(lib, cfg);
+  rispp::rt::RisppManager manager(borrow(lib), cfg);
   rispp::dlx::Cpu rispp_core(lib, &manager);
   rispp_core.load(program);
   rispp::dlx::bind_h264_sis(rispp_core, lib);

@@ -17,7 +17,7 @@ int main() {
   SimConfig cfg;
   cfg.rt.atom_containers = 6;
   cfg.quantum = 25000;  // round-robin slice
-  Simulator sim(lib, cfg);
+  Simulator sim(borrow(lib), cfg);
 
   // Task A: a video task hammering SATD_4x4.
   Trace a;

@@ -19,7 +19,7 @@ int main() {
   rispp::rt::RtConfig config;
   config.atom_containers = 6;   // six partially reconfigurable slots
   config.clock_mhz = 100.0;     // core clock for rotation-time conversion
-  rispp::rt::RisppManager manager(lib, config);
+  rispp::rt::RisppManager manager(borrow(lib), config);
 
   const auto satd = lib.index_of("SATD_4x4");
   std::cout << "SATD_4x4 software molecule: "

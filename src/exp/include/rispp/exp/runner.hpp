@@ -1,0 +1,68 @@
+#pragma once
+/// \file runner.hpp
+/// \brief The parallel sweep executor: a fixed-size worker pool with work
+/// stealing, evaluating sweep points against a shared immutable Platform.
+///
+/// Threading model — the whole reason the session API moved to
+/// `shared_ptr<const>`: every worker thread builds its *own* Simulator /
+/// RisppManager from the one shared Platform snapshot; mutable state is
+/// strictly thread-local, the shared state is strictly immutable. Results
+/// land in pre-sized per-point slots (no ordering races), so the assembled
+/// ResultTable is byte-identical at any worker count (pinned by tests and
+/// bench/sweep_scaling).
+///
+/// Scheduling: points are dealt round-robin into per-worker deques; a worker
+/// pops from the front of its own deque and, when empty, steals from the
+/// back of its neighbours'. The first exception cancels the remaining points
+/// and is rethrown on the caller's thread.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rispp/exp/platform.hpp"
+#include "rispp/exp/result_table.hpp"
+#include "rispp/exp/sweep.hpp"
+
+namespace rispp::exp {
+
+/// Metric cells one point evaluation produced, in emission order.
+using PointMetrics = std::vector<std::pair<std::string, std::string>>;
+
+/// A point evaluator. Called concurrently from pool workers: it must treat
+/// the Platform as read-only (it is const — and shared) and keep everything
+/// else local.
+using PointFn =
+    std::function<PointMetrics(const Platform&, const SweepPoint&)>;
+
+struct RunnerConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). 1 evaluates
+  /// inline on the calling thread (no pool).
+  unsigned jobs = 1;
+};
+
+class Runner {
+ public:
+  explicit Runner(std::shared_ptr<const Platform> platform,
+                  RunnerConfig cfg = {});
+
+  /// Evaluates every point of the sweep and returns the aggregated table:
+  /// one row per point (index order), cells = point parameters then the
+  /// evaluator's metrics.
+  ResultTable run(const Sweep& sweep, const PointFn& fn) const;
+
+  const Platform& platform() const { return *platform_; }
+  const std::shared_ptr<const Platform>& platform_ptr() const {
+    return platform_;
+  }
+  /// Resolved worker count (after the jobs=0 → hardware_concurrency rule).
+  unsigned jobs() const { return jobs_; }
+
+ private:
+  std::shared_ptr<const Platform> platform_;
+  unsigned jobs_ = 1;
+};
+
+}  // namespace rispp::exp

@@ -1,0 +1,52 @@
+#pragma once
+/// \file standard_eval.hpp
+/// \brief The standard simulation point evaluator: maps string-keyed sweep
+/// parameters onto a SimConfig + H.264 workload, runs one Simulator, and
+/// reports the canonical metric set.
+///
+/// Understood parameters (all optional):
+///   workload     enc | dec | encdec (phase traces; default encdec) |
+///                fig7 (the Fig-7/Fig-12 encoder macroblock trace)
+///   containers   Atom Containers                     (default 10)
+///   quantum      round-robin quantum in cycles       (default 10000)
+///   frames       frames per task (phase workloads)   (default 2)
+///   mb           macroblocks per frame / per run     (default 60)
+///   selector     selection-policy factory key        (default "greedy")
+///   replacement  replacement-policy factory key      (default "lru")
+///   driving      wakeups | poll-every-switch         (default wakeups)
+///   bandwidth    reconfiguration port MB/s           (default Table 1)
+///   cost_factor  RtConfig::rotation_cost_factor      (default 0)
+///   cancel_stale 0 | 1                               (default 0)
+///   jitter       ±fraction of per-op compute cycles, drawn from
+///                Xoshiro256(point.seed)              (default 0 = exact)
+///
+/// Reported metrics: cycles, rotations, si_hw, si_sw, energy_nj,
+/// reallocations, selector_plans, then hw_<SI>/sw_<SI> per invoked SI.
+///
+/// `sim_config_for` is split out so batch drivers can validate a whole plan
+/// (factory keys, driving spellings, numeric ranges) up front — a typo in a
+/// grid axis fails before any worker spawns, not deep inside point 37.
+
+#include "rispp/exp/platform.hpp"
+#include "rispp/exp/runner.hpp"
+#include "rispp/exp/sweep.hpp"
+#include "rispp/sim/simulator.hpp"
+
+namespace rispp::exp {
+
+/// Builds (and range-checks) the SimConfig a point requests. Throws
+/// util::Error subclasses on unknown policy keys / driving spellings.
+sim::SimConfig sim_config_for(const SweepPoint& point);
+
+/// Validates every point of a sweep against the standard evaluator's
+/// parameter space without running anything.
+void validate_sim_sweep(const Sweep& sweep);
+
+/// The standard evaluator (a PointFn).
+PointMetrics run_sim_point(const Platform& platform, const SweepPoint& point);
+
+/// Convenience: validate_sim_sweep + Runner{jobs}.run(run_sim_point).
+ResultTable run_sim_sweep(std::shared_ptr<const Platform> platform,
+                          const Sweep& sweep, unsigned jobs = 1);
+
+}  // namespace rispp::exp

@@ -1,0 +1,75 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief Declarative experiment plans: a cartesian grid (or explicit point
+/// list) over string-keyed parameters, each point with a deterministic
+/// derived RNG seed.
+///
+/// Parameters are (name, value) string pairs — the same currency as CLI
+/// flags and CSV columns — and a point evaluator (exp/standard_eval.hpp, or
+/// any custom lambda) interprets them. Determinism contract: the point list,
+/// the point order and every per-point seed are pure functions of the plan,
+/// never of thread timing, so the same Sweep produces byte-identical results
+/// at any worker count (pinned by tests/exp_test).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rispp::exp {
+
+/// One evaluated configuration point of a sweep.
+struct SweepPoint {
+  std::size_t index = 0;   ///< position in the plan (stable row order)
+  std::uint64_t seed = 0;  ///< derived: splitmix64 over (base_seed, index)
+  /// Parameter assignment, in axis declaration order.
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Value of `key`, or nullptr when the plan has no such parameter.
+  const std::string* find(const std::string& key) const;
+  /// Value of `key`; throws util::PreconditionError when absent.
+  const std::string& at(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_f64(const std::string& key, double fallback) const;
+};
+
+/// A sweep plan: either a cartesian grid over axes (last axis fastest) or an
+/// explicit list of points — mixing the two modes is an error.
+class Sweep {
+ public:
+  /// Adds a grid axis. Duplicate names and empty value lists throw.
+  Sweep& axis(std::string name, std::vector<std::string> values);
+  /// Adds one explicit point (list mode, for non-rectangular plans).
+  Sweep& add_point(std::vector<std::pair<std::string, std::string>> params);
+  /// Base seed the per-point seeds derive from (default 1).
+  Sweep& base_seed(std::uint64_t seed);
+
+  /// Parses the CLI grid syntax: "containers=4,8;quantum=10000;workload=enc"
+  /// — axes separated by ';', values by ','. Throws on malformed specs.
+  static Sweep parse_grid(const std::string& spec);
+
+  /// splitmix64-finalized mix of (base, index): distinct per index, stable
+  /// across platforms, independent of evaluation order.
+  static std::uint64_t derive_seed(std::uint64_t base, std::size_t index);
+
+  struct Axis {
+    std::string name;
+    std::vector<std::string> values;
+  };
+  const std::vector<Axis>& axes() const { return axes_; }
+  std::uint64_t seed() const { return base_seed_; }
+  std::size_t size() const;
+
+  /// Materializes the plan: grid mode enumerates the cartesian product with
+  /// the *last* axis varying fastest; list mode returns the points in
+  /// insertion order. Seeds are derived here.
+  std::vector<SweepPoint> points() const;
+
+ private:
+  std::vector<Axis> axes_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> explicit_;
+  std::uint64_t base_seed_ = 1;
+};
+
+}  // namespace rispp::exp

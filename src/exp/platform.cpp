@@ -1,0 +1,57 @@
+#include "rispp/exp/platform.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "rispp/isa/io.hpp"
+#include "rispp/util/error.hpp"
+
+namespace rispp::exp {
+
+Platform::Platform(std::string name, std::shared_ptr<const isa::SiLibrary> lib)
+    : name_(std::move(name)), lib_(std::move(lib)) {
+  RISPP_REQUIRE(lib_ != nullptr, "platform needs an SI library");
+  pareto_.reserve(lib_->size());
+  for (const auto& si : lib_->sis())
+    pareto_.push_back(si.pareto_front(lib_->catalog()));
+}
+
+std::shared_ptr<const Platform> Platform::make(isa::SiLibrary lib,
+                                               std::string name) {
+  return std::shared_ptr<const Platform>(
+      new Platform(std::move(name), isa::share(std::move(lib))));
+}
+
+std::vector<std::string> Platform::builtin_names() {
+  return {"h264", "h264_with_sad", "h264_frame"};
+}
+
+std::shared_ptr<const Platform> Platform::builtin(const std::string& name) {
+  if (name == "h264") return make(isa::SiLibrary::h264(), name);
+  if (name == "h264_with_sad")
+    return make(isa::SiLibrary::h264_with_sad(), name);
+  if (name == "h264_frame") return make(isa::SiLibrary::h264_frame(), name);
+  std::string known;
+  for (const auto& n : builtin_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw util::PreconditionError("unknown builtin platform '" + name +
+                                "' (known: " + known + ")");
+}
+
+std::shared_ptr<const Platform> Platform::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good())
+    throw util::PreconditionError("cannot open SI library file '" + path +
+                                  "'");
+  return make(isa::parse_si_library(in), path);
+}
+
+const std::vector<isa::ParetoPoint>& Platform::pareto(
+    std::size_t si_index) const {
+  RISPP_REQUIRE(si_index < pareto_.size(), "SI index out of range");
+  return pareto_[si_index];
+}
+
+}  // namespace rispp::exp

@@ -1,0 +1,122 @@
+#include "rispp/exp/result_table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "rispp/util/csv.hpp"
+#include "rispp/util/error.hpp"
+
+namespace rispp::exp {
+
+const std::string* ResultRow::find(const std::string& key) const {
+  for (const auto& [k, v] : cells)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::string& ResultRow::at(const std::string& key) const {
+  const auto* v = find(key);
+  if (!v)
+    throw util::PreconditionError("result row " + std::to_string(point) +
+                                  " has no cell '" + key + "'");
+  return *v;
+}
+
+void ResultTable::add(ResultRow row) {
+  const auto pos = std::lower_bound(
+      rows_.begin(), rows_.end(), row.point,
+      [](const ResultRow& r, std::size_t p) { return r.point < p; });
+  RISPP_REQUIRE(pos == rows_.end() || pos->point != row.point,
+                "duplicate result row for sweep point " +
+                    std::to_string(row.point));
+  rows_.insert(pos, std::move(row));
+}
+
+std::vector<std::string> ResultTable::columns() const {
+  std::vector<std::string> cols{"point", "seed"};
+  for (const auto& row : rows_)
+    for (const auto& [k, v] : row.cells)
+      if (std::find(cols.begin(), cols.end(), k) == cols.end())
+        cols.push_back(k);
+  return cols;
+}
+
+void ResultTable::write_csv(std::ostream& out) const {
+  const auto cols = columns();
+  util::CsvWriter csv(out);
+  csv.row(cols);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(cols.size());
+    cells.push_back(std::to_string(row.point));
+    cells.push_back(std::to_string(row.seed));
+    for (std::size_t c = 2; c < cols.size(); ++c) {
+      const auto* v = row.find(cols[c]);
+      cells.push_back(v ? *v : "");
+    }
+    csv.row(cells);
+  }
+}
+
+namespace {
+
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(ch >> 4) & 0xF] << hex[ch & 0xF];
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void ResultTable::write_json(std::ostream& out) const {
+  const auto cols = columns();
+  out << "{\n  \"columns\": [";
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    if (c) out << ", ";
+    json_string(out, cols[c]);
+  }
+  out << "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    out << (r ? ",\n    {" : "\n    {");
+    out << "\"point\": " << row.point << ", \"seed\": " << row.seed;
+    for (const auto& [k, v] : row.cells) {
+      out << ", ";
+      json_string(out, k);
+      out << ": ";
+      json_string(out, v);
+    }
+    out << "}";
+  }
+  out << (rows_.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+std::string ResultTable::csv() const {
+  std::ostringstream ss;
+  write_csv(ss);
+  return ss.str();
+}
+
+std::string ResultTable::json() const {
+  std::ostringstream ss;
+  write_json(ss);
+  return ss.str();
+}
+
+}  // namespace rispp::exp

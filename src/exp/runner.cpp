@@ -1,0 +1,114 @@
+#include "rispp/exp/runner.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::exp {
+
+namespace {
+
+/// One worker's share of the point queue. The owner pops from the front;
+/// thieves take from the back, so an owner working down a hot streak and a
+/// thief balancing the tail rarely contend on the same end.
+class WorkDeque {
+ public:
+  void push(std::size_t point) { deque_.push_back(point); }
+
+  std::optional<std::size_t> pop_front() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (deque_.empty()) return std::nullopt;
+    const auto point = deque_.front();
+    deque_.pop_front();
+    return point;
+  }
+
+  std::optional<std::size_t> steal_back() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (deque_.empty()) return std::nullopt;
+    const auto point = deque_.back();
+    deque_.pop_back();
+    return point;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<std::size_t> deque_;
+};
+
+}  // namespace
+
+Runner::Runner(std::shared_ptr<const Platform> platform, RunnerConfig cfg)
+    : platform_(std::move(platform)), jobs_(cfg.jobs) {
+  RISPP_REQUIRE(platform_ != nullptr, "runner needs a platform");
+  if (jobs_ == 0) {
+    jobs_ = std::thread::hardware_concurrency();
+    if (jobs_ == 0) jobs_ = 1;
+  }
+}
+
+ResultTable Runner::run(const Sweep& sweep, const PointFn& fn) const {
+  RISPP_REQUIRE(fn != nullptr, "runner needs a point evaluator");
+  const auto points = sweep.points();
+
+  std::vector<std::optional<ResultRow>> slots(points.size());
+  const auto evaluate = [&](std::size_t i) {
+    ResultRow row;
+    row.point = points[i].index;
+    row.seed = points[i].seed;
+    row.cells = points[i].params;
+    auto metrics = fn(*platform_, points[i]);
+    row.cells.insert(row.cells.end(),
+                     std::make_move_iterator(metrics.begin()),
+                     std::make_move_iterator(metrics.end()));
+    slots[i] = std::move(row);
+  };
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, points.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) evaluate(i);
+  } else {
+    std::vector<WorkDeque> queues(workers);
+    for (std::size_t i = 0; i < points.size(); ++i)
+      queues[i % workers].push(i);  // dealt before any worker starts
+
+    std::atomic<bool> cancelled{false};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    const auto worker = [&](unsigned self) {
+      while (!cancelled.load(std::memory_order_relaxed)) {
+        auto point = queues[self].pop_front();
+        for (unsigned k = 1; !point && k < workers; ++k)
+          point = queues[(self + k) % workers].steal_back();
+        if (!point) return;  // every queue drained
+        try {
+          evaluate(*point);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker, w);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  ResultTable table;
+  for (auto& slot : slots)
+    if (slot) table.add(std::move(*slot));
+  return table;
+}
+
+}  // namespace rispp::exp

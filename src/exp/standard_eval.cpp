@@ -1,0 +1,132 @@
+#include "rispp/exp/standard_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "rispp/h264/phases.hpp"
+#include "rispp/h264/workload.hpp"
+#include "rispp/util/error.hpp"
+#include "rispp/util/rng.hpp"
+
+namespace rispp::exp {
+
+namespace {
+
+/// Scales every Compute op by a uniform factor in [1-jitter, 1+jitter],
+/// drawn from the point's own Xoshiro256 stream — same seed, same workload,
+/// bit for bit.
+void apply_jitter(sim::Trace& trace, double jitter, util::Xoshiro256& rng) {
+  for (auto& op : trace) {
+    if (op.kind != sim::TraceOp::Kind::Compute || op.cycles == 0) continue;
+    const double factor = 1.0 + jitter * (2.0 * rng.uniform01() - 1.0);
+    op.cycles = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(static_cast<double>(op.cycles) * factor)));
+  }
+}
+
+std::string format_nj(double nj) {
+  // Fixed 3-decimal rendering: deterministic across platforms and stable
+  // under re-runs (std::to_string's 6 decimals add only noise digits).
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", nj);
+  return buf;
+}
+
+}  // namespace
+
+sim::SimConfig sim_config_for(const SweepPoint& point) {
+  sim::SimConfig cfg;
+  cfg.rt.atom_containers =
+      static_cast<unsigned>(point.get_u64("containers", 10));
+  cfg.rt.selection_policy = point.get("selector", "greedy");
+  cfg.rt.replacement_policy = point.get("replacement", "lru");
+  cfg.rt.rotation_cost_factor = point.get_f64("cost_factor", 0.0);
+  cfg.rt.cancel_stale_rotations = point.get_u64("cancel_stale", 0) != 0;
+  if (point.find("bandwidth") != nullptr)
+    cfg.rt.port = hw::ReconfigPort(point.get_f64("bandwidth", 0.0));
+  cfg.rt.record_events = false;  // sweeps run many points; traces are huge
+  cfg.quantum = point.get_u64("quantum", 10000);
+  cfg.driving = sim::parse_driving(point.get("driving", "wakeups"));
+
+  const double jitter = point.get_f64("jitter", 0.0);
+  RISPP_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0,1)");
+  const auto workload = point.get("workload", "encdec");
+  if (workload != "enc" && workload != "dec" && workload != "encdec" &&
+      workload != "fig7")
+    throw util::PreconditionError("unknown workload '" + workload +
+                                  "' (known: enc, dec, encdec, fig7)");
+  rt::validate(cfg.rt);
+  return cfg;
+}
+
+void validate_sim_sweep(const Sweep& sweep) {
+  for (const auto& point : sweep.points()) (void)sim_config_for(point);
+}
+
+PointMetrics run_sim_point(const Platform& platform,
+                           const SweepPoint& point) {
+  const auto cfg = sim_config_for(point);
+  const auto& lib = platform.library();
+  const auto workload = point.get("workload", "encdec");
+  const double jitter = point.get_f64("jitter", 0.0);
+  util::Xoshiro256 rng(point.seed);
+
+  sim::Simulator sim(platform.library_ptr(), cfg);
+  const auto add = [&](const char* name, sim::Trace trace) {
+    if (jitter > 0.0) apply_jitter(trace, jitter, rng);
+    sim.add_task({name, std::move(trace)});
+  };
+
+  if (workload == "fig7") {
+    h264::TraceParams p;
+    p.macroblocks = point.get_u64("mb", 60);
+    add("encoder", h264::make_encode_trace(lib, p));
+  } else {
+    h264::PhaseTraceParams p;
+    p.frames = point.get_u64("frames", 2);
+    p.macroblocks_per_frame = point.get_u64("mb", 60);
+    if (workload == "enc" || workload == "encdec")
+      add("enc", h264::make_phase_trace(lib, p, h264::fig1_phases()));
+    if (workload == "dec" || workload == "encdec")
+      add("dec", h264::make_phase_trace(lib, p, h264::decoder_phases()));
+  }
+
+  const auto r = sim.run();
+  std::uint64_t hw = 0, sw = 0;
+  for (const auto& [name, st] : r.per_si) {
+    hw += st.hw_invocations;
+    sw += st.sw_invocations;
+  }
+
+  PointMetrics m;
+  m.emplace_back("cycles", std::to_string(r.total_cycles));
+  m.emplace_back("rotations", std::to_string(r.rotations));
+  m.emplace_back("si_hw", std::to_string(hw));
+  m.emplace_back("si_sw", std::to_string(sw));
+  m.emplace_back("energy_nj", format_nj(r.energy_total_nj));
+  m.emplace_back("reallocations",
+                 std::to_string(sim.manager().counters().get("reallocations")));
+  m.emplace_back(
+      "selector_plans",
+      std::to_string(sim.manager().counters().get("selector_plans")));
+  // Per-SI execution mix — r.per_si is an ordered map, so the column order
+  // is stable across points and worker counts.
+  for (const auto& [name, st] : r.per_si) {
+    if (st.invocations == 0) continue;
+    m.emplace_back("hw_" + name, std::to_string(st.hw_invocations));
+    m.emplace_back("sw_" + name, std::to_string(st.sw_invocations));
+  }
+  return m;
+}
+
+ResultTable run_sim_sweep(std::shared_ptr<const Platform> platform,
+                          const Sweep& sweep, unsigned jobs) {
+  validate_sim_sweep(sweep);
+  const Runner runner(std::move(platform), {jobs});
+  return runner.run(sweep, run_sim_point);
+}
+
+}  // namespace rispp::exp

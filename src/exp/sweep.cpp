@@ -1,0 +1,160 @@
+#include "rispp/exp/sweep.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::exp {
+
+const std::string* SweepPoint::find(const std::string& key) const {
+  for (const auto& [k, v] : params)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const std::string& SweepPoint::at(const std::string& key) const {
+  const auto* v = find(key);
+  if (!v)
+    throw util::PreconditionError("sweep point has no parameter '" + key +
+                                  "'");
+  return *v;
+}
+
+std::string SweepPoint::get(const std::string& key,
+                            const std::string& fallback) const {
+  const auto* v = find(key);
+  return v ? *v : fallback;
+}
+
+std::uint64_t SweepPoint::get_u64(const std::string& key,
+                                  std::uint64_t fallback) const {
+  const auto* v = find(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const auto parsed = std::strtoull(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0')
+    throw util::PreconditionError("sweep parameter '" + key + "'='" + *v +
+                                  "' is not an unsigned integer");
+  return parsed;
+}
+
+double SweepPoint::get_f64(const std::string& key, double fallback) const {
+  const auto* v = find(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0')
+    throw util::PreconditionError("sweep parameter '" + key + "'='" + *v +
+                                  "' is not a number");
+  return parsed;
+}
+
+Sweep& Sweep::axis(std::string name, std::vector<std::string> values) {
+  RISPP_REQUIRE(explicit_.empty(),
+                "cannot mix grid axes with explicit sweep points");
+  RISPP_REQUIRE(!name.empty(), "axis name must be non-empty");
+  RISPP_REQUIRE(!values.empty(), "axis '" + name + "' has no values");
+  for (const auto& a : axes_)
+    RISPP_REQUIRE(a.name != name, "duplicate axis '" + name + "'");
+  axes_.push_back({std::move(name), std::move(values)});
+  return *this;
+}
+
+Sweep& Sweep::add_point(
+    std::vector<std::pair<std::string, std::string>> params) {
+  RISPP_REQUIRE(axes_.empty(),
+                "cannot mix explicit sweep points with grid axes");
+  explicit_.push_back(std::move(params));
+  return *this;
+}
+
+Sweep& Sweep::base_seed(std::uint64_t seed) {
+  base_seed_ = seed;
+  return *this;
+}
+
+Sweep Sweep::parse_grid(const std::string& spec) {
+  Sweep sweep;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto semi = spec.find(';', pos);
+    const auto part =
+        spec.substr(pos, semi == std::string::npos ? semi : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (part.empty()) continue;
+    const auto eq = part.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw util::PreconditionError(
+          "malformed grid axis '" + part +
+          "' (expected name=value[,value...])");
+    std::vector<std::string> values;
+    std::size_t vpos = eq + 1;
+    while (vpos <= part.size()) {
+      const auto comma = part.find(',', vpos);
+      const auto value = part.substr(
+          vpos, comma == std::string::npos ? comma : comma - vpos);
+      vpos = comma == std::string::npos ? part.size() + 1 : comma + 1;
+      if (!value.empty()) values.push_back(value);
+    }
+    if (values.empty())
+      throw util::PreconditionError("grid axis '" + part.substr(0, eq) +
+                                    "' has no values");
+    sweep.axis(part.substr(0, eq), std::move(values));
+  }
+  return sweep;
+}
+
+std::uint64_t Sweep::derive_seed(std::uint64_t base, std::size_t index) {
+  // Fixed-increment stream position + the splitmix64 finalizer: index 0 and
+  // base 0 still land far apart, and nearby indices decorrelate fully.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL *
+                               (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t Sweep::size() const {
+  if (!explicit_.empty()) return explicit_.size();
+  if (axes_.empty()) return 0;
+  std::size_t n = 1;
+  for (const auto& a : axes_) n *= a.values.size();
+  return n;
+}
+
+std::vector<SweepPoint> Sweep::points() const {
+  std::vector<SweepPoint> out;
+  out.reserve(size());
+  if (!explicit_.empty()) {
+    for (const auto& params : explicit_) {
+      SweepPoint p;
+      p.index = out.size();
+      p.seed = derive_seed(base_seed_, p.index);
+      p.params = params;
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+  if (axes_.empty()) return out;
+  std::vector<std::size_t> cursor(axes_.size(), 0);
+  while (true) {
+    SweepPoint p;
+    p.index = out.size();
+    p.seed = derive_seed(base_seed_, p.index);
+    p.params.reserve(axes_.size());
+    for (std::size_t a = 0; a < axes_.size(); ++a)
+      p.params.emplace_back(axes_[a].name, axes_[a].values[cursor[a]]);
+    out.push_back(std::move(p));
+    // Odometer increment, last axis fastest.
+    std::size_t a = axes_.size();
+    while (a > 0) {
+      --a;
+      if (++cursor[a] < axes_[a].values.size()) break;
+      cursor[a] = 0;
+      if (a == 0) return out;
+    }
+  }
+}
+
+}  // namespace rispp::exp

@@ -3,6 +3,7 @@
 /// \brief A compiled application's Special Instruction set: the catalog of
 /// Atom types plus every SI with its Molecule options.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,5 +49,23 @@ class SiLibrary {
   AtomCatalog catalog_;
   std::vector<SpecialInstruction> sis_;
 };
+
+/// Moves a library value into the immutable shared snapshot form that the
+/// thread-safe APIs (Simulator, RisppManager, exp::Platform) take: nobody
+/// can mutate it (const) and nobody can destroy it early (shared_ptr).
+inline std::shared_ptr<const SiLibrary> share(SiLibrary lib) {
+  return std::make_shared<const SiLibrary>(std::move(lib));
+}
+
+/// Non-owning view of a caller-kept library, in the same shared-snapshot
+/// type. The caller must keep `lib` alive for as long as any component
+/// holds the pointer — the old reference-parameter contract, but stated
+/// explicitly at the call site instead of hidden in an overload. Fine for
+/// stack-local single-thread runs; sweeps and anything that outlives the
+/// scope should use share() / exp::Platform.
+inline std::shared_ptr<const SiLibrary> borrow(const SiLibrary& lib) {
+  return std::shared_ptr<const SiLibrary>(std::shared_ptr<const SiLibrary>{},
+                                          &lib);
+}
 
 }  // namespace rispp::isa

@@ -43,10 +43,17 @@ struct RtConfig {
   double learning_rate = 0.5;
   /// Power model for the energy meter (execution / rotation / leakage).
   PowerModel power{};
-  /// Replacement policy for rotation victims (ablation knob). Kept for
-  /// source compatibility; `replacement_policy` (the factory key) wins when
-  /// non-empty.
-  VictimPolicy victim_policy = VictimPolicy::LruExcess;
+  /// Legacy replacement knob, deprecated behind the string-keyed factory:
+  /// set `replacement_policy` to "lru" / "mru" / "round-robin" instead.
+  /// Honoured (via to_policy_name) only while `replacement_policy` is
+  /// empty; covered by the enum→key shim test in rt_policy_test.
+  [[deprecated(
+      "set RtConfig::replacement_policy to a factory key (\"lru\", \"mru\", "
+      "\"round-robin\") instead of the VictimPolicy enum")]]
+  void set_victim_policy(VictimPolicy p) { victim_policy_ = p; }
+  /// Read side of the legacy knob — the enum→key shim (manager ctor,
+  /// validate()) resolves it while `replacement_policy` is empty.
+  VictimPolicy legacy_victim_policy() const { return victim_policy_; }
   /// Molecule selection policy, by factory key ("greedy", "exhaustive", or
   /// a custom registration — see policy.hpp).
   std::string selection_policy = "greedy";
@@ -74,6 +81,9 @@ struct RtConfig {
   /// upgrades) through it; when null, every emission site is one dead
   /// branch, so the disabled path costs nothing.
   obs::EventSink* sink = nullptr;
+
+ private:
+  VictimPolicy victim_policy_ = VictimPolicy::LruExcess;
 };
 
 struct RtEvent {
@@ -98,8 +108,27 @@ struct RtEvent {
 
 const char* to_string(RtEvent::Kind k);
 
+/// Validates an RtConfig before anything is built from it: unknown
+/// selection/replacement factory keys throw util::Error (PreconditionError)
+/// listing the registered keys, and the numeric knobs are range-checked.
+/// RisppManager runs this at construction; batch drivers (exp::Runner) run
+/// it once per sweep point *before* spawning workers, so a typo in a grid
+/// axis fails the whole sweep up front instead of deep inside reallocate().
+void validate(const RtConfig& cfg);
+
 class RisppManager {
  public:
+  /// Shares ownership of the (immutable) SI library: concurrent managers in
+  /// different threads may hold the same snapshot, and the library cannot
+  /// be destroyed while any of them is alive.
+  RisppManager(std::shared_ptr<const isa::SiLibrary> lib, RtConfig cfg);
+
+  /// Deprecated lifetime trap: binds to a library the *caller* must keep
+  /// alive (wrapped internally in a non-owning aliasing shared_ptr). Kept
+  /// for source compatibility with the seed API.
+  [[deprecated(
+      "pass std::shared_ptr<const isa::SiLibrary> so the manager shares "
+      "ownership of the library snapshot")]]
   RisppManager(const isa::SiLibrary& lib, RtConfig cfg);
 
   /// --- forecast interface (§5a) -------------------------------------
@@ -174,6 +203,11 @@ class RisppManager {
   std::uint64_t loaded_slices() const;
 
   const isa::SiLibrary& library() const { return *lib_; }
+  /// The shared snapshot itself — hand this to sibling components (other
+  /// managers, simulators, experiment runners) instead of a raw reference.
+  const std::shared_ptr<const isa::SiLibrary>& library_ptr() const {
+    return lib_;
+  }
   const RtConfig& config() const { return cfg_; }
 
  private:
@@ -186,7 +220,7 @@ class RisppManager {
   void issue(Cycle now);
   void record(RtEvent e);
 
-  const isa::SiLibrary* lib_;
+  std::shared_ptr<const isa::SiLibrary> lib_;
   RtConfig cfg_;
   ContainerFile containers_;
   RotationScheduler rotations_;

@@ -163,6 +163,11 @@ std::unique_ptr<ReplacementPolicy> make_replacement_policy(
 std::vector<std::string> selection_policy_names();
 std::vector<std::string> replacement_policy_names();
 
+/// True when a factory is registered under `name` — config validation uses
+/// these to reject unknown keys before any thread or simulation starts.
+bool selection_policy_registered(const std::string& name);
+bool replacement_policy_registered(const std::string& name);
+
 /// Factory key of the legacy VictimPolicy enum knob.
 const char* to_policy_name(VictimPolicy policy);
 

@@ -22,16 +22,65 @@ const char* to_string(RtEvent::Kind k) {
   return "?";
 }
 
-RisppManager::RisppManager(const isa::SiLibrary& lib, RtConfig cfg)
-    : lib_(&lib),
-      cfg_(std::move(cfg)),
-      containers_(cfg_.atom_containers, lib.catalog()),
+namespace {
+
+std::string joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+std::shared_ptr<const isa::SiLibrary> require_library(
+    std::shared_ptr<const isa::SiLibrary> lib) {
+  RISPP_REQUIRE(lib != nullptr, "manager needs an SI library");
+  return lib;
+}
+
+}  // namespace
+
+void validate(const RtConfig& cfg) {
+  RISPP_REQUIRE(cfg.atom_containers > 0, "need at least one atom container");
+  RISPP_REQUIRE(cfg.clock_mhz > 0, "clock must be positive");
+  RISPP_REQUIRE(cfg.learning_rate >= 0 && cfg.learning_rate <= 1,
+                "learning_rate must be in [0,1]");
+  RISPP_REQUIRE(cfg.rotation_cost_factor >= 0,
+                "rotation_cost_factor must be non-negative");
+  if (!selection_policy_registered(cfg.selection_policy))
+    throw util::PreconditionError(
+        "unknown selection policy '" + cfg.selection_policy +
+        "' in RtConfig (registered: " + joined(selection_policy_names()) +
+        ")");
+  const std::string replacement = cfg.replacement_policy.empty()
+                                      ? to_policy_name(cfg.legacy_victim_policy())
+                                      : cfg.replacement_policy;
+  if (!replacement_policy_registered(replacement))
+    throw util::PreconditionError(
+        "unknown replacement policy '" + replacement +
+        "' in RtConfig (registered: " + joined(replacement_policy_names()) +
+        ")");
+}
+
+RisppManager::RisppManager(std::shared_ptr<const isa::SiLibrary> lib,
+                           RtConfig cfg)
+    : lib_(require_library(std::move(lib))),
+      cfg_((validate(cfg), std::move(cfg))),
+      containers_(cfg_.atom_containers, lib_->catalog()),
       rotations_(cfg_.port, cfg_.clock_mhz),
-      selector_(make_selection_policy(cfg_.selection_policy, lib)),
+      selector_(make_selection_policy(cfg_.selection_policy, *lib_)),
       replacer_(make_replacement_policy(cfg_.replacement_policy.empty()
-                                            ? to_policy_name(cfg_.victim_policy)
+                                            ? to_policy_name(cfg_.legacy_victim_policy())
                                             : cfg_.replacement_policy)),
       energy_(cfg_.power, cfg_.clock_mhz) {}
+
+
+RisppManager::RisppManager(const isa::SiLibrary& lib, RtConfig cfg)
+    : RisppManager(
+          std::shared_ptr<const isa::SiLibrary>(
+              std::shared_ptr<const isa::SiLibrary>{}, &lib),
+          std::move(cfg)) {}
 
 std::uint64_t RisppManager::loaded_slices() const {
   std::uint64_t slices = 0;

@@ -132,6 +132,14 @@ std::vector<std::string> replacement_policy_names() {
   return names;
 }
 
+bool selection_policy_registered(const std::string& name) {
+  return selection_registry().count(name) != 0;
+}
+
+bool replacement_policy_registered(const std::string& name) {
+  return replacement_registry().count(name) != 0;
+}
+
 const char* to_policy_name(VictimPolicy policy) {
   switch (policy) {
     case VictimPolicy::LruExcess: return "lru";

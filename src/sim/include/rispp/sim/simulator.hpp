@@ -11,6 +11,7 @@
 /// "quasi-parallel tasks sharing Atom Containers" scenario expressible.
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,21 +21,45 @@
 
 namespace rispp::sim {
 
+/// How the simulator drives the manager's reallocation kernel. The two bool
+/// knobs the seed grew (`rotation_wakeups` / `poll_every_switch`) allowed
+/// contradictory combinations; this enum is the whole state space.
+enum class Driving {
+  /// Re-evaluate blocked reallocations via rotation-completion wakeups: the
+  /// manager exposes its next completion cycle and the simulator polls only
+  /// at task switches where `now` crossed it, instead of on every switch
+  /// (see docs/observability.md for why this is equivalent). The default.
+  Wakeups,
+  /// Poll the manager at every task switch, like the seed simulator did.
+  /// Kept for equivalence regression tests and for measuring the kernel's
+  /// plan cache under polling pressure (bench/realloc_hot_path).
+  PollEverySwitch,
+};
+
+const char* to_string(Driving d);
+/// Parses "wakeups" / "poll-every-switch" (throws util::PreconditionError
+/// listing the valid spellings otherwise) — grid axes and CLI flags use it.
+Driving parse_driving(const std::string& key);
+
 struct SimConfig {
   rt::RtConfig rt{};
   /// Round-robin quantum in cycles. Compute intervals are sliced at quantum
   /// granularity; SI invocations are atomic.
   std::uint64_t quantum = 10000;
-  /// Re-evaluate blocked reallocations via rotation-completion wakeups: the
-  /// manager exposes its next completion cycle and the simulator polls only
-  /// at task switches where `now` crossed it, instead of on every switch
-  /// (see docs/observability.md for why this is equivalent).
-  bool rotation_wakeups = true;
-  /// Legacy driving mode: poll the manager at every task switch, like the
-  /// seed simulator did. Overrides `rotation_wakeups`. Kept for equivalence
-  /// regression tests and for measuring the kernel's plan cache under
-  /// polling pressure (bench/realloc_hot_path).
-  bool poll_every_switch = false;
+  /// Reallocation driving mode (see Driving).
+  Driving driving = Driving::Wakeups;
+
+  /// Deprecated shims for the old bool pair; they rewrite `driving`.
+  /// `set_rotation_wakeups(false)` restores the seed's every-switch polling
+  /// (the only mode the pre-wakeup simulator had).
+  [[deprecated("set SimConfig::driving = Driving::Wakeups instead")]]
+  void set_rotation_wakeups(bool on) {
+    driving = on ? Driving::Wakeups : Driving::PollEverySwitch;
+  }
+  [[deprecated("set SimConfig::driving = Driving::PollEverySwitch instead")]]
+  void set_poll_every_switch(bool on) {
+    driving = on ? Driving::PollEverySwitch : Driving::Wakeups;
+  }
 };
 
 struct SiStats {
@@ -68,6 +93,19 @@ struct SimResult {
 
 class Simulator {
  public:
+  /// Shares ownership of the (immutable) SI library snapshot. This is what
+  /// makes concurrent simulators safe: any number of them, on any threads,
+  /// may hold the same library — nobody can mutate it (const) and nobody
+  /// can destroy it early (shared_ptr). exp::Platform hands out exactly
+  /// this pointer.
+  Simulator(std::shared_ptr<const isa::SiLibrary> lib, SimConfig cfg);
+
+  /// Deprecated lifetime trap: binds to a library the *caller* must keep
+  /// alive for the simulator's whole lifetime (internally wrapped in a
+  /// non-owning aliasing shared_ptr). Kept for source compatibility.
+  [[deprecated(
+      "pass std::shared_ptr<const isa::SiLibrary> so the simulator shares "
+      "ownership of the library snapshot")]]
   Simulator(const isa::SiLibrary& lib, SimConfig cfg);
 
   void add_task(TaskDef task);
@@ -80,6 +118,10 @@ class Simulator {
   rt::RisppManager& manager() { return manager_; }
   const rt::RisppManager& manager() const { return manager_; }
   rt::Cycle now() const { return now_; }
+  /// The shared library snapshot this simulator runs against.
+  const std::shared_ptr<const isa::SiLibrary>& library_ptr() const {
+    return lib_;
+  }
 
  private:
   struct TaskState {
@@ -90,7 +132,7 @@ class Simulator {
     bool done() const { return op >= def.trace.size(); }
   };
 
-  const isa::SiLibrary* lib_;
+  std::shared_ptr<const isa::SiLibrary> lib_;
   SimConfig cfg_;
   rt::RisppManager manager_;
   std::vector<TaskState> tasks_;

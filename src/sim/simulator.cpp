@@ -6,16 +6,40 @@
 
 namespace rispp::sim {
 
+const char* to_string(Driving d) {
+  switch (d) {
+    case Driving::Wakeups: return "wakeups";
+    case Driving::PollEverySwitch: return "poll-every-switch";
+  }
+  return "?";
+}
+
+Driving parse_driving(const std::string& key) {
+  if (key == "wakeups") return Driving::Wakeups;
+  if (key == "poll-every-switch") return Driving::PollEverySwitch;
+  throw util::PreconditionError("unknown driving mode '" + key +
+                                "' (valid: wakeups, poll-every-switch)");
+}
+
 const SiStats& SimResult::si(const std::string& name) const {
   const auto it = per_si.find(name);
   RISPP_REQUIRE(it != per_si.end(), "no stats for SI: " + name);
   return it->second;
 }
 
-Simulator::Simulator(const isa::SiLibrary& lib, SimConfig cfg)
-    : lib_(&lib), cfg_(cfg), manager_(lib, cfg.rt) {
+Simulator::Simulator(std::shared_ptr<const isa::SiLibrary> lib, SimConfig cfg)
+    : lib_(std::move(lib)), cfg_(cfg), manager_(lib_, cfg.rt) {
+  RISPP_REQUIRE(lib_ != nullptr, "simulator needs an SI library");
   RISPP_REQUIRE(cfg.quantum > 0, "quantum must be positive");
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Simulator::Simulator(const isa::SiLibrary& lib, SimConfig cfg)
+    : Simulator(std::shared_ptr<const isa::SiLibrary>(
+                    std::shared_ptr<const isa::SiLibrary>{}, &lib),
+                std::move(cfg)) {}
+#pragma GCC diagnostic pop
 
 void Simulator::add_task(TaskDef task) {
   RISPP_REQUIRE(!task.name.empty(), "task needs a name");
@@ -52,9 +76,9 @@ SimResult Simulator::run() {
     // cannot change the platform state (victims unblock only when a
     // transfer finishes; committed atoms change only inside the manager),
     // so only poll when a completion landed since the last check.
-    if (cfg_.poll_every_switch) {
+    if (cfg_.driving == Driving::PollEverySwitch) {
       manager_.poll(now_);
-    } else if (cfg_.rotation_wakeups) {
+    } else {
       const auto wake = manager_.next_wakeup(wakeup_checked_);
       if (wake && *wake <= now_) manager_.poll(now_);
       wakeup_checked_ = now_;

@@ -7,17 +7,26 @@
 
 namespace rispp::util {
 
-/// Thrown when a caller violates a documented precondition of a public API.
-class PreconditionError : public std::logic_error {
+/// Root of every exception RISPP throws on purpose. Catch this to handle
+/// "the library rejected my input/configuration" uniformly (the experiment
+/// engine and the CLIs do exactly that); the subclasses below refine whose
+/// fault it was.
+class Error : public std::logic_error {
  public:
-  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+  explicit Error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
 };
 
 /// Thrown when an internal invariant of the library is broken. Seeing this
 /// exception always indicates a bug in RISPP itself, never in client code.
-class InvariantError : public std::logic_error {
+class InvariantError : public Error {
  public:
-  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+  explicit InvariantError(const std::string& what) : Error(what) {}
 };
 
 /// Thrown when a simulation model is driven into a state it cannot represent

@@ -1,0 +1,126 @@
+/// Session-API redesign seams: the shared_ptr library contract, the Driving
+/// enum replacing the old bool pair, and construction-time RtConfig
+/// validation. The deprecated shims are exercised here — under pragmas —
+/// so they keep compiling (with warnings elsewhere, not errors) until
+/// removal.
+
+#include <gtest/gtest.h>
+
+#include "rispp/rt/manager.hpp"
+#include "rispp/sim/simulator.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using rispp::isa::SiLibrary;
+using rispp::rt::RisppManager;
+using rispp::rt::RtConfig;
+using rispp::sim::Driving;
+using rispp::sim::SimConfig;
+using rispp::sim::Simulator;
+using rispp::util::Error;
+using rispp::util::PreconditionError;
+
+TEST(SharedLibrary, ComponentsShareOneSnapshot) {
+  const auto lib = rispp::isa::share(SiLibrary::h264());
+  const Simulator sim(lib, {});
+  const RisppManager mgr(lib, {});
+  EXPECT_EQ(sim.library_ptr().get(), lib.get());
+  EXPECT_EQ(mgr.library_ptr().get(), lib.get());
+  EXPECT_EQ(&mgr.library(), lib.get());
+  // share() moved the value into shared ownership; borrow() views a
+  // caller-kept instance without taking ownership.
+  const auto local = SiLibrary::h264();
+  EXPECT_EQ(rispp::isa::borrow(local).get(), &local);
+}
+
+TEST(SharedLibrary, NullLibraryIsRejected) {
+  EXPECT_THROW(RisppManager(nullptr, {}), PreconditionError);
+  EXPECT_THROW(Simulator(nullptr, {}), PreconditionError);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SharedLibrary, DeprecatedReferenceOverloadsStillBind) {
+  // The seed API: bare references, caller keeps the library alive. The
+  // overloads now wrap a non-owning aliasing shared_ptr around the same
+  // object.
+  const auto lib = SiLibrary::h264();
+  const Simulator sim(lib, {});
+  const RisppManager mgr(lib, {});
+  EXPECT_EQ(&sim.manager().library(), &lib);
+  EXPECT_EQ(&mgr.library(), &lib);
+}
+#pragma GCC diagnostic pop
+
+TEST(DrivingEnum, ParseAndPrintRoundTrip) {
+  EXPECT_EQ(rispp::sim::parse_driving("wakeups"), Driving::Wakeups);
+  EXPECT_EQ(rispp::sim::parse_driving("poll-every-switch"),
+            Driving::PollEverySwitch);
+  EXPECT_STREQ(rispp::sim::to_string(Driving::Wakeups), "wakeups");
+  EXPECT_STREQ(rispp::sim::to_string(Driving::PollEverySwitch),
+               "poll-every-switch");
+  try {
+    rispp::sim::parse_driving("sometimes");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("wakeups"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("poll-every-switch"),
+              std::string::npos);
+  }
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DrivingEnum, DeprecatedBoolSettersRewriteDriving) {
+  SimConfig cfg;
+  EXPECT_EQ(cfg.driving, Driving::Wakeups);  // default
+  cfg.set_poll_every_switch(true);
+  EXPECT_EQ(cfg.driving, Driving::PollEverySwitch);
+  cfg.set_rotation_wakeups(true);
+  EXPECT_EQ(cfg.driving, Driving::Wakeups);
+  cfg.set_rotation_wakeups(false);  // the seed's only other mode
+  EXPECT_EQ(cfg.driving, Driving::PollEverySwitch);
+  cfg.set_poll_every_switch(false);
+  EXPECT_EQ(cfg.driving, Driving::Wakeups);
+}
+#pragma GCC diagnostic pop
+
+TEST(RtConfigValidation, UnknownFactoryKeysThrowListingRegistered) {
+  const auto lib = rispp::isa::share(SiLibrary::h264());
+  RtConfig bad_selection;
+  bad_selection.selection_policy = "greedyy";
+  try {
+    const RisppManager mgr(lib, bad_selection);
+    FAIL() << "expected util::Error";
+  } catch (const Error& e) {  // PreconditionError is-a util::Error
+    const std::string what = e.what();
+    EXPECT_NE(what.find("greedyy"), std::string::npos);
+    EXPECT_NE(what.find("greedy"), std::string::npos);
+    EXPECT_NE(what.find("exhaustive"), std::string::npos);
+  }
+  RtConfig bad_replacement;
+  bad_replacement.replacement_policy = "fifo";
+  try {
+    validate(bad_replacement);
+    FAIL() << "expected util::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fifo"), std::string::npos);
+    EXPECT_NE(what.find("lru"), std::string::npos);
+    EXPECT_NE(what.find("round-robin"), std::string::npos);
+  }
+}
+
+TEST(RtConfigValidation, RangeChecksFireAtConstruction) {
+  const auto lib = rispp::isa::share(SiLibrary::h264());
+  RtConfig no_containers;
+  no_containers.atom_containers = 0;
+  EXPECT_THROW(RisppManager(lib, no_containers), PreconditionError);
+  RtConfig bad_rate;
+  bad_rate.learning_rate = 1.5;
+  EXPECT_THROW(validate(bad_rate), PreconditionError);
+  EXPECT_NO_THROW(validate(RtConfig{}));
+}
+
+}  // namespace

@@ -174,7 +174,7 @@ TEST_F(DlxCfgExtract, InjectForecastsAutomaticallyAcceleratesTheBinary) {
   rispp::rt::RtConfig rcfg;
   rcfg.atom_containers = 4;
   rcfg.record_events = false;
-  rispp::rt::RisppManager mgr(lib_, rcfg);
+  rispp::rt::RisppManager mgr(borrow(lib_), rcfg);
   Cpu accelerated(lib_, &mgr);
   accelerated.load(instrumented);
   bind_h264_sis(accelerated, lib_);

@@ -1,0 +1,276 @@
+/// Experiment-engine tests: deterministic sweep plans and per-point seeds,
+/// byte-identical ResultTables at any worker count, thread-safe sharing of
+/// one immutable Platform, up-front plan validation, and the deprecated
+/// session-API shims.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "rispp/exp/platform.hpp"
+#include "rispp/exp/runner.hpp"
+#include "rispp/exp/standard_eval.hpp"
+#include "rispp/exp/sweep.hpp"
+#include "rispp/isa/io.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::exp;
+using rispp::util::Error;
+using rispp::util::PreconditionError;
+
+TEST(SweepPlan, GridEnumeratesLastAxisFastest) {
+  Sweep sweep;
+  sweep.axis("a", {"1", "2"}).axis("b", {"x", "y", "z"});
+  const auto points = sweep.points();
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(sweep.size(), 6u);
+  EXPECT_EQ(points[0].at("a"), "1");
+  EXPECT_EQ(points[0].at("b"), "x");
+  EXPECT_EQ(points[1].at("b"), "y");
+  EXPECT_EQ(points[2].at("b"), "z");
+  EXPECT_EQ(points[3].at("a"), "2");
+  EXPECT_EQ(points[3].at("b"), "x");
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].index, i);
+}
+
+TEST(SweepPlan, SeedsAreDeterministicAndDistinct) {
+  Sweep sweep;
+  sweep.axis("a", {"1", "2", "3", "4"}).base_seed(42);
+  const auto first = sweep.points();
+  const auto again = sweep.points();
+  ASSERT_EQ(first.size(), again.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].seed, again[i].seed) << i;
+    EXPECT_EQ(first[i].seed, Sweep::derive_seed(42, i));
+    for (std::size_t j = i + 1; j < first.size(); ++j)
+      EXPECT_NE(first[i].seed, first[j].seed);
+  }
+  // A different base seed moves every point's stream.
+  EXPECT_NE(Sweep::derive_seed(42, 0), Sweep::derive_seed(43, 0));
+}
+
+TEST(SweepPlan, ParseGridRoundTrips) {
+  const auto sweep = Sweep::parse_grid("containers=4,8;workload=enc");
+  ASSERT_EQ(sweep.axes().size(), 2u);
+  EXPECT_EQ(sweep.axes()[0].name, "containers");
+  EXPECT_EQ(sweep.axes()[0].values,
+            (std::vector<std::string>{"4", "8"}));
+  EXPECT_EQ(sweep.axes()[1].name, "workload");
+  EXPECT_EQ(sweep.size(), 2u);
+}
+
+TEST(SweepPlan, ParseGridRejectsMalformedSpecs) {
+  EXPECT_THROW(Sweep::parse_grid("noequals"), PreconditionError);
+  EXPECT_THROW(Sweep::parse_grid("=4"), PreconditionError);
+  EXPECT_THROW(Sweep::parse_grid("a=,"), PreconditionError);
+  EXPECT_THROW(Sweep::parse_grid("a=1;a=2"), PreconditionError);
+}
+
+TEST(SweepPlan, GridAndExplicitModesCannotMix) {
+  Sweep grid;
+  grid.axis("a", {"1"});
+  EXPECT_THROW(grid.add_point({{"b", "2"}}), PreconditionError);
+  Sweep list;
+  list.add_point({{"b", "2"}});
+  EXPECT_THROW(list.axis("a", {"1"}), PreconditionError);
+}
+
+TEST(SweepPlan, PointAccessors) {
+  Sweep sweep;
+  sweep.add_point({{"n", "7"}, {"x", "1.5"}, {"s", "abc"}});
+  const auto p = sweep.points().at(0);
+  EXPECT_EQ(p.get_u64("n", 0), 7u);
+  EXPECT_DOUBLE_EQ(p.get_f64("x", 0), 1.5);
+  EXPECT_EQ(p.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(p.get_u64("missing", 9), 9u);
+  EXPECT_THROW(p.at("missing"), PreconditionError);
+  EXPECT_THROW(p.get_u64("s", 0), PreconditionError);
+  EXPECT_THROW(p.get_f64("s", 0), PreconditionError);
+}
+
+TEST(ResultTableTest, RowsSortByPointAndColumnsUnionInOrder) {
+  ResultTable table;
+  table.add({2, 22, {{"a", "1"}, {"c", "3"}}});
+  table.add({0, 20, {{"a", "4"}, {"b", "5"}}});
+  table.add({1, 21, {{"b", "6"}}});
+  EXPECT_EQ(table.columns(),
+            (std::vector<std::string>{"point", "seed", "a", "b", "c"}));
+  EXPECT_EQ(table.csv(),
+            "point,seed,a,b,c\n"
+            "0,20,4,5,\n"
+            "1,21,,6,\n"
+            "2,22,1,,3\n");
+  EXPECT_THROW(table.add({1, 0, {}}), PreconditionError);
+}
+
+TEST(ResultTableTest, JsonRendering) {
+  ResultTable table;
+  table.add({0, 9, {{"metric", "val\"ue"}}});
+  EXPECT_EQ(table.json(),
+            "{\n  \"columns\": [\"point\", \"seed\", \"metric\"],\n"
+            "  \"rows\": [\n"
+            "    {\"point\": 0, \"seed\": 9, \"metric\": \"val\\\"ue\"}\n"
+            "  ]\n}\n");
+  EXPECT_EQ(ResultTable{}.json(),
+            "{\n  \"columns\": [\"point\", \"seed\"],\n  \"rows\": []\n}\n");
+}
+
+TEST(PlatformTest, BuiltinsAndParetoTables) {
+  for (const auto& name : Platform::builtin_names()) {
+    const auto platform = Platform::builtin(name);
+    EXPECT_EQ(platform->name(), name);
+    for (std::size_t s = 0; s < platform->library().size(); ++s) {
+      const auto direct =
+          platform->library().at(s).pareto_front(platform->catalog());
+      ASSERT_EQ(platform->pareto(s).size(), direct.size());
+      for (std::size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ(platform->pareto(s)[i].cycles, direct[i].cycles);
+        EXPECT_EQ(platform->pareto(s)[i].rotatable_atoms,
+                  direct[i].rotatable_atoms);
+      }
+    }
+  }
+  EXPECT_THROW(Platform::builtin("nope"), PreconditionError);
+}
+
+TEST(PlatformTest, FromFileParsesOnce) {
+  const auto path = ::testing::TempDir() + "rispp_exp_lib.txt";
+  {
+    std::ofstream out(path);
+    rispp::isa::write_si_library(out, rispp::isa::SiLibrary::h264());
+  }
+  const auto platform = Platform::from_file(path);
+  EXPECT_EQ(platform->library().size(),
+            rispp::isa::SiLibrary::h264().size());
+  EXPECT_THROW(Platform::from_file("/nonexistent/lib.txt"),
+               PreconditionError);
+}
+
+/// A cheap pure-ISA evaluator for scheduling-focused tests.
+PointMetrics cheap_eval(const Platform& platform, const SweepPoint& point) {
+  const auto& si = platform.library().find(point.at("si"));
+  const auto best =
+      si.best_with_budget(point.get_u64("budget", 0), platform.catalog());
+  return {{"cycles",
+           std::to_string(best ? best->cycles : si.software_cycles())}};
+}
+
+Sweep cheap_sweep(const Platform& platform) {
+  Sweep sweep;
+  std::vector<std::string> names;
+  for (const auto& si : platform.library().sis()) names.push_back(si.name());
+  sweep.axis("si", names)
+      .axis("budget", {"0", "2", "4", "8", "16"})
+      .base_seed(3);
+  return sweep;
+}
+
+TEST(RunnerTest, ResultsAreByteIdenticalAtAnyWorkerCount) {
+  const auto platform = Platform::builtin("h264");
+  const auto sweep = cheap_sweep(*platform);
+  const auto serial = Runner(platform, {1}).run(sweep, cheap_eval);
+  EXPECT_EQ(serial.size(), sweep.size());
+  for (const unsigned jobs : {2u, 4u, 8u}) {
+    const auto parallel = Runner(platform, {jobs}).run(sweep, cheap_eval);
+    EXPECT_EQ(parallel.csv(), serial.csv()) << jobs << " workers";
+    EXPECT_EQ(parallel.json(), serial.json()) << jobs << " workers";
+  }
+}
+
+TEST(RunnerTest, JobsZeroMeansHardwareConcurrency) {
+  const Runner runner(Platform::builtin("h264"), {0});
+  EXPECT_GE(runner.jobs(), 1u);
+}
+
+TEST(RunnerTest, EvaluatorExceptionsPropagateToTheCaller) {
+  const auto platform = Platform::builtin("h264");
+  const auto sweep = cheap_sweep(*platform);
+  const auto faulty = [](const Platform& p, const SweepPoint& point) {
+    if (point.index == 7) throw PreconditionError("point 7 is cursed");
+    return cheap_eval(p, point);
+  };
+  for (const unsigned jobs : {1u, 4u})
+    EXPECT_THROW(Runner(platform, {jobs}).run(sweep, faulty),
+                 PreconditionError);
+}
+
+TEST(RunnerTest, ConcurrentRunnersShareOnePlatformSafely) {
+  // Two full sweeps race on the same immutable snapshot; both must match
+  // the serial reference (the sanitizer presets watch the memory accesses).
+  const auto platform = Platform::builtin("h264_frame");
+  Sweep sweep;
+  sweep.axis("workload", {"enc", "dec"})
+      .axis("containers", {"4", "8"})
+      .axis("frames", {"1"})
+      .axis("mb", {"8"});
+  const auto reference = Runner(platform, {1}).run(sweep, run_sim_point);
+  std::string a, b;
+  std::thread ta([&] { a = Runner(platform, {2}).run(sweep, run_sim_point).csv(); });
+  std::thread tb([&] { b = Runner(platform, {2}).run(sweep, run_sim_point).csv(); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a, reference.csv());
+  EXPECT_EQ(b, reference.csv());
+}
+
+TEST(StandardEval, SweepValidationFailsFastOnTypos) {
+  const auto platform = Platform::builtin("h264");
+  // Unknown policy key: rejected before any worker runs, with the
+  // registered keys listed (the util::Error contract of rt::validate).
+  Sweep bad_policy;
+  bad_policy.axis("selector", {"greedy", "greedyy"});
+  try {
+    run_sim_sweep(platform, bad_policy, 2);
+    FAIL() << "expected util::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("greedy"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("exhaustive"), std::string::npos);
+  }
+  Sweep bad_driving;
+  bad_driving.axis("driving", {"sometimes"});
+  EXPECT_THROW(validate_sim_sweep(bad_driving), PreconditionError);
+  Sweep bad_workload;
+  bad_workload.axis("workload", {"doom"});
+  EXPECT_THROW(validate_sim_sweep(bad_workload), PreconditionError);
+  Sweep good;
+  good.axis("workload", {"enc"}).axis("replacement", {"lru", "mru"});
+  EXPECT_NO_THROW(validate_sim_sweep(good));
+}
+
+TEST(StandardEval, JitterDrawsFromThePointSeed) {
+  const auto platform = Platform::builtin("h264");
+  Sweep sweep;
+  sweep.axis("workload", {"fig7"})
+      .axis("mb", {"4"})
+      .axis("jitter", {"0.2"});
+  const auto first = run_sim_sweep(platform, sweep, 1);
+  const auto again = run_sim_sweep(platform, sweep, 2);
+  EXPECT_EQ(first.csv(), again.csv());  // same seeds → same jitter
+  Sweep reseeded = sweep;
+  reseeded.base_seed(99);
+  const auto other = run_sim_sweep(platform, reseeded, 1);
+  EXPECT_NE(other.rows().at(0).at("cycles"),
+            first.rows().at(0).at("cycles"));
+}
+
+TEST(StandardEval, GoldenSweepMatchesCheckedInCsv) {
+  // The exact grid the CI smoke runs through tools/rispp_sweep --jobs=2.
+  auto sweep = Sweep::parse_grid(
+      "workload=enc;frames=1;mb=20;containers=4,6;quantum=10000,30000");
+  sweep.base_seed(1);
+  const auto table =
+      run_sim_sweep(Platform::builtin("h264_frame"), sweep, 2);
+  std::ifstream in(std::string(RISPP_TEST_DATA_DIR) + "/sweep_golden.csv",
+                   std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(table.csv(), golden.str());
+}
+
+}  // namespace

@@ -122,7 +122,7 @@ TEST(PhaseTrace, StructureAndCounts) {
 
   rispp::sim::SimConfig cfg;
   cfg.rt.record_events = false;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   sim.add_task({"f", trace});
   const auto r = sim.run();
   EXPECT_EQ(r.si("SAD_4x4").invocations, 4u * 192u);
@@ -139,7 +139,7 @@ TEST(PhaseTrace, NoForecastsMeansAllSoftware) {
   p.forecasts = false;
   rispp::sim::SimConfig cfg;
   cfg.rt.record_events = false;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   sim.add_task({"f", make_phase_trace(lib, p)});
   const auto r = sim.run();
   EXPECT_EQ(r.total_cycles, 3u * 240000u);
@@ -168,7 +168,7 @@ TEST(PhaseTrace, RotatingPlatformApproachesAsipSpeed) {
   rispp::sim::SimConfig cfg;
   cfg.rt.atom_containers = 12;
   cfg.rt.record_events = false;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   sim.add_task({"f", make_phase_trace(lib, p)});
   const auto r = sim.run();
   const double per_mb = static_cast<double>(r.total_cycles) /
@@ -190,7 +190,7 @@ TEST(PhaseTrace, LookaheadReducesSoftwareWarmup) {
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = 12;
     cfg.rt.record_events = false;
-    rispp::sim::Simulator sim(lib, cfg);
+    rispp::sim::Simulator sim(borrow(lib), cfg);
     sim.add_task({"f", make_phase_trace(lib, p)});
     const auto r = sim.run();
     std::uint64_t sw = 0;
@@ -241,7 +241,7 @@ TEST(MultimediaTv, EncoderAndDecoderShareContainers) {
   cfg.rt.atom_containers = 12;
   cfg.rt.record_events = false;
   cfg.quantum = 30000;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   sim.add_task({"enc", make_phase_trace(lib, p, fig1_phases())});
   sim.add_task({"dec", make_phase_trace(lib, p, decoder_phases())});
   const auto r = sim.run();
@@ -261,7 +261,7 @@ TEST(MultimediaTv, PerTaskReleaseDoesNotKillOtherTasksDemand) {
   const auto hpel = lib.index_of("MC_HPEL_4x4");
   rispp::rt::RtConfig cfg;
   cfg.atom_containers = 8;
-  rispp::rt::RisppManager mgr(lib, cfg);
+  rispp::rt::RisppManager mgr(borrow(lib), cfg);
   mgr.forecast(hpel, 100, 1.0, 0, /*task=*/0);
   mgr.forecast(hpel, 200, 1.0, 0, /*task=*/1);
   EXPECT_EQ(mgr.active_demands().size(), 1u);  // aggregated per SI

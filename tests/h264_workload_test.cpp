@@ -66,7 +66,7 @@ TEST_F(Workload, TraceWithoutForecastsReproducesSoftwareTotal) {
   p.macroblocks = 3;
   p.forecast_every_mbs = 0;  // forecasting disabled → stays in software
   const auto trace = make_encode_trace(lib_, p);
-  rispp::sim::Simulator sim(lib_, {});
+  rispp::sim::Simulator sim(borrow(lib_), {});
   sim.add_task({"enc", trace});
   const auto r = sim.run();
   EXPECT_EQ(r.total_cycles,
@@ -78,7 +78,7 @@ TEST_F(Workload, TraceSiTotalsMatchCounts) {
   TraceParams p;
   p.macroblocks = 5;
   const auto trace = make_encode_trace(lib_, p);
-  rispp::sim::Simulator sim(lib_, {});
+  rispp::sim::Simulator sim(borrow(lib_), {});
   sim.add_task({"enc", trace});
   const auto r = sim.run();
   EXPECT_EQ(r.si("SATD_4x4").invocations, 5u * p.counts.satd);
@@ -95,7 +95,7 @@ TEST_F(Workload, ForecastedRunApproachesIdealAfterWarmup) {
   rispp::sim::SimConfig cfg;
   cfg.rt.atom_containers = 4;
   cfg.rt.record_events = false;
-  rispp::sim::Simulator sim(lib_, cfg);
+  rispp::sim::Simulator sim(borrow(lib_), cfg);
   sim.add_task({"enc", make_encode_trace(lib_, p)});
   const auto r = sim.run();
   const double per_mb =

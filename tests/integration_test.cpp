@@ -22,7 +22,7 @@ TEST(Integration, EncoderSpeedupOver3xWithMinimalAtoms) {
   rispp::sim::SimConfig cfg;
   cfg.rt.atom_containers = 4;
   cfg.rt.record_events = false;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   sim.add_task({"enc", rispp::h264::make_encode_trace(lib, p)});
   const auto r = sim.run();
   const double sw_total = static_cast<double>(
@@ -41,7 +41,7 @@ TEST(Integration, AmdahlFlatteningAcrossAtomBudgets) {
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = containers;
     cfg.rt.record_events = false;
-    rispp::sim::Simulator sim(lib, cfg);
+    rispp::sim::Simulator sim(borrow(lib), cfg);
     sim.add_task({"enc", rispp::h264::make_encode_trace(lib, p)});
     totals.push_back(static_cast<double>(sim.run().total_cycles));
   }
@@ -62,7 +62,7 @@ TEST(Integration, ForecastingBeatsNoForecasting) {
     params.forecast_every_mbs = every;
     rispp::sim::SimConfig cfg;
     cfg.rt.record_events = false;
-    rispp::sim::Simulator sim(lib, cfg);
+    rispp::sim::Simulator sim(borrow(lib), cfg);
     sim.add_task({"enc", rispp::h264::make_encode_trace(lib, params)});
     return sim.run().total_cycles;
   };
@@ -84,7 +84,7 @@ TEST(Integration, AesPlanDrivesRuntimeSpeedup) {
   rispp::rt::RtConfig rcfg;
   rcfg.atom_containers = 8;  // fits the Reps of SUBBYTES + MIXCOLUMNS
   rcfg.record_events = false;
-  rispp::rt::RisppManager mgr(lib, rcfg);
+  rispp::rt::RisppManager mgr(borrow(lib), rcfg);
   // Fire every planned FC block once at t = 0 …
   for (const auto& fb : plan.blocks) mgr.on_fc_block(fb, 0);
   // … then run the steady-state round loop far past the rotation window.
@@ -115,7 +115,7 @@ TEST(Integration, RisppApproachesAsipWithFullBudget) {
 
   rispp::rt::RtConfig rcfg;
   rcfg.atom_containers = 20;
-  rispp::rt::RisppManager mgr(lib, rcfg);
+  rispp::rt::RisppManager mgr(borrow(lib), rcfg);
   for (std::size_t s = 0; s < lib.size(); ++s)
     mgr.forecast(s, 100, 1.0, 0);
   const rispp::rt::Cycle warm = 5'000'000;
@@ -144,7 +144,7 @@ TEST(Integration, MultiTaskScenarioSharesAndRotates) {
   rispp::sim::SimConfig cfg;
   cfg.rt.atom_containers = 4;
   cfg.quantum = 50000;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
 
   rispp::sim::Trace a;
   a.push_back(rispp::sim::TraceOp::forecast(satd, 10000));

@@ -236,7 +236,7 @@ class InstrumentedSim : public ::testing::Test {
 
   rispp::sim::SimResult run(rispp::obs::EventSink* sink) {
     cfg_.rt.sink = sink;
-    rispp::sim::Simulator sim(lib_, cfg_);
+    rispp::sim::Simulator sim(borrow(lib_), cfg_);
     const auto satd = lib_.index_of("SATD_4x4");
     const auto ht = lib_.index_of("HT_4x4");
     rispp::sim::Trace a;

@@ -57,7 +57,7 @@ TEST(ManagerEnergy, SoftwareExecutionChargesCorePower) {
   const auto lib = rispp::isa::SiLibrary::h264();
   RtConfig cfg;
   cfg.clock_mhz = 100.0;
-  RisppManager mgr(lib, cfg);
+  RisppManager mgr(borrow(lib), cfg);
   mgr.execute(lib.index_of("SATD_4x4"), 0);
   // 544 cycles = 5.44 µs at 200 mW = 1088 nJ.
   EXPECT_NEAR(mgr.energy().execution_nj(), 1088.0, 1e-9);
@@ -67,7 +67,7 @@ TEST(ManagerEnergy, SoftwareExecutionChargesCorePower) {
 TEST(ManagerEnergy, RotationChargesPortPower) {
   const auto lib = rispp::isa::SiLibrary::h264();
   RtConfig cfg;
-  RisppManager mgr(lib, cfg);
+  RisppManager mgr(borrow(lib), cfg);
   mgr.forecast(lib.index_of("HT_2x2"), 100, 1.0, 0);  // rotates 1 Transform
   // Transform: 857.63 µs at 90 mW ≈ 77,187 nJ.
   EXPECT_NEAR(mgr.energy().rotation_nj(), 77187.0, 100.0);
@@ -80,7 +80,7 @@ TEST(ManagerEnergy, HardwareAmortizesRotationEnergy) {
   const auto satd = lib.index_of("SATD_4x4");
   RtConfig cfg;
   cfg.record_events = false;
-  RisppManager mgr(lib, cfg);
+  RisppManager mgr(borrow(lib), cfg);
   mgr.forecast(satd, 10000, 1.0, 0);
   Cycle now = 1'000'000;  // rotations done
   const int n = 5000;
@@ -94,7 +94,7 @@ TEST(ManagerEnergy, LeakageGrowsWithLoadedAtoms) {
   const auto lib = rispp::isa::SiLibrary::h264();
   RtConfig cfg;
   cfg.record_events = false;
-  RisppManager mgr(lib, cfg);
+  RisppManager mgr(borrow(lib), cfg);
   EXPECT_EQ(mgr.loaded_slices(), 0u);
   mgr.forecast(lib.index_of("SATD_4x4"), 1000, 1.0, 0);
   mgr.poll(500000);

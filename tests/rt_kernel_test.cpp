@@ -71,8 +71,9 @@ std::string run_fig06_csv(bool poll_every_switch, const std::string& path) {
   cfg.rt.atom_containers = 6;
   cfg.quantum = 25000;
   cfg.rt.sink = &recorder;
-  cfg.poll_every_switch = poll_every_switch;
-  Simulator sim(lib, cfg);
+  cfg.driving =
+      poll_every_switch ? Driving::PollEverySwitch : Driving::Wakeups;
+  Simulator sim(borrow(lib), cfg);
   add_fig06_tasks(sim, lib);
   (void)sim.run();
   rispp::obs::write_trace_file(path, recorder.events(),
@@ -109,7 +110,7 @@ class PlanCache : public ::testing::Test {
 };
 
 TEST_F(PlanCache, ForecastDirtiesThePlan) {
-  RisppManager mgr(lib_, cfg_);
+  RisppManager mgr(borrow(lib_), cfg_);
   mgr.forecast(lib_.index_of("SATD_4x4"), 5000, 1.0, 0);
   EXPECT_EQ(plans(mgr), 1u);
   mgr.forecast(lib_.index_of("DCT_4x4"), 100, 1.0, 0);
@@ -117,7 +118,7 @@ TEST_F(PlanCache, ForecastDirtiesThePlan) {
 }
 
 TEST_F(PlanCache, ReleaseDirtiesThePlan) {
-  RisppManager mgr(lib_, cfg_);
+  RisppManager mgr(borrow(lib_), cfg_);
   mgr.forecast(lib_.index_of("SATD_4x4"), 5000, 1.0, 0);
   const auto before = plans(mgr);
   mgr.forecast_release(lib_.index_of("SATD_4x4"), 10);
@@ -128,7 +129,7 @@ TEST_F(PlanCache, ReleaseDirtiesThePlan) {
 }
 
 TEST_F(PlanCache, UnrelatedPollDoesNotReplan) {
-  RisppManager mgr(lib_, cfg_);
+  RisppManager mgr(borrow(lib_), cfg_);
   mgr.forecast(lib_.index_of("SATD_4x4"), 5000, 1.0, 0);
   const auto before = plans(mgr);
   // Polls before any rotation completes: demand set and committed atoms
@@ -141,7 +142,7 @@ TEST_F(PlanCache, UnrelatedPollDoesNotReplan) {
 }
 
 TEST_F(PlanCache, RotationCompletionDirtiesThePlan) {
-  RisppManager mgr(lib_, cfg_);
+  RisppManager mgr(borrow(lib_), cfg_);
   mgr.forecast(lib_.index_of("SATD_4x4"), 5000, 1.0, 0);
   ASSERT_GT(mgr.rotations_performed(), 0u);
   const auto before = plans(mgr);
@@ -179,7 +180,7 @@ TEST(MoleculeUpgrade, FirstObservationOfAnotherTaskIsNotAnUpgrade) {
   RtConfig cfg;
   cfg.atom_containers = 1;
   cfg.sink = &recorder;
-  RisppManager mgr(lib, cfg);
+  RisppManager mgr(borrow(lib), cfg);
 
   // Task 0 brings XA into hardware and executes it.
   mgr.forecast(xa, 1000, 1.0, 0, /*task=*/0);

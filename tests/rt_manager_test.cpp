@@ -27,7 +27,7 @@ class Manager : public ::testing::Test {
 };
 
 TEST_F(Manager, ExecutesInSoftwareBeforeAnyRotation) {
-  RisppManager mgr(lib_, fast_config());
+  RisppManager mgr(borrow(lib_), fast_config());
   const auto res = mgr.execute(satd_, 0);
   EXPECT_FALSE(res.hardware);
   EXPECT_EQ(res.cycles, 544u);
@@ -35,7 +35,7 @@ TEST_F(Manager, ExecutesInSoftwareBeforeAnyRotation) {
 }
 
 TEST_F(Manager, ForecastTriggersRotationsAndEventualHardware) {
-  RisppManager mgr(lib_, fast_config());
+  RisppManager mgr(borrow(lib_), fast_config());
   mgr.forecast(satd_, 256, 1.0, 0);
   EXPECT_GT(mgr.rotations_performed(), 0u);
   // Immediately after the forecast the atoms are still loading → software.
@@ -53,7 +53,7 @@ TEST_F(Manager, GradualUpgradeThroughMolecules) {
   // from software through progressively faster Molecules (Fig 6 T4→T5).
   RtConfig cfg = fast_config();
   cfg.atom_containers = 6;
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
   mgr.forecast(satd_, 256, 1.0, 0);
 
   std::vector<std::uint32_t> latencies;
@@ -71,7 +71,7 @@ TEST_F(Manager, GradualUpgradeThroughMolecules) {
 TEST_F(Manager, ReleaseFreesContainersForOtherSis) {
   RtConfig cfg = fast_config();
   cfg.atom_containers = 2;  // only room for one small SI's molecule
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
 
   // HT_2x2 needs 1 container (Transform); DCT needs 3 — doesn't fit with 2.
   mgr.forecast(ht2_, 100, 1.0, 0);
@@ -87,7 +87,7 @@ TEST_F(Manager, ReleaseFreesContainersForOtherSis) {
 TEST_F(Manager, ReplacementEvictsReleasedSisAtoms) {
   RtConfig cfg = fast_config();
   cfg.atom_containers = 4;
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
 
   mgr.forecast(satd_, 256, 1.0, 0);
   const Cycle warm = 500000;
@@ -106,7 +106,7 @@ TEST_F(Manager, ReplacementEvictsReleasedSisAtoms) {
 TEST_F(Manager, CrossTaskAtomSharing) {
   // Fig 6 T3: a task may execute on atoms whose containers belong to
   // another task.
-  RisppManager mgr(lib_, fast_config());
+  RisppManager mgr(borrow(lib_), fast_config());
   mgr.forecast(satd_, 256, 1.0, 0, /*task=*/0);
   const Cycle warm = 500000;
   const auto res = mgr.execute(satd_, warm, /*task=*/7);
@@ -116,7 +116,7 @@ TEST_F(Manager, CrossTaskAtomSharing) {
 TEST_F(Manager, MonitoringLearnsActualExecutions) {
   RtConfig cfg = fast_config();
   cfg.learning_rate = 0.5;
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
 
   mgr.forecast(satd_, 1000, 1.0, 0);  // compile-time guess: 1000
   for (int i = 0; i < 10; ++i) mgr.execute(satd_, 1000 + i);
@@ -134,7 +134,7 @@ TEST_F(Manager, MonitoringLearnsActualExecutions) {
 }
 
 TEST_F(Manager, EventTraceRecordsLifecycle) {
-  RisppManager mgr(lib_, fast_config());
+  RisppManager mgr(borrow(lib_), fast_config());
   mgr.forecast(ht2_, 10, 1.0, 0);
   mgr.execute(ht2_, 1);       // software (rotation in flight)
   mgr.execute(ht2_, 300000);  // hardware
@@ -164,7 +164,7 @@ TEST_F(Manager, EventTraceRecordsLifecycle) {
 TEST_F(Manager, EventRecordingCanBeDisabled) {
   RtConfig cfg = fast_config();
   cfg.record_events = false;
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
   mgr.forecast(satd_, 100, 1.0, 0);
   mgr.execute(satd_, 10);
   EXPECT_TRUE(mgr.events().empty());
@@ -174,7 +174,7 @@ TEST_F(Manager, EventRecordingCanBeDisabled) {
 TEST_F(Manager, RotationsSerializeOverThePort) {
   // Four needed atoms must complete one after another: the i-th completion
   // time is at least i × min bitstream duration.
-  RisppManager mgr(lib_, fast_config());
+  RisppManager mgr(borrow(lib_), fast_config());
   mgr.forecast(satd_, 256, 1.0, 0);
   std::vector<Cycle> completions;
   for (const auto& e : mgr.events())
@@ -190,7 +190,7 @@ TEST_F(Manager, RotationsSerializeOverThePort) {
 TEST_F(Manager, CostAwareReallocationSkipsUneconomicalRotations) {
   RtConfig cfg = fast_config();
   cfg.rotation_cost_factor = 1.0;
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
   // Tiny demand: 3 expected SATD executions save 3·(544−24) = 1560 cycles,
   // far below the ~350k cycles of transfers → no rotation.
   mgr.forecast(satd_, 3, 1.0, 0);
@@ -208,7 +208,7 @@ TEST_F(Manager, CostGateComparesAgainstCurrentConfiguration) {
   // the loaded molecule keeps serving).
   RtConfig cfg = fast_config();
   cfg.rotation_cost_factor = 1.0;
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
   mgr.forecast(satd_, 5000, 1.0, 0);
   ASSERT_TRUE(mgr.execute(satd_, 500000).hardware);
   mgr.forecast_release(satd_, 500000);
@@ -223,7 +223,7 @@ TEST_F(Manager, StaleRotationCancellation) {
   // the HT atoms start loading right away.
   RtConfig cfg = fast_config();
   cfg.cancel_stale_rotations = true;
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
   const auto ht4 = lib_.index_of("HT_4x4");
 
   mgr.forecast(satd_, 1000, 1.0, 0);
@@ -258,7 +258,7 @@ TEST_F(Manager, StaleRotationCancellation) {
 TEST_F(Manager, CancellationRefundsRotationEnergy) {
   RtConfig cfg = fast_config();
   cfg.cancel_stale_rotations = true;
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
   mgr.forecast(satd_, 1000, 1.0, 0);
   const double charged = mgr.energy().rotation_nj();
   mgr.forecast_release(satd_, 10);
@@ -272,7 +272,7 @@ TEST_F(Manager, InFlightTransferIsNeverCancelled) {
   RtConfig cfg = fast_config();
   cfg.atom_containers = 1;
   cfg.cancel_stale_rotations = true;
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
   const auto ht2 = lib_.index_of("HT_2x2");
   mgr.forecast(ht2, 100, 1.0, 0);  // Transform transfer starts immediately
   EXPECT_EQ(mgr.rotations_performed(), 1u);
@@ -284,7 +284,7 @@ TEST_F(Manager, InFlightTransferIsNeverCancelled) {
 }
 
 TEST_F(Manager, ForecastValidation) {
-  RisppManager mgr(lib_, fast_config());
+  RisppManager mgr(borrow(lib_), fast_config());
   EXPECT_THROW(mgr.forecast(99, 10, 1.0, 0), rispp::util::PreconditionError);
   EXPECT_THROW(mgr.forecast(satd_, -1.0, 1.0, 0),
                rispp::util::PreconditionError);

@@ -69,20 +69,30 @@ TEST_F(Policies, CustomRegistrationIsConstructible) {
   RtConfig cfg;
   cfg.selection_policy = "test-greedy-alias";
   cfg.replacement_policy = "test-lru-alias";
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
   EXPECT_EQ(mgr.selection_policy().name(), "greedy");
   EXPECT_EQ(mgr.replacement_policy().name(), "lru");
 }
 
+// The enum→key shim: the deprecated RtConfig::set_victim_policy() path must
+// keep steering the replacement factory while no string key is set. This
+// test is the one sanctioned user of the deprecated setter.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST_F(Policies, LegacyVictimPolicyEnumMapsToFactoryKeys) {
   EXPECT_STREQ(to_policy_name(VictimPolicy::LruExcess), "lru");
   EXPECT_STREQ(to_policy_name(VictimPolicy::MruExcess), "mru");
   EXPECT_STREQ(to_policy_name(VictimPolicy::RoundRobinExcess), "round-robin");
   RtConfig cfg;
-  cfg.victim_policy = VictimPolicy::MruExcess;  // no factory key set
-  RisppManager mgr(lib_, cfg);
+  cfg.set_victim_policy(VictimPolicy::MruExcess);  // no factory key set
+  RisppManager mgr(borrow(lib_), cfg);
   EXPECT_EQ(mgr.replacement_policy().name(), "mru");
+  // The string key wins over the enum as soon as it is non-empty.
+  cfg.replacement_policy = "round-robin";
+  RisppManager keyed(borrow(lib_), cfg);
+  EXPECT_EQ(keyed.replacement_policy().name(), "round-robin");
 }
+#pragma GCC diagnostic pop
 
 TEST_F(Policies, LruAndMruPicksMatchTheLegacyEnumPath) {
   const auto& cat = lib_.catalog();
@@ -142,7 +152,7 @@ TEST_F(Policies, ManagerRotatesUnderExhaustiveSelection) {
   RtConfig cfg;
   cfg.atom_containers = 6;
   cfg.selection_policy = "exhaustive";
-  RisppManager mgr(lib_, cfg);
+  RisppManager mgr(borrow(lib_), cfg);
   EXPECT_EQ(mgr.selection_policy().name(), "exhaustive");
   mgr.forecast(lib_.index_of("SATD_4x4"), 5000, 1.0, 0);
   EXPECT_GT(mgr.rotations_performed(), 0u);

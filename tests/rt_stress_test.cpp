@@ -44,9 +44,9 @@ TEST_P(RtStress, InvariantsHoldUnderRandomOperation) {
   const auto lib = make_library(param.library);
   RtConfig cfg;
   cfg.atom_containers = param.containers;
-  cfg.victim_policy = param.policy;
+  cfg.replacement_policy = to_policy_name(param.policy);
   cfg.record_events = true;
-  RisppManager mgr(lib, cfg);
+  RisppManager mgr(borrow(lib), cfg);
   rispp::util::Xoshiro256 rng(param.seed);
 
   Cycle now = 0;
@@ -134,7 +134,7 @@ TEST(SimStress, RandomTracesAreDeterministicAndConserveWork) {
       cfg.rt.atom_containers = 2 + rng.below(6);
       cfg.rt.record_events = false;
       cfg.quantum = 1000 + rng.below(50000);
-      rispp::sim::Simulator sim(lib, cfg);
+      rispp::sim::Simulator sim(borrow(lib), cfg);
       const int tasks = 1 + static_cast<int>(rng.below(3));
       for (int t = 0; t < tasks; ++t) {
         rispp::sim::Trace trace;

@@ -23,7 +23,7 @@ class Sim : public ::testing::Test {
 };
 
 TEST_F(Sim, PureComputeTaskTakesExactCycles) {
-  Simulator sim(lib_, default_config());
+  Simulator sim(borrow(lib_), default_config());
   sim.add_task({"t", {TraceOp::compute(12345)}});
   const auto r = sim.run();
   EXPECT_EQ(r.total_cycles, 12345u);
@@ -31,7 +31,7 @@ TEST_F(Sim, PureComputeTaskTakesExactCycles) {
 }
 
 TEST_F(Sim, SoftwareOnlySiCosts) {
-  Simulator sim(lib_, default_config());
+  Simulator sim(borrow(lib_), default_config());
   sim.add_task({"t", {TraceOp::si(satd_, 10)}});
   const auto r = sim.run();
   EXPECT_EQ(r.total_cycles, 10u * 544u);
@@ -42,7 +42,7 @@ TEST_F(Sim, SoftwareOnlySiCosts) {
 }
 
 TEST_F(Sim, ForecastThenComputeThenSiHitsHardware) {
-  Simulator sim(lib_, default_config());
+  Simulator sim(borrow(lib_), default_config());
   Trace t;
   t.push_back(TraceOp::forecast(satd_, 256));
   t.push_back(TraceOp::compute(500000));  // rotations finish during this
@@ -58,7 +58,7 @@ TEST_F(Sim, ForecastThenComputeThenSiHitsHardware) {
 TEST_F(Sim, RotationInAdvanceUpgradesMidStream) {
   // No explicit compute gap: the SI stream starts in software and upgrades
   // to hardware as rotations complete underneath it.
-  Simulator sim(lib_, default_config());
+  Simulator sim(borrow(lib_), default_config());
   Trace t;
   t.push_back(TraceOp::forecast(satd_, 2000));
   t.push_back(TraceOp::si(satd_, 2000));
@@ -74,7 +74,7 @@ TEST_F(Sim, RotationInAdvanceUpgradesMidStream) {
 }
 
 TEST_F(Sim, LabelsProduceTimeline) {
-  Simulator sim(lib_, default_config());
+  Simulator sim(borrow(lib_), default_config());
   sim.add_task({"t",
                 {TraceOp::label("start"), TraceOp::compute(100),
                  TraceOp::label("end")}});
@@ -90,7 +90,7 @@ TEST_F(Sim, LabelsProduceTimeline) {
 TEST_F(Sim, TwoTasksInterleaveRoundRobin) {
   SimConfig cfg = default_config();
   cfg.quantum = 1000;
-  Simulator sim(lib_, cfg);
+  Simulator sim(borrow(lib_), cfg);
   sim.add_task({"a", {TraceOp::compute(5000)}});
   sim.add_task({"b", {TraceOp::compute(5000)}});
   const auto r = sim.run();
@@ -105,7 +105,7 @@ TEST_F(Sim, TasksShareLoadedAtoms) {
   // same SI in hardware without ever forecasting (Fig 6 T3).
   SimConfig cfg = default_config();
   cfg.quantum = 100000;
-  Simulator sim(lib_, cfg);
+  Simulator sim(borrow(lib_), cfg);
   sim.add_task({"a",
                 {TraceOp::forecast(satd_, 1000), TraceOp::compute(500000),
                  TraceOp::si(satd_, 10)}});
@@ -119,7 +119,7 @@ TEST_F(Sim, RepeatHelperUnrollsLoops) {
   Trace t;
   repeat(t, body, 5);
   EXPECT_EQ(t.size(), 10u);
-  Simulator sim(lib_, default_config());
+  Simulator sim(borrow(lib_), default_config());
   sim.add_task({"t", std::move(t)});
   const auto r = sim.run();
   EXPECT_EQ(r.si("HT_2x2").invocations, 5u);
@@ -127,7 +127,7 @@ TEST_F(Sim, RepeatHelperUnrollsLoops) {
 
 TEST_F(Sim, DeterministicAcrossRuns) {
   auto run_once = [&] {
-    Simulator sim(lib_, default_config());
+    Simulator sim(borrow(lib_), default_config());
     Trace t;
     t.push_back(TraceOp::forecast(satd_, 500));
     for (int i = 0; i < 50; ++i) {
@@ -141,17 +141,17 @@ TEST_F(Sim, DeterministicAcrossRuns) {
 }
 
 TEST_F(Sim, Preconditions) {
-  Simulator sim(lib_, default_config());
+  Simulator sim(borrow(lib_), default_config());
   EXPECT_THROW(sim.add_task({"", {TraceOp::compute(1)}}), PreconditionError);
   EXPECT_THROW(sim.add_task({"t", {TraceOp::si(999)}}), PreconditionError);
   SimConfig bad;
   bad.quantum = 0;
-  EXPECT_THROW(Simulator(lib_, bad), PreconditionError);
+  EXPECT_THROW(Simulator(borrow(lib_), bad), PreconditionError);
   EXPECT_THROW(TraceOp::si(satd_, 0), PreconditionError);
 }
 
 TEST_F(Sim, ResultSiLookupThrowsOnUnknown) {
-  Simulator sim(lib_, default_config());
+  Simulator sim(borrow(lib_), default_config());
   sim.add_task({"t", {TraceOp::compute(1)}});
   const auto r = sim.run();
   EXPECT_THROW(r.si("SATD_4x4"), PreconditionError);  // never invoked

@@ -77,7 +77,7 @@ TEST(TraceIo, ParsedTraceExecutesLikeBuiltTrace) {
   built.push_back(TraceOp::si(lib.index_of("SATD_4x4"), 100));
 
   auto run = [&](Trace trace) {
-    Simulator sim(lib, {});
+    Simulator sim(borrow(lib), {});
     sim.add_task({"t", std::move(trace)});
     return sim.run().total_cycles;
   };

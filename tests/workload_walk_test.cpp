@@ -113,7 +113,7 @@ TEST(GraphWalk, EndToEndForecastingBeatsSilence) {
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = 6;
     cfg.rt.record_events = false;
-    rispp::sim::Simulator sim(s.lib, cfg);
+    rispp::sim::Simulator sim(borrow(s.lib), cfg);
     sim.add_task({"aes", trace});
     return sim.run().total_cycles;
   };

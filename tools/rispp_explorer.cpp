@@ -127,7 +127,7 @@ int cmd_simulate(const SimulateArgs& args) {
   cfg.rt.selection_policy = args.selector;
   cfg.rt.replacement_policy = args.victim;
   cfg.quantum = args.quantum;
-  rispp::sim::Simulator sim(lib, cfg);
+  rispp::sim::Simulator sim(borrow(lib), cfg);
   for (auto& t : tasks) sim.add_task(t);
   const auto r = sim.run();
 

@@ -1,0 +1,97 @@
+/// rispp_sweep — batch-experiment CLI over the exp:: engine.
+///
+/// Evaluates a parameter grid against one shared Platform snapshot with a
+/// worker pool, and writes the aggregated ResultTable as CSV or JSON
+/// (docs/FORMATS.md "ResultTable"). Results are byte-identical at any
+/// --jobs value; per-point RNG seeds derive from --seed and the point index.
+///
+/// Examples:
+///   rispp_sweep --grid="workload=enc;containers=4,8;quantum=10000,30000"
+///   rispp_sweep --platform=h264 --grid="workload=fig7;bandwidth=66,264"
+///               --jobs=4 --out=sweep.json
+///
+/// Grid axes are the standard evaluator's parameters — see
+/// exp/standard_eval.hpp for the full list and defaults.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "rispp/exp/platform.hpp"
+#include "rispp/exp/standard_eval.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --grid=SPEC [options]\n"
+      << "  --grid=SPEC       axes, e.g. \"containers=4,8;workload=enc\"\n"
+      << "  --platform=NAME   builtin library: h264, h264_with_sad,\n"
+      << "                    h264_frame (default h264_frame)\n"
+      << "  --lib=FILE        parse the SI library from FILE instead\n"
+      << "  --jobs=N          worker threads (default 1; 0 = all cores)\n"
+      << "  --seed=S          base seed for per-point RNG streams "
+         "(default 1)\n"
+      << "  --out=FILE        write there instead of stdout; a .json\n"
+      << "                    extension selects JSON\n"
+      << "  --format=csv|json override the format choice\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string grid, platform_name = "h264_frame", lib_file, out, format;
+  unsigned jobs = 1;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--grid=", 0) == 0) grid = value("--grid=");
+    else if (arg.rfind("--platform=", 0) == 0)
+      platform_name = value("--platform=");
+    else if (arg.rfind("--lib=", 0) == 0) lib_file = value("--lib=");
+    else if (arg.rfind("--jobs=", 0) == 0)
+      jobs = static_cast<unsigned>(std::stoul(value("--jobs=")));
+    else if (arg.rfind("--seed=", 0) == 0)
+      seed = std::stoull(value("--seed="));
+    else if (arg.rfind("--out=", 0) == 0) out = value("--out=");
+    else if (arg.rfind("--format=", 0) == 0) format = value("--format=");
+    else return usage(argv[0]);
+  }
+  if (grid.empty()) return usage(argv[0]);
+  if (format.empty())
+    format = out.size() >= 5 && out.rfind(".json") == out.size() - 5
+                 ? "json"
+                 : "csv";
+  if (format != "csv" && format != "json") return usage(argv[0]);
+
+  const auto platform = lib_file.empty()
+                            ? rispp::exp::Platform::builtin(platform_name)
+                            : rispp::exp::Platform::from_file(lib_file);
+  auto sweep = rispp::exp::Sweep::parse_grid(grid);
+  sweep.base_seed(seed);
+
+  const auto table = rispp::exp::run_sim_sweep(platform, sweep, jobs);
+
+  if (out.empty()) {
+    format == "json" ? table.write_json(std::cout)
+                     : table.write_csv(std::cout);
+  } else {
+    std::ofstream file(out, std::ios::binary);
+    if (!file.good()) {
+      std::cerr << "error: cannot open " << out << " for writing\n";
+      return 1;
+    }
+    format == "json" ? table.write_json(file) : table.write_csv(file);
+    std::cerr << "wrote " << table.size() << " points to " << out << " ("
+              << format << ")\n";
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}
