@@ -19,9 +19,19 @@
 ///   cancel_stale 0 | 1                               (default 0)
 ///   jitter       ±fraction of per-op compute cycles, drawn from
 ///                Xoshiro256(point.seed)              (default 0 = exact)
+///   fault_p      per-transfer failure probability    (default: no faults)
+///   fault_poison per-transfer poison probability     (default 0)
+///   fault_degrade per-transfer degradation prob.     (default 0)
+///   fault_stretch degradation duration factor        (default 2)
+///   fault_seed   fault-model RNG seed                (default point.seed)
+///   retries      RtConfig::max_rotation_retries      (default 3)
+///   backoff      RtConfig::retry_backoff_cycles      (default 1000)
 ///
 /// Reported metrics: cycles, rotations, si_hw, si_sw, energy_nj,
 /// reallocations, selector_plans, then hw_<SI>/sw_<SI> per invoked SI.
+/// Points naming a fault axis (fault_p / fault_poison / fault_degrade)
+/// additionally report rotations_failed, rotation_retries, acs_quarantined;
+/// fault-free points keep the exact pre-fault column set.
 ///
 /// `sim_config_for` is split out so batch drivers can validate a whole plan
 /// (factory keys, driving spellings, numeric ranges) up front — a typo in a

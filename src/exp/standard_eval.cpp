@@ -47,6 +47,20 @@ sim::SimConfig sim_config_for(const SweepPoint& point) {
   cfg.rt.cancel_stale_rotations = point.get_u64("cancel_stale", 0) != 0;
   if (point.find("bandwidth") != nullptr)
     cfg.rt.port = hw::ReconfigPort(point.get_f64("bandwidth", 0.0));
+  // Fault injection: only points naming a fault axis get a model (and the
+  // extra metric columns); everything else keeps the none() model, so
+  // fault-free sweep output is byte-identical to the pre-fault evaluator.
+  if (point.find("fault_p") != nullptr ||
+      point.find("fault_poison") != nullptr ||
+      point.find("fault_degrade") != nullptr)
+    cfg.rt.faults = hw::FaultModel::probabilistic(
+        point.get_u64("fault_seed", point.seed),
+        point.get_f64("fault_p", 0.0), point.get_f64("fault_poison", 0.0),
+        point.get_f64("fault_degrade", 0.0),
+        point.get_f64("fault_stretch", 2.0));
+  cfg.rt.max_rotation_retries =
+      static_cast<unsigned>(point.get_u64("retries", 3));
+  cfg.rt.retry_backoff_cycles = point.get_u64("backoff", 1000);
   cfg.rt.record_events = false;  // sweeps run many points; traces are huge
   cfg.quantum = point.get_u64("quantum", 10000);
   cfg.driving = sim::parse_driving(point.get("driving", "wakeups"));
@@ -112,6 +126,15 @@ PointMetrics run_sim_point(const Platform& platform,
   m.emplace_back(
       "selector_plans",
       std::to_string(sim.manager().counters().get("selector_plans")));
+  if (cfg.rt.faults.enabled()) {
+    const auto& ctr = sim.manager().counters();
+    m.emplace_back("rotations_failed",
+                   std::to_string(ctr.get("rotations_failed")));
+    m.emplace_back("rotation_retries",
+                   std::to_string(ctr.get("rotation_retries")));
+    m.emplace_back("acs_quarantined",
+                   std::to_string(ctr.get("acs_quarantined")));
+  }
   // Per-SI execution mix — r.per_si is an ordered map, so the column order
   // is stable across points and worker counts.
   for (const auto& [name, st] : r.per_si) {

@@ -1,0 +1,102 @@
+#include "rispp/hw/fault.hpp"
+
+#include <cmath>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::hw {
+
+const char* to_string(TransferResult r) {
+  switch (r) {
+    case TransferResult::Ok: return "ok";
+    case TransferResult::Failed: return "failed";
+    case TransferResult::Poisoned: return "poisoned";
+  }
+  return "?";
+}
+
+FaultModel FaultModel::none() { return FaultModel{}; }
+
+FaultModel FaultModel::probabilistic(std::uint64_t seed, double p_fail,
+                                     double p_poison, double p_degrade,
+                                     double stretch) {
+  RISPP_REQUIRE(p_fail >= 0.0 && p_fail <= 1.0,
+                "fault probability must be in [0,1]");
+  RISPP_REQUIRE(p_poison >= 0.0 && p_poison <= 1.0,
+                "poison probability must be in [0,1]");
+  RISPP_REQUIRE(p_degrade >= 0.0 && p_degrade <= 1.0,
+                "degrade probability must be in [0,1]");
+  RISPP_REQUIRE(p_fail + p_poison + p_degrade <= 1.0,
+                "fault probabilities must sum to at most 1");
+  RISPP_REQUIRE(stretch >= 1.0, "degradation stretch must be >= 1");
+  FaultModel m;
+  m.mode_ = Mode::Probabilistic;
+  m.rng_ = util::Xoshiro256(seed);
+  m.p_fail_ = p_fail;
+  m.p_poison_ = p_poison;
+  m.p_degrade_ = p_degrade;
+  m.stretch_ = stretch;
+  return m;
+}
+
+FaultModel FaultModel::schedule(
+    std::vector<std::pair<std::uint64_t, TransferFault>> entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    RISPP_REQUIRE(entries[i].second.stretch >= 1.0,
+                  "degradation stretch must be >= 1");
+    RISPP_REQUIRE(i == 0 || entries[i - 1].first < entries[i].first,
+                  "fault schedule indices must be strictly increasing");
+  }
+  FaultModel m;
+  m.mode_ = Mode::Schedule;
+  m.entries_ = std::move(entries);
+  return m;
+}
+
+TransferFault FaultModel::next() {
+  const auto seq = sequence_++;
+  switch (mode_) {
+    case Mode::None:
+      return {};
+    case Mode::Probabilistic: {
+      // One draw per transfer: the outcome partition of [0,1) keeps the
+      // stream aligned with the sequence index whatever the probabilities.
+      const double u = rng_.uniform01();
+      if (u < p_fail_) return {TransferResult::Failed, 1.0};
+      if (u < p_fail_ + p_poison_) return {TransferResult::Poisoned, 1.0};
+      if (u < p_fail_ + p_poison_ + p_degrade_)
+        return {TransferResult::Ok, stretch_};
+      return {};
+    }
+    case Mode::Schedule: {
+      while (cursor_ < entries_.size() && entries_[cursor_].first < seq)
+        ++cursor_;
+      if (cursor_ < entries_.size() && entries_[cursor_].first == seq)
+        return entries_[cursor_++].second;
+      return {};
+    }
+  }
+  return {};
+}
+
+FaultyReconfigPort::FaultyReconfigPort(ReconfigPort base)
+    : base_(base), model_(FaultModel::none()) {}
+
+FaultyReconfigPort::FaultyReconfigPort(ReconfigPort base, FaultModel model)
+    : base_(base), model_(std::move(model)) {}
+
+FaultyReconfigPort::Transfer FaultyReconfigPort::next_transfer(
+    std::uint32_t bitstream_bytes, double clock_mhz) {
+  const auto nominal = base_.rotation_time_cycles(bitstream_bytes, clock_mhz);
+  if (!model_.enabled()) return {nominal, TransferResult::Ok};
+  const auto fault = model_.next();
+  auto cycles = nominal;
+  if (fault.stretch > 1.0)
+    cycles = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(nominal) * fault.stretch));
+  RISPP_ENSURE(cycles >= nominal,
+               "degradation must never shorten a transfer");
+  return {cycles, fault.result};
+}
+
+}  // namespace rispp::hw

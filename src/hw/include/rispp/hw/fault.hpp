@@ -1,0 +1,130 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic fault injection for the reconfiguration path.
+///
+/// Real partial-reconfiguration fabrics drop and corrupt transfers; the
+/// paper's prototype (and the seed model) silently assumes every Atom
+/// rotation completes. This header makes failure a simulated *input*: a
+/// seeded FaultModel decides, per transfer, whether the rotation completes
+/// cleanly, fails outright (transfer error), loads a poisoned bitstream
+/// (CRC mismatch discovered at commit), or is stretched by bandwidth
+/// degradation. FaultyReconfigPort layers the model over the stateless
+/// hw::ReconfigPort timing model; with FaultModel::none() no random draw is
+/// ever made and the behaviour is bit-identical to the bare port.
+///
+/// Determinism contract: outcomes are a pure function of (seed, transfer
+/// sequence index). The i-th transfer booked through a FaultyReconfigPort
+/// sees the i-th decision regardless of wall-clock, thread, or host — which
+/// is what makes fault runs reproducible and sweep results byte-identical
+/// at any worker count.
+
+#include <cstdint>
+#include <vector>
+
+#include "rispp/hw/reconfig_port.hpp"
+#include "rispp/util/rng.hpp"
+
+namespace rispp::hw {
+
+/// How one bitstream transfer ends.
+enum class TransferResult {
+  Ok,        ///< transfer completed, the Atom commits at `done`
+  Failed,    ///< transfer error: nothing usable lands in the container
+  Poisoned,  ///< transfer completed but the CRC check at commit rejects it
+};
+
+const char* to_string(TransferResult r);
+
+/// Per-transfer fault decision: the terminal result plus a duration stretch
+/// factor (bandwidth degradation; 1.0 = nominal rate).
+struct TransferFault {
+  TransferResult result = TransferResult::Ok;
+  double stretch = 1.0;
+};
+
+/// Seeded, schedule- or probability-driven source of TransferFault
+/// decisions. Copyable value type: RtConfig carries one by value and each
+/// RotationScheduler owns an independent stream.
+class FaultModel {
+ public:
+  /// The fault-free model (the default everywhere): enabled() is false and
+  /// next() is never consulted, so zero-fault runs are bit-identical to the
+  /// pre-fault code path.
+  static FaultModel none();
+
+  /// Independent per-transfer draws from Xoshiro256(seed): with probability
+  /// `p_fail` the transfer fails, else with `p_poison` it poisons, else with
+  /// `p_degrade` it completes at `stretch`× the nominal duration. The three
+  /// probabilities must each be in [0,1] and sum to at most 1; `stretch`
+  /// must be >= 1.
+  static FaultModel probabilistic(std::uint64_t seed, double p_fail,
+                                  double p_poison = 0.0,
+                                  double p_degrade = 0.0,
+                                  double stretch = 2.0);
+
+  /// Explicit schedule: entry i applies to the transfer with sequence index
+  /// `entries[i].first` (0-based issue order); unlisted transfers are Ok.
+  /// Indices must be strictly increasing.
+  static FaultModel schedule(
+      std::vector<std::pair<std::uint64_t, TransferFault>> entries);
+
+  /// False only for none(): callers skip the draw entirely, keeping the
+  /// fault-free path free of RNG state changes.
+  bool enabled() const { return mode_ != Mode::None; }
+
+  /// The decision for the next transfer (advances the sequence index).
+  TransferFault next();
+
+  /// Transfers decided so far (the sequence index of the next transfer).
+  std::uint64_t transfers_decided() const { return sequence_; }
+
+ private:
+  enum class Mode { None, Probabilistic, Schedule };
+
+  FaultModel() = default;
+
+  Mode mode_ = Mode::None;
+  std::uint64_t sequence_ = 0;
+  // Probabilistic state.
+  util::Xoshiro256 rng_{0};
+  double p_fail_ = 0.0;
+  double p_poison_ = 0.0;
+  double p_degrade_ = 0.0;
+  double stretch_ = 1.0;
+  // Schedule state (sorted by sequence index; cursor_ advances with it).
+  std::vector<std::pair<std::uint64_t, TransferFault>> entries_;
+  std::size_t cursor_ = 0;
+};
+
+/// The reconfiguration port with a fault model layered over it. Still a
+/// bytes→cycles converter (occupancy/queueing stays in rt::RotationScheduler),
+/// but each conversion is one *transfer decision*: the returned duration may
+/// be stretched and the result may be Failed/Poisoned.
+class FaultyReconfigPort {
+ public:
+  /// Fault-free wrapper (behaviour identical to the bare port).
+  explicit FaultyReconfigPort(ReconfigPort base = ReconfigPort{});
+  FaultyReconfigPort(ReconfigPort base, FaultModel model);
+
+  struct Transfer {
+    std::uint64_t cycles = 0;  ///< actual duration (stretch applied)
+    TransferResult result = TransferResult::Ok;
+  };
+
+  /// Books the next transfer of `bitstream_bytes`: nominal duration from the
+  /// base port, fault decision from the model. With a none() model this is
+  /// exactly base().rotation_time_cycles and no draw happens.
+  Transfer next_transfer(std::uint32_t bitstream_bytes, double clock_mhz);
+
+  /// The undecorated timing model (nominal durations, e.g. for cost gates).
+  const ReconfigPort& base() const { return base_; }
+
+  bool fault_free() const { return !model_.enabled(); }
+  const FaultModel& model() const { return model_; }
+
+ private:
+  ReconfigPort base_;
+  FaultModel model_;
+};
+
+}  // namespace rispp::hw

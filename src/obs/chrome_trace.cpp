@@ -178,6 +178,18 @@ void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
         w.instant("cancel " + meta.atom_name(e.atom), "rotation", ac_tid, ts,
                   "\"atom\":\"" + esc(meta.atom_name(e.atom)) + "\"");
         break;
+      case EventKind::RotationFailed:
+        // The faulty transfer's span was drawn from RotationStarted; this
+        // marks its end as a failure (the Atom never became usable).
+        w.instant("fail " + meta.atom_name(e.atom), "fault", ac_tid, ts,
+                  "\"atom\":\"" + esc(meta.atom_name(e.atom)) +
+                      "\",\"container\":" + std::to_string(e.container));
+        break;
+      case EventKind::AcQuarantined:
+        w.instant("quarantine AC " + std::to_string(e.container), "fault",
+                  ac_tid, ts,
+                  "\"container\":" + std::to_string(e.container));
+        break;
       case EventKind::MoleculeUpgraded:
         w.instant("upgrade " + meta.si_name(e.si), "upgrade", task_tid, ts,
                   "\"from_cycles\":" + std::to_string(e.prev_cycles) +

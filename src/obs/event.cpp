@@ -10,6 +10,8 @@ const char* to_string(EventKind k) {
     case EventKind::RotationStarted: return "rotation-started";
     case EventKind::RotationFinished: return "rotation-finished";
     case EventKind::RotationCancelled: return "rotation-cancelled";
+    case EventKind::RotationFailed: return "rotation-failed";
+    case EventKind::AcQuarantined: return "ac-quarantined";
     case EventKind::MoleculeUpgraded: return "molecule-upgraded";
     case EventKind::TaskSwitch: return "task-switch";
     case EventKind::AtomEvicted: return "atom-evicted";
@@ -22,6 +24,7 @@ bool kind_from_string(const std::string& s, EventKind& out) {
        {EventKind::SiExecuted, EventKind::ForecastSeen,
         EventKind::ForecastReleased, EventKind::RotationStarted,
         EventKind::RotationFinished, EventKind::RotationCancelled,
+        EventKind::RotationFailed, EventKind::AcQuarantined,
         EventKind::MoleculeUpgraded, EventKind::TaskSwitch,
         EventKind::AtomEvicted}) {
     if (s == to_string(k)) {

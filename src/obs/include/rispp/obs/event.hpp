@@ -27,6 +27,8 @@ enum class EventKind {
   RotationStarted,   ///< a bitstream transfer begins occupying the port
   RotationFinished,  ///< the transfer completes; the Atom becomes usable
   RotationCancelled, ///< a queued (not yet started) transfer was cancelled
+  RotationFailed,    ///< the transfer ended Failed/Poisoned; nothing usable
+  AcQuarantined,     ///< a repeatedly-failing container left service
   MoleculeUpgraded,  ///< an SI's effective latency changed (SW→HW→faster)
   TaskSwitch,        ///< the round-robin scheduler switched tasks
   AtomEvicted,       ///< a loaded Atom was given up to a new rotation
@@ -49,8 +51,9 @@ struct Event {
   /// hw::ReconfigPort latency, excluding port queueing). MoleculeUpgraded:
   /// the new latency.
   std::uint64_t cycles = 0;
-  /// MoleculeUpgraded: the previous latency. RotationCancelled: the start
-  /// cycle of the cancelled booking (identifies the span to drop).
+  /// MoleculeUpgraded: the previous latency. RotationCancelled /
+  /// RotationFailed: the start cycle of the cancelled/failed booking
+  /// (identifies the span to drop or mark faulty).
   std::uint64_t prev_cycles = 0;
   bool hardware = false;          ///< SiExecuted/MoleculeUpgraded: hw Molecule
 

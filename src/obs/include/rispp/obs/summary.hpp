@@ -30,6 +30,8 @@ struct TraceSummary {
   std::uint64_t last_cycle = 0;       ///< max timestamp incl. span ends
   std::uint64_t rotations = 0;        ///< completed transfers
   std::uint64_t rotations_cancelled = 0;
+  std::uint64_t rotations_failed = 0;  ///< transfers ended Failed/Poisoned
+  std::uint64_t acs_quarantined = 0;   ///< containers taken out of service
   std::uint64_t rotation_busy_cycles = 0;  ///< port occupancy (serial port)
   std::uint64_t evictions = 0;
   std::uint64_t task_switches = 0;

@@ -62,6 +62,16 @@ TraceSummary summarize(const std::vector<Event>& events) {
       case EventKind::RotationCancelled:
         ++s.rotations_cancelled;
         break;
+      case EventKind::RotationFailed:
+        // The port *was* occupied for the faulty transfer: its Started span
+        // already added to rotation_busy_cycles, so only the count moves
+        // from "completed" to "failed" here.
+        ++s.rotations_failed;
+        if (s.rotations > 0) --s.rotations;
+        break;
+      case EventKind::AcQuarantined:
+        ++s.acs_quarantined;
+        break;
       case EventKind::MoleculeUpgraded: {
         auto& si = s.per_si[e.si];
         e.cycles < e.prev_cycles ? ++si.upgrades : ++si.downgrades;

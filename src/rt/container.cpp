@@ -19,13 +19,22 @@ const AtomContainer& ContainerFile::at(unsigned i) const {
   return containers_[i];
 }
 
+unsigned ContainerFile::usable_count() const {
+  unsigned n = 0;
+  for (const auto& c : containers_)
+    if (!c.quarantined) ++n;
+  return n;
+}
+
 void ContainerFile::refresh(Cycle now) {
   // Promotion keeps the container's committed kind, so committed_ is
-  // unaffected here.
+  // unaffected here. Failed loads never reach this point: the kernel
+  // retires them through on_rotation_failed before refreshing.
   for (auto& c : containers_) {
     if (c.loading && now >= c.ready_at) {
       c.atom = c.loading;
       c.loading.reset();
+      c.fail_streak = 0;  // a clean load ends any failure streak
     }
   }
 }
@@ -70,6 +79,33 @@ void ContainerFile::abort_rotation(unsigned c) {
   ac.owner_task = kNoTask;
 }
 
+bool ContainerFile::on_rotation_failed(unsigned c, std::size_t atom_kind,
+                                       Cycle failed_at, unsigned max_retries,
+                                       Cycle retry_backoff_cycles) {
+  RISPP_REQUIRE(c < containers_.size(), "container index out of range");
+  auto& ac = containers_[c];
+  // The failure is discovered at the transfer's end, before refresh() could
+  // promote the poisoned load — the container must still be loading exactly
+  // the booking's atom kind.
+  RISPP_REQUIRE(ac.loading && *ac.loading == atom_kind,
+                "failed rotation does not match the container's load");
+  committed_.set(atom_kind, committed_[atom_kind] - 1);
+  ac.loading.reset();
+  ac.atom.reset();
+  ac.ready_at = 0;
+  ac.owner_task = kNoTask;
+  ++ac.fail_streak;
+  if (ac.fail_streak > max_retries) {
+    ac.quarantined = true;
+    return true;
+  }
+  // Capped exponential backoff: base << (streak-1), capped so the shift
+  // never overflows; streak >= 1 here.
+  const unsigned shift = std::min(ac.fail_streak - 1, 16u);
+  ac.blocked_until = failed_at + (retry_backoff_cycles << shift);
+  return false;
+}
+
 void ContainerFile::touch(const atom::Molecule& used, Cycle now) {
   // Mark one container per required atom instance as used, visiting
   // containers least-recently-used first (ties towards the lowest id) so
@@ -93,6 +129,22 @@ void ContainerFile::touch(const atom::Molecule& used, Cycle now) {
   }
 }
 
+bool ContainerFile::unblocked_in(Cycle after, Cycle upto) const {
+  for (const auto& c : containers_)
+    if (!c.quarantined && c.blocked_until > after && c.blocked_until <= upto)
+      return true;
+  return false;
+}
+
+std::optional<Cycle> ContainerFile::next_unblock_after(Cycle t) const {
+  std::optional<Cycle> next;
+  for (const auto& c : containers_)
+    if (!c.quarantined && c.blocked_until > t &&
+        (!next || c.blocked_until < *next))
+      next = c.blocked_until;
+  return next;
+}
+
 std::vector<VictimCandidate> ContainerFile::victim_candidates(
     const atom::Molecule& target, Cycle now) const {
   // A container is expendable when its kind's committed count exceeds the
@@ -101,6 +153,7 @@ std::vector<VictimCandidate> ContainerFile::victim_candidates(
   atom::Molecule excess = committed_.saturating_sub(target);
   for (const auto& c : containers_) {
     if (c.busy(now)) continue;  // cannot preempt an in-flight transfer
+    if (c.blocked(now)) continue;  // fault backoff / quarantine
     const auto kind = c.loading ? c.loading : c.atom;
     if (!kind) continue;
     if (excess[*kind] == 0) continue;
@@ -118,7 +171,7 @@ std::optional<unsigned> ContainerFile::choose_victim(
     const atom::Molecule& target, Cycle now, VictimPolicy policy) const {
   // Empty containers first.
   for (const auto& c : containers_)
-    if (!c.atom && !c.loading) return c.id;
+    if (!c.atom && !c.loading && !c.blocked(now)) return c.id;
 
   const auto candidates = victim_candidates(target, now);
   if (candidates.empty()) return std::nullopt;
@@ -151,7 +204,7 @@ std::optional<unsigned> ContainerFile::choose_victim(
 std::optional<unsigned> ContainerFile::choose_victim(
     const atom::Molecule& target, Cycle now, ReplacementPolicy& policy) const {
   for (const auto& c : containers_)
-    if (!c.atom && !c.loading) return c.id;
+    if (!c.atom && !c.loading && !c.blocked(now)) return c.id;
 
   const auto candidates = victim_candidates(target, now);
   if (candidates.empty()) return std::nullopt;

@@ -8,6 +8,12 @@
 /// usable when the bitstream transfer completes. ACs have a task *owner*
 /// for replacement policy only — any task may execute SIs on any loaded
 /// Atom (Fig 6, T3: Task B's SI runs on containers that 'belong' to Task A).
+///
+/// With fault injection (hw/fault.hpp) a transfer can end Failed/Poisoned:
+/// the container then ends up empty, enters a backoff window
+/// (`blocked_until`) during which no new rotation targets it, and after too
+/// many consecutive failures is quarantined permanently — selection plans
+/// around the reduced AC set from then on.
 
 #include <cstdint>
 #include <optional>
@@ -43,8 +49,17 @@ struct AtomContainer {
   Cycle ready_at = 0;
   int owner_task = kNoTask;
   Cycle last_used = 0;
+  /// Consecutive failed loads (reset by any successful load).
+  unsigned fail_streak = 0;
+  /// Retry backoff: no rotation may target this container before this cycle.
+  Cycle blocked_until = 0;
+  /// Permanently out of service after fail_streak exceeded the retry budget.
+  bool quarantined = false;
 
   bool busy(Cycle now) const { return loading.has_value() && now < ready_at; }
+  bool blocked(Cycle now) const {
+    return quarantined || now < blocked_until;
+  }
 };
 
 /// The file of all ACs plus aggregate views the selection logic needs.
@@ -55,8 +70,13 @@ class ContainerFile {
   unsigned size() const { return static_cast<unsigned>(containers_.size()); }
   const AtomContainer& at(unsigned i) const;
 
+  /// Containers still in service (not quarantined) — the AC budget the
+  /// selection plan may count on.
+  unsigned usable_count() const;
+
   /// Promote finished rotations (loading → atom). Must be called with a
-  /// monotonically non-decreasing `now`.
+  /// monotonically non-decreasing `now`. Failed rotations must be retired
+  /// via on_rotation_failed *before* the refresh that would promote them.
   void refresh(Cycle now);
 
   /// Atom instances usable *right now* (completed, not being overwritten).
@@ -77,12 +97,33 @@ class ContainerFile {
   /// when the rotation was issued).
   void abort_rotation(unsigned c);
 
+  /// Retire a rotation whose transfer ended Failed/Poisoned at `failed_at`:
+  /// the container ends empty (nothing usable landed), its fail streak
+  /// grows, and it either enters a capped-exponential backoff window
+  /// (`retry_backoff_cycles << min(streak-1, 16)`) or — when the streak
+  /// exceeds `max_retries` — is quarantined for good. Returns true when
+  /// this failure quarantined the container. Must be called before the
+  /// refresh() that would otherwise promote the poisoned load.
+  bool on_rotation_failed(unsigned c, std::size_t atom_kind, Cycle failed_at,
+                          unsigned max_retries, Cycle retry_backoff_cycles);
+
   /// Record an SI execution touching the given atom kinds (LRU update).
   void touch(const atom::Molecule& used, Cycle now);
 
+  /// True when some container's backoff window ended in (after, upto] — the
+  /// container became targetable again, which dirties a cached plan's gate
+  /// decisions the same way a completed rotation does.
+  bool unblocked_in(Cycle after, Cycle upto) const;
+
+  /// Earliest backoff expiry strictly after `t` among in-service containers,
+  /// if any — a wakeup source: until then a blocked container cannot change
+  /// the kernel's options.
+  std::optional<Cycle> next_unblock_after(Cycle t) const;
+
   /// Pick the container to sacrifice for a new rotation: prefer empty, then
   /// an excess container per `policy`. Returns nullopt when every container
-  /// is needed by `target` (or busy with an in-flight transfer).
+  /// is needed by `target` (or busy with an in-flight transfer, or blocked
+  /// by fault backoff/quarantine).
   std::optional<unsigned> choose_victim(
       const atom::Molecule& target, Cycle now,
       VictimPolicy policy = VictimPolicy::LruExcess) const;

@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "rispp/forecast/forecast_pass.hpp"
+#include "rispp/hw/fault.hpp"
 #include "rispp/hw/reconfig_port.hpp"
 #include "rispp/isa/si_library.hpp"
 #include "rispp/obs/event.hpp"
@@ -38,6 +39,18 @@ struct RtConfig {
   unsigned atom_containers = 4;
   double clock_mhz = 100.0;
   hw::ReconfigPort port{};
+  /// Fault model layered over the reconfiguration port (hw/fault.hpp).
+  /// With the default none() model no RNG draw is ever made and behaviour
+  /// is bit-identical to the fault-free run-time.
+  hw::FaultModel faults = hw::FaultModel::none();
+  /// Consecutive failed loads one Atom Container tolerates before it is
+  /// quarantined (taken out of service for good; selection then plans
+  /// around the reduced AC set).
+  unsigned max_rotation_retries = 3;
+  /// Base retry backoff after a failed load, in cycles: the container is
+  /// blocked for retry_backoff_cycles << min(streak-1, 16) after its
+  /// streak-th consecutive failure (capped exponential backoff).
+  Cycle retry_backoff_cycles = 1000;
   /// EWMA factor for blending observed executions into the forecast
   /// expectations (monitoring task (a)); 0 disables learning.
   double learning_rate = 0.5;
@@ -94,6 +107,8 @@ struct RtEvent {
     RotationStart,
     RotationDone,
     RotationCancelled,
+    RotationFailed,
+    AcQuarantined,
     ExecuteHw,
     ExecuteSw,
   };
@@ -166,11 +181,16 @@ class RisppManager {
   /// return — the greedy selector does not re-run.
   void poll(Cycle now);
 
-  /// Earliest in-flight rotation completion strictly after `t`, if any.
-  /// Event-driven hosts (sim::Simulator) poll only when `now` crosses this
-  /// wakeup cycle instead of on every scheduling decision.
+  /// Earliest cycle strictly after `t` at which polling can change the
+  /// platform state: an in-flight rotation completes (cleanly or not) or a
+  /// fault-backoff window expires and its container becomes targetable
+  /// again. Event-driven hosts (sim::Simulator) poll only when `now`
+  /// crosses this wakeup cycle instead of on every scheduling decision.
   std::optional<Cycle> next_wakeup(Cycle t) const {
-    return rotations_.next_completion_after(t);
+    auto next = rotations_.next_completion_after(t);
+    const auto unblock = containers_.next_unblock_after(t);
+    if (unblock && (!next || *unblock < *next)) next = unblock;
+    return next;
   }
 
   /// --- state inspection -----------------------------------------------
@@ -218,6 +238,12 @@ class RisppManager {
   bool gate_passes(const std::vector<ForecastDemand>& demands) const;
   void cancel_stale(Cycle now);
   void issue(Cycle now);
+  /// Retire every rotation whose transfer ended Failed/Poisoned by `now`:
+  /// the container is emptied and backs off (or is quarantined), counters
+  /// and events fire. Must run before ContainerFile::refresh so a poisoned
+  /// load is never promoted to a usable Atom. A dead branch with the
+  /// default none() fault model.
+  void process_failures(Cycle now);
   void record(RtEvent e);
 
   std::shared_ptr<const isa::SiLibrary> lib_;
@@ -250,6 +276,10 @@ class RisppManager {
   std::uint64_t demand_generation_ = 0;
   std::uint64_t plan_generation_ = ~std::uint64_t{0};  ///< none cached yet
   Cycle plan_time_ = 0;
+  /// A rotation failed since the cached plan was computed: the failed load
+  /// must be re-issued (or planned around), so the plan is stale even
+  /// though no generation bump or completion marks it so.
+  bool failed_since_plan_ = false;
 
   /// Index of every recorded-but-not-yet-reached RotationDone event, so a
   /// cancellation erases its tombstone by position instead of scanning all

@@ -16,6 +16,8 @@ const char* to_string(RtEvent::Kind k) {
     case RtEvent::Kind::RotationStart: return "rotation-start";
     case RtEvent::Kind::RotationDone: return "rotation-done";
     case RtEvent::Kind::RotationCancelled: return "rotation-cancelled";
+    case RtEvent::Kind::RotationFailed: return "rotation-failed";
+    case RtEvent::Kind::AcQuarantined: return "ac-quarantined";
     case RtEvent::Kind::ExecuteHw: return "execute-hw";
     case RtEvent::Kind::ExecuteSw: return "execute-sw";
   }
@@ -68,7 +70,8 @@ RisppManager::RisppManager(std::shared_ptr<const isa::SiLibrary> lib,
     : lib_(require_library(std::move(lib))),
       cfg_((validate(cfg), std::move(cfg))),
       containers_(cfg_.atom_containers, lib_->catalog()),
-      rotations_(cfg_.port, cfg_.clock_mhz),
+      rotations_(hw::FaultyReconfigPort(cfg_.port, cfg_.faults),
+                 cfg_.clock_mhz),
       selector_(make_selection_policy(cfg_.selection_policy, *lib_)),
       replacer_(make_replacement_policy(cfg_.replacement_policy.empty()
                                             ? to_policy_name(cfg_.legacy_victim_policy())
@@ -159,7 +162,44 @@ void RisppManager::on_fc_block(const forecast::FcBlock& block, Cycle now,
     forecast(p.si_index, p.expected_executions, p.probability, now, task);
 }
 
+void RisppManager::process_failures(Cycle now) {
+  for (const auto& b : rotations_.take_failures(now)) {
+    const bool quarantined = containers_.on_rotation_failed(
+        b.container, b.atom_kind, b.done, cfg_.max_rotation_retries,
+        cfg_.retry_backoff_cycles);
+    // The transfer's energy was really spent — no refund, unlike a cancel.
+    counters_.bump("rotations_failed");
+    if (b.result == hw::TransferResult::Poisoned)
+      counters_.bump("rotations_poisoned");
+    failed_since_plan_ = true;
+    record({.at = b.done, .kind = RtEvent::Kind::RotationFailed,
+            .atom_kind = b.atom_kind, .container = b.container});
+    if (cfg_.sink)
+      cfg_.sink->on_event({.at = b.done,
+                           .kind = obs::EventKind::RotationFailed,
+                           .container = static_cast<std::int32_t>(b.container),
+                           .atom = static_cast<std::int64_t>(b.atom_kind),
+                           .cycles = b.done - b.start,
+                           // identifies the span whose transfer this was
+                           .prev_cycles = b.start});
+    if (quarantined) {
+      counters_.bump("acs_quarantined");
+      record({.at = b.done, .kind = RtEvent::Kind::AcQuarantined,
+              .container = b.container});
+      if (cfg_.sink)
+        cfg_.sink->on_event(
+            {.at = b.done,
+             .kind = obs::EventKind::AcQuarantined,
+             .container = static_cast<std::int32_t>(b.container)});
+      RISPP_DEBUG << "AC " << b.container << " quarantined @" << b.done;
+    } else {
+      counters_.bump("rotation_retries");
+    }
+  }
+}
+
 void RisppManager::reallocate(Cycle now) {
+  process_failures(now);
   containers_.refresh(now);
   energy_.advance_leakage(now, loaded_slices());
   counters_.bump("reallocations");
@@ -167,16 +207,24 @@ void RisppManager::reallocate(Cycle now) {
 
   // --- plan stage (cached) -------------------------------------------
   // The plan is a pure function of the demand set, so it only goes stale
-  // when a forecast fired/released (generation counter) or a rotation
+  // when a forecast fired/released (generation counter), a rotation
   // completed since it was computed (a blocked issue stage may unblock,
-  // see docs/observability.md). Otherwise nothing downstream can act:
-  // victims unblock only at completions, committed atoms change only here.
+  // see docs/observability.md), a rotation failed (its load must be
+  // re-issued or planned around), or a fault-backoff window expired (its
+  // container became targetable again). Otherwise nothing downstream can
+  // act: victims unblock only at those points, committed atoms change only
+  // here.
   const bool stale = plan_generation_ != demand_generation_ ||
-                     rotations_.completed_in(plan_time_, now);
+                     rotations_.completed_in(plan_time_, now) ||
+                     failed_since_plan_ ||
+                     containers_.unblocked_in(plan_time_, now);
   if (!stale) return;
+  failed_since_plan_ = false;
 
   const auto demands = active_demands();
-  plan_ = selector_->plan(demands, containers_.size());
+  // Plan against the in-service AC budget: quarantined containers are gone
+  // for good, so the selector must not count on their slots.
+  plan_ = selector_->plan(demands, containers_.usable_count());
   plan_generation_ = demand_generation_;
   plan_time_ = now;
   counters_.bump("selector_plans");
@@ -272,17 +320,27 @@ void RisppManager::issue(Cycle now) {
         const auto booking =
             rotations_.schedule(now, kind, lib_->catalog(), *victim);
         containers_.start_rotation(*victim, kind, booking.done, step.task);
-        energy_.add_rotation(rotations_.duration_cycles(kind, lib_->catalog()));
+        // Energy covers the actual transfer window (bandwidth degradation
+        // stretches it); identical to the nominal duration when fault-free.
+        energy_.add_rotation(booking.done - booking.start);
         counters_.bump("rotations");
+        if (booking.done - booking.start >
+            rotations_.duration_cycles(kind, lib_->catalog()))
+          counters_.bump("rotations_degraded");
         record({.at = now, .kind = RtEvent::Kind::RotationStart,
                 .si_index = step.si_index, .atom_kind = kind,
                 .container = *victim, .task = step.task});
-        record({.at = booking.done, .kind = RtEvent::Kind::RotationDone,
-                .si_index = step.si_index, .atom_kind = kind,
-                .container = *victim, .task = step.task});
-        if (cfg_.record_events)
-          pending_dones_.push_back(
-              {*victim, booking.done, events_.size() - 1});
+        // Only a clean transfer gets its completion event (and tombstone)
+        // pre-recorded; a faulty booking's terminal event is the
+        // RotationFailed that process_failures records at discovery.
+        if (booking.result == hw::TransferResult::Ok) {
+          record({.at = booking.done, .kind = RtEvent::Kind::RotationDone,
+                  .si_index = step.si_index, .atom_kind = kind,
+                  .container = *victim, .task = step.task});
+          if (cfg_.record_events)
+            pending_dones_.push_back(
+                {*victim, booking.done, events_.size() - 1});
+        }
         if (cfg_.sink) {
           if (evicted)
             cfg_.sink->on_event(
@@ -301,10 +359,12 @@ void RisppManager::issue(Cycle now) {
                                 .atom = static_cast<std::int64_t>(kind),
                                 .cycles = booking.done - booking.start};
           cfg_.sink->on_event(span);
-          obs::Event fin = span;
-          fin.at = booking.done;
-          fin.kind = obs::EventKind::RotationFinished;
-          cfg_.sink->on_event(fin);
+          if (booking.result == hw::TransferResult::Ok) {
+            obs::Event fin = span;
+            fin.at = booking.done;
+            fin.kind = obs::EventKind::RotationFinished;
+            cfg_.sink->on_event(fin);
+          }
         }
       }
     }
@@ -316,6 +376,7 @@ void RisppManager::poll(Cycle now) { reallocate(now); }
 RisppManager::ExecResult RisppManager::execute(std::size_t si, Cycle now,
                                                int task) {
   RISPP_REQUIRE(si < lib_->size(), "SI index out of range");
+  process_failures(now);  // a poisoned load must never execute an SI
   containers_.refresh(now);
   energy_.advance_leakage(now, loaded_slices());
 
@@ -368,6 +429,7 @@ RisppManager::ExecResult RisppManager::execute(std::size_t si, Cycle now,
 }
 
 atom::Molecule RisppManager::available_atoms(Cycle now) {
+  process_failures(now);
   containers_.refresh(now);
   return containers_.available_atoms(now);
 }

@@ -9,8 +9,11 @@
 ///   rispp_explorer simulate <library.txt> <trace.txt> [containers] [quantum]
 ///                  [--containers=N] [--quantum=N]
 ///                  [--selector=greedy|exhaustive] [--victim=lru|mru|round-robin]
+///                  [--fault-p=P] [--fault-poison=P] [--fault-degrade=P]
+///                  [--fault-seed=N] [--retries=N] [--backoff=N]
 ///       run a multi-task trace file on the cycle simulator; the --selector
-///       and --victim keys resolve against the run-time policy factory
+///       and --victim keys resolve against the run-time policy factory, and
+///       the --fault-* flags inject seeded reconfiguration faults
 ///   rispp_explorer policies
 ///       list the registered selection and replacement policies
 ///   rispp_explorer emit <h264|h264_sad|h264_frame>
@@ -39,6 +42,8 @@ int usage() {
                "  budget <library.txt> <atoms>\n"
                "  simulate <library.txt> <trace.txt> [containers] [quantum]\n"
                "           [--containers=N] [--quantum=N] [--selector=KEY] [--victim=KEY]\n"
+               "           [--fault-p=P] [--fault-poison=P] [--fault-degrade=P]\n"
+               "           [--fault-seed=N] [--retries=N] [--backoff=N]\n"
                "  policies\n"
                "  emit <h264|h264_sad|h264_frame>\n";
   return 2;
@@ -113,6 +118,12 @@ struct SimulateArgs {
   std::uint64_t quantum = 10000;
   std::string selector = "greedy";
   std::string victim = "lru";
+  double fault_p = 0.0;
+  double fault_poison = 0.0;
+  double fault_degrade = 0.0;
+  std::uint64_t fault_seed = 1;
+  unsigned retries = 3;
+  std::uint64_t backoff = 1000;
 };
 
 int cmd_simulate(const SimulateArgs& args) {
@@ -126,6 +137,11 @@ int cmd_simulate(const SimulateArgs& args) {
   cfg.rt.atom_containers = args.containers;
   cfg.rt.selection_policy = args.selector;
   cfg.rt.replacement_policy = args.victim;
+  if (args.fault_p > 0 || args.fault_poison > 0 || args.fault_degrade > 0)
+    cfg.rt.faults = rispp::hw::FaultModel::probabilistic(
+        args.fault_seed, args.fault_p, args.fault_poison, args.fault_degrade);
+  cfg.rt.max_rotation_retries = args.retries;
+  cfg.rt.retry_backoff_cycles = args.backoff;
   cfg.quantum = args.quantum;
   rispp::sim::Simulator sim(borrow(lib), cfg);
   for (auto& t : tasks) sim.add_task(t);
@@ -137,7 +153,14 @@ int cmd_simulate(const SimulateArgs& args) {
   std::cout << "total cycles: " << TextTable::grouped(static_cast<long long>(r.total_cycles))
             << ", rotations: " << r.rotations << ", energy: "
             << TextTable::grouped(static_cast<long long>(r.energy_total_nj))
-            << " nJ\n\n";
+            << " nJ\n";
+  if (cfg.rt.faults.enabled()) {
+    const auto& ctr = sim.manager().counters();
+    std::cout << "faults: failed=" << ctr.get("rotations_failed")
+              << ", retries=" << ctr.get("rotation_retries")
+              << ", quarantined=" << ctr.get("acs_quarantined") << "\n";
+  }
+  std::cout << "\n";
   TextTable t{"SI", "invocations", "hw", "sw", "cycles"};
   for (const auto& [name, st] : r.per_si)
     t.add_row({name, std::to_string(st.invocations),
@@ -200,6 +223,18 @@ int main(int argc, char** argv) {
           args.selector = a.substr(11);
         else if (a.rfind("--victim=", 0) == 0)
           args.victim = a.substr(9);
+        else if (a.rfind("--fault-p=", 0) == 0)
+          args.fault_p = std::stod(a.substr(10));
+        else if (a.rfind("--fault-poison=", 0) == 0)
+          args.fault_poison = std::stod(a.substr(15));
+        else if (a.rfind("--fault-degrade=", 0) == 0)
+          args.fault_degrade = std::stod(a.substr(16));
+        else if (a.rfind("--fault-seed=", 0) == 0)
+          args.fault_seed = std::stoull(a.substr(13));
+        else if (a.rfind("--retries=", 0) == 0)
+          args.retries = static_cast<unsigned>(std::stoul(a.substr(10)));
+        else if (a.rfind("--backoff=", 0) == 0)
+          args.backoff = std::stoull(a.substr(10));
         else if (a.rfind("--", 0) == 0)
           return usage();
         else

@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
   overall.add_row({"rotations", std::to_string(s.rotations)});
   overall.add_row({"rotations cancelled",
                    std::to_string(s.rotations_cancelled)});
+  if (s.rotations_failed || s.acs_quarantined) {
+    overall.add_row({"rotations failed", std::to_string(s.rotations_failed)});
+    overall.add_row({"ACs quarantined", std::to_string(s.acs_quarantined)});
+  }
   overall.add_row({"port busy [cycles]",
                    TextTable::grouped(
                        static_cast<long long>(s.rotation_busy_cycles))});
