@@ -15,6 +15,8 @@
 #include "rispp/aes/graph.hpp"
 #include "rispp/cfg/dot.hpp"
 #include "rispp/forecast/forecast_pass.hpp"
+#include "rispp/obs/profiler.hpp"
+#include "rispp/obs/report.hpp"
 #include "rispp/obs/trace_export.hpp"
 #include "rispp/sim/observe.hpp"
 #include "rispp/sim/simulator.hpp"
@@ -109,7 +111,9 @@ int main(int argc, char** argv) try {
   std::cout << "SI invocations across walks: " << rep.si_invocations
             << "\n(graph written to fig03_aes_graph.dot)\n";
 
-  if (const auto trace_out = rispp::obs::trace_out_arg(argc, argv)) {
+  const auto trace_out = rispp::obs::trace_out_arg(argc, argv);
+  const auto report_out = rispp::obs::report_out_arg(argc, argv);
+  if (trace_out || report_out) {
     // One representative traced walk (seed 1, the paper's Rep trimming).
     rispp::workload::WalkParams wp;
     wp.seed = 1;
@@ -122,10 +126,19 @@ int main(int argc, char** argv) try {
     rispp::sim::Simulator sim(borrow(lib), cfg);
     sim.add_task({"aes", trace});
     sim.run();
-    rispp::obs::write_trace_file(*trace_out, recorder.events(),
-                                 make_trace_meta(lib, cfg, {"aes"}));
-    std::cout << "Trace (" << recorder.events().size() << " events, seed-1 "
-              << "walk) written to " << *trace_out << "\n";
+    const auto meta = make_trace_meta(lib, cfg, {"aes"});
+    if (trace_out) {
+      rispp::obs::write_trace_file(*trace_out, recorder.events(), meta);
+      std::cout << "Trace (" << recorder.events().size() << " events, seed-1 "
+                << "walk) written to " << *trace_out << "\n";
+    }
+    if (report_out) {
+      rispp::obs::write_report_file(
+          *report_out,
+          rispp::obs::Profiler::profile(recorder.events(), meta, "aes"));
+      std::cout << "Run report (seed-1 walk) written to " << *report_out
+                << "\n";
+    }
   }
   return 0;
 } catch (const std::exception& e) {

@@ -20,6 +20,8 @@
 
 #include <iostream>
 
+#include "rispp/obs/profiler.hpp"
+#include "rispp/obs/report.hpp"
 #include "rispp/obs/trace_export.hpp"
 #include "rispp/sim/observe.hpp"
 #include "rispp/sim/simulator.hpp"
@@ -35,11 +37,18 @@ int main(int argc, char** argv) try {
   const auto si1 = lib.index_of("HT_4x4");
 
   const auto trace_out = rispp::obs::trace_out_arg(argc, argv);
-  rispp::obs::TraceRecorder recorder;
+  const auto report_out = rispp::obs::report_out_arg(argc, argv);
   SimConfig cfg;
   cfg.rt.atom_containers = 6;
   cfg.quantum = 25000;
-  if (trace_out) cfg.rt.sink = &recorder;
+  const auto meta = make_trace_meta(lib, cfg, {"A", "B"});
+  // The recorder feeds the trace file, the profiler streams the run report;
+  // either can be absent without the other paying for it.
+  rispp::obs::TraceRecorder recorder;
+  rispp::obs::Profiler profiler(meta);
+  rispp::obs::TeeSink tee(trace_out ? &recorder : nullptr,
+                          report_out ? &profiler : nullptr);
+  if (trace_out || report_out) cfg.rt.sink = &tee;
   Simulator sim(borrow(lib), cfg);
 
   Trace a;
@@ -112,12 +121,16 @@ int main(int argc, char** argv) try {
   std::cout << "Rotations performed: " << r.rotations << "\n";
 
   if (trace_out) {
-    rispp::obs::write_trace_file(*trace_out, recorder.events(),
-                                 make_trace_meta(lib, cfg, {"A", "B"}));
+    rispp::obs::write_trace_file(*trace_out, recorder.events(), meta);
     std::cout << "Trace (" << recorder.events().size() << " events) written to "
               << *trace_out
               << " — open .json output in chrome://tracing or Perfetto,\n"
                  "or summarize .csv output with tools/trace_summary.\n";
+  }
+  if (report_out) {
+    rispp::obs::write_report_file(*report_out, profiler.finalize("fig06"));
+    std::cout << "Run report written to " << *report_out
+              << " — render or diff it with tools/rispp_report.\n";
   }
   return 0;
 } catch (const std::exception& e) {

@@ -8,6 +8,8 @@
 #include <iostream>
 
 #include "rispp/isa/si_library.hpp"
+#include "rispp/obs/profiler.hpp"
+#include "rispp/obs/report.hpp"
 #include "rispp/obs/summary.hpp"
 #include "rispp/obs/trace_export.hpp"
 #include "rispp/sim/observe.hpp"
@@ -100,12 +102,17 @@ int main(int argc, char** argv) try {
                      : "-"});
   std::cout << "\n" << dyn.str();
 
+  const auto meta = make_trace_meta(lib, cfg, std::move(task_names));
   if (const auto trace_out = rispp::obs::trace_out_arg(argc, argv)) {
-    rispp::obs::write_trace_file(
-        *trace_out, recorder.events(),
-        make_trace_meta(lib, cfg, std::move(task_names)));
+    rispp::obs::write_trace_file(*trace_out, recorder.events(), meta);
     std::cout << "Trace (" << recorder.events().size() << " events) written to "
               << *trace_out << "\n";
+  }
+  if (const auto report_out = rispp::obs::report_out_arg(argc, argv)) {
+    rispp::obs::write_report_file(
+        *report_out, rispp::obs::Profiler::profile(recorder.events(), meta,
+                                                   "fig11"));
+    std::cout << "Run report written to " << *report_out << "\n";
   }
   return 0;
 } catch (const std::exception& e) {

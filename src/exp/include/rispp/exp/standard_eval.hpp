@@ -26,6 +26,11 @@
 ///   fault_seed   fault-model RNG seed                (default point.seed)
 ///   retries      RtConfig::max_rotation_retries      (default 3)
 ///   backoff      RtConfig::retry_backoff_cycles      (default 1000)
+///   report_dir   when set, stream the point's events through an
+///                obs::Profiler and write a run report to
+///                <report_dir>/point_<index>.report.json; the payload holds
+///                only the point label, so reports are byte-identical
+///                across --jobs values  (default: no reports)
 ///
 /// Reported metrics: cycles, rotations, si_hw, si_sw, energy_nj,
 /// reallocations, selector_plans, then hw_<SI>/sw_<SI> per invoked SI.

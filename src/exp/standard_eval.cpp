@@ -7,6 +7,9 @@
 
 #include "rispp/h264/phases.hpp"
 #include "rispp/h264/workload.hpp"
+#include "rispp/obs/profiler.hpp"
+#include "rispp/obs/report.hpp"
+#include "rispp/sim/observe.hpp"
 #include "rispp/util/error.hpp"
 #include "rispp/util/rng.hpp"
 
@@ -82,11 +85,30 @@ void validate_sim_sweep(const Sweep& sweep) {
 
 PointMetrics run_sim_point(const Platform& platform,
                            const SweepPoint& point) {
-  const auto cfg = sim_config_for(point);
+  auto cfg = sim_config_for(point);
   const auto& lib = platform.library();
   const auto workload = point.get("workload", "encdec");
   const double jitter = point.get_f64("jitter", 0.0);
   util::Xoshiro256 rng(point.seed);
+
+  // report_dir: stream this point's events through a Profiler and drop a
+  // run report next to the sweep output. The report payload carries only
+  // the point label (no paths, no times), so reports are byte-identical
+  // for any --jobs value.
+  std::vector<std::string> task_names;
+  if (workload == "fig7") {
+    task_names = {"encoder"};
+  } else {
+    if (workload == "enc" || workload == "encdec")
+      task_names.push_back("enc");
+    if (workload == "dec" || workload == "encdec")
+      task_names.push_back("dec");
+  }
+  const bool want_report = point.find("report_dir") != nullptr;
+  obs::Profiler profiler(
+      want_report ? sim::make_trace_meta(lib, cfg, task_names)
+                  : obs::TraceMeta{});
+  if (want_report) cfg.rt.sink = &profiler;
 
   sim::Simulator sim(platform.library_ptr(), cfg);
   const auto add = [&](const char* name, sim::Trace trace) {
@@ -141,6 +163,12 @@ PointMetrics run_sim_point(const Platform& platform,
     if (st.invocations == 0) continue;
     m.emplace_back("hw_" + name, std::to_string(st.hw_invocations));
     m.emplace_back("sw_" + name, std::to_string(st.sw_invocations));
+  }
+  if (want_report) {
+    const auto label = "point_" + std::to_string(point.index);
+    obs::write_report_file(point.get("report_dir", ".") + "/" + label +
+                               ".report.json",
+                           profiler.finalize(label));
   }
   return m;
 }

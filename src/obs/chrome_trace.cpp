@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <ostream>
-#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "rispp/obs/profiler.hpp"
 
 namespace rispp::obs {
 
@@ -91,6 +95,13 @@ class Writer {
         std::to_string(tid) + ",\"args\":{" + args + "}}");
   }
 
+  void counter(const std::string& name, const std::string& ts,
+               const std::string& args) {
+    raw("{\"name\":\"" + esc(name) + "\",\"cat\":\"counter\",\"ph\":\"C\"" +
+        ",\"ts\":" + ts + ",\"pid\":" + std::to_string(kPid) + ",\"args\":{" +
+        args + "}}");
+  }
+
  private:
   std::ostream* out_;
   bool first_ = true;
@@ -100,6 +111,12 @@ class Writer {
 
 void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
                         const TraceMeta& meta) {
+  write_chrome_trace(out, events, meta, ChromeTraceOptions{});
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
+                        const TraceMeta& meta,
+                        const ChromeTraceOptions& options) {
   const double mhz = meta.clock_mhz > 0 ? meta.clock_mhz : 100.0;
 
   // Track extents: count tasks/containers actually referenced so traces
@@ -115,11 +132,12 @@ void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
   }
 
   // Cancelled bookings, keyed by (container, transfer-start cycle): their
-  // RotationStarted/Finished spans never happen and must not be drawn.
-  std::set<std::pair<std::int32_t, std::uint64_t>> cancelled;
+  // RotationStarted/Finished spans never happen and must not be drawn. The
+  // mapped value is the cancellation cycle (when the queue counter drops).
+  std::map<std::pair<std::int32_t, std::uint64_t>, std::uint64_t> cancelled;
   for (const auto& e : events)
     if (e.kind == EventKind::RotationCancelled)
-      cancelled.insert({e.container, e.prev_cycles});
+      cancelled.emplace(std::pair{e.container, e.prev_cycles}, e.at);
 
   Writer w(out);
   w.open();
@@ -205,6 +223,54 @@ void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
         w.instant("evict " + meta.atom_name(e.atom), "rotation", ac_tid, ts,
                   "\"atom\":\"" + esc(meta.atom_name(e.atom)) + "\"");
         break;
+    }
+  }
+
+  if (options.counter_tracks) {
+    // Port counters: occupancy as a 0/1 square wave at transfer edges, and
+    // queued-booking depth (+1 when booked, −1 at start or cancellation).
+    if (any_rotation) {
+      std::vector<std::pair<std::uint64_t, int>> busy, queue;
+      for (const auto& e : events) {
+        if (e.kind != EventKind::RotationStarted) continue;
+        queue.emplace_back(e.prev_cycles, +1);
+        if (const auto it = cancelled.find({e.container, e.at});
+            it != cancelled.end()) {
+          queue.emplace_back(it->second, -1);
+        } else {
+          queue.emplace_back(e.at, -1);
+          busy.emplace_back(e.at, +1);
+          busy.emplace_back(e.at + e.cycles, -1);
+        }
+      }
+      std::stable_sort(busy.begin(), busy.end());
+      std::stable_sort(queue.begin(), queue.end());
+      int level = 0;
+      for (const auto& [at, delta] : busy) {
+        level += delta;
+        w.counter("port busy", us(at, mhz),
+                  "\"busy\":" + std::to_string(level));
+      }
+      level = 0;
+      for (const auto& [at, delta] : queue) {
+        level += delta;
+        w.counter("port queue", us(at, mhz),
+                  "\"queued\":" + std::to_string(level));
+      }
+    }
+    // Running cycle-attribution totals, sampled at task-switch boundaries.
+    if (any_switch) {
+      Profiler profiler(meta);
+      for (const auto& e : events) profiler.on_event(e);
+      for (const auto& s : profiler.bucket_samples())
+        w.counter("cycle buckets", us(s.at, mhz),
+                  "\"sw_exec\":" + std::to_string(s.totals.sw_exec) +
+                      ",\"hw_exec\":" + std::to_string(s.totals.hw_exec) +
+                      ",\"plain_compute\":" +
+                      std::to_string(s.totals.plain_compute) +
+                      ",\"rotation_stall\":" +
+                      std::to_string(s.totals.rotation_stall) +
+                      ",\"idle\":" + std::to_string(s.totals.idle));
     }
   }
   w.close();

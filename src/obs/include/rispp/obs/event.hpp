@@ -53,7 +53,9 @@ struct Event {
   std::uint64_t cycles = 0;
   /// MoleculeUpgraded: the previous latency. RotationCancelled /
   /// RotationFailed: the start cycle of the cancelled/failed booking
-  /// (identifies the span to drop or mark faulty).
+  /// (identifies the span to drop or mark faulty). RotationStarted /
+  /// RotationFinished: the cycle the transfer was *booked* at — `at` minus
+  /// this is the port queueing delay, kept separate from the transfer time.
   std::uint64_t prev_cycles = 0;
   bool hardware = false;          ///< SiExecuted/MoleculeUpgraded: hw Molecule
 
@@ -77,6 +79,21 @@ class TraceRecorder final : public EventSink {
 
  private:
   std::vector<Event> events_;
+};
+
+/// Fans one stream out to two sinks (e.g. a TraceRecorder for the trace
+/// file and a Profiler for the run report). Either side may be null.
+class TeeSink final : public EventSink {
+ public:
+  TeeSink(EventSink* a, EventSink* b) : a_(a), b_(b) {}
+  void on_event(const Event& e) override {
+    if (a_) a_->on_event(e);
+    if (b_) b_->on_event(e);
+  }
+
+ private:
+  EventSink* a_;
+  EventSink* b_;
 };
 
 /// Static names and unit conversions the exporters need to render a stream.

@@ -1,0 +1,95 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON value tree, parser and deterministic writer — the
+/// substrate of the run-report format (report.hpp) and of `rispp_report
+/// diff`.
+///
+/// Scope is deliberately small: the subset of JSON the run report uses
+/// (null, bool, number, string, array, object), with two properties the
+/// report format depends on and std-library JSON shims usually lack:
+///
+///  * **Objects preserve insertion order.** The report writer controls key
+///    order explicitly, so serialization is byte-stable (same report, same
+///    bytes — the CI diff gate and the cross-`--jobs` determinism test rely
+///    on it).
+///  * **Numbers keep their source text.** A re-serialized value renders the
+///    exact token it was parsed from; no float round-trip ever reformats a
+///    metric between writer and reader.
+///
+/// Errors are reported as util::PreconditionError with a byte offset.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rispp::obs::json {
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+/// One JSON value. Cheap to move; copies are deep.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;  // null
+  static Value boolean(bool b);
+  /// A number from its token text ("42", "-1.5", "0.123456"); the text is
+  /// what serialization emits, the double is what comparisons use.
+  static Value number(std::string token);
+  static Value number(std::uint64_t v);
+  static Value number(std::int64_t v);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+
+  bool as_bool() const;
+  /// Numeric value for comparisons; exact for integers up to 2^53.
+  double as_double() const;
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  const std::string& as_string() const;  ///< String payload
+  const std::string& token() const;      ///< Number source text
+
+  /// Array access; throws on kind mismatch.
+  std::vector<Value>& items();
+  const std::vector<Value>& items() const;
+  Value& push_back(Value v);
+
+  /// Object access; members stay in insertion order. find() returns nullptr
+  /// when absent, at() throws.
+  std::vector<Member>& members();
+  const std::vector<Member>& members() const;
+  Value& add(std::string key, Value v);  ///< appends, returns the new value
+  const Value* find(const std::string& key) const;
+  const Value& at(const std::string& key) const;
+
+  /// Serializes. `indent` < 0 → compact one-line; >= 0 → pretty-printed
+  /// with that many spaces per level and a trailing newline at top level.
+  std::string dump(int indent = -1) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string text_;  ///< string payload or number token
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, anything else
+/// throws). Throws util::PreconditionError with a byte offset on malformed
+/// input, unknown escapes, or numbers the grammar rejects.
+Value parse(const std::string& text);
+
+/// JSON string escaping (shared with the chrome-trace exporter style).
+std::string escape(const std::string& s);
+
+}  // namespace rispp::obs::json

@@ -41,8 +41,9 @@ class MetricsRegistry {
     return histograms_;
   }
 
-  /// "name value" lines for every counter plus "name mean±stddev [min,max]"
-  /// for every accumulator — the quick bench-footer view.
+  /// "name value" lines for every counter, "name mean±stddev [min,max]"
+  /// for every accumulator, and "name p50=[lo, hi) p99=[lo, hi)" bucket
+  /// bounds for every histogram — the quick bench-footer view.
   std::string summary() const;
 
  private:

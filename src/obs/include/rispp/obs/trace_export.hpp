@@ -20,4 +20,8 @@ void write_trace_file(const std::string& path,
 /// Scans argv for `--trace-out=<file>`; nullopt when absent.
 std::optional<std::string> trace_out_arg(int argc, char** argv);
 
+/// Scans argv for `--report-out=<file>` — the run-report twin of
+/// trace_out_arg; nullopt when absent.
+std::optional<std::string> report_out_arg(int argc, char** argv);
+
 }  // namespace rispp::obs

@@ -1,0 +1,374 @@
+#include "rispp/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::obs::json {
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(std::string token) {
+  RISPP_REQUIRE(!token.empty(), "empty number token");
+  Value v;
+  v.kind_ = Kind::Number;
+  v.num_ = std::strtod(token.c_str(), nullptr);
+  v.text_ = std::move(token);
+  return v;
+}
+
+Value Value::number(std::uint64_t n) { return number(std::to_string(n)); }
+Value Value::number(std::int64_t n) { return number(std::to_string(n)); }
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.text_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+bool Value::as_bool() const {
+  RISPP_REQUIRE(kind_ == Kind::Bool, "JSON value is not a bool");
+  return bool_;
+}
+
+double Value::as_double() const {
+  RISPP_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return num_;
+}
+
+std::uint64_t Value::as_u64() const {
+  RISPP_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return std::strtoull(text_.c_str(), nullptr, 10);
+}
+
+std::int64_t Value::as_i64() const {
+  RISPP_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return std::strtoll(text_.c_str(), nullptr, 10);
+}
+
+const std::string& Value::as_string() const {
+  RISPP_REQUIRE(kind_ == Kind::String, "JSON value is not a string");
+  return text_;
+}
+
+const std::string& Value::token() const {
+  RISPP_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return text_;
+}
+
+std::vector<Value>& Value::items() {
+  RISPP_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+  return items_;
+}
+
+const std::vector<Value>& Value::items() const {
+  RISPP_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+  return items_;
+}
+
+Value& Value::push_back(Value v) {
+  items().push_back(std::move(v));
+  return items_.back();
+}
+
+std::vector<Member>& Value::members() {
+  RISPP_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+  return members_;
+}
+
+const std::vector<Member>& Value::members() const {
+  RISPP_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+  return members_;
+}
+
+Value& Value::add(std::string key, Value v) {
+  members().emplace_back(std::move(key), std::move(v));
+  return members_.back().second;
+}
+
+const Value* Value::find(const std::string& key) const {
+  for (const auto& [k, v] : members())
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const auto* v = find(key);
+  RISPP_REQUIRE(v != nullptr, "JSON object has no member '" + key + "'");
+  return *v;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: out += text_; break;
+    case Kind::String:
+      out += '"';
+      out += escape(text_);
+      out += '"';
+      break;
+    case Kind::Array:
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline(depth);
+      out += ']';
+      break;
+    case Kind::Object:
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        out += '"';
+        out += escape(members_[i].first);
+        out += indent < 0 ? "\":" : "\": ";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline(depth);
+      out += '}';
+      break;
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(&text) {}
+
+  Value document() {
+    auto v = value();
+    skip_ws();
+    require(pos_ == text_->size(), "trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw util::PreconditionError("JSON parse error at byte " +
+                                  std::to_string(pos_) + ": " + what);
+  }
+
+  void require(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+
+  char peek() const {
+    require(pos_ < text_->size(), "unexpected end of input");
+    return (*text_)[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_->size()) {
+      const char c = (*text_)[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p; ++p)
+      if (take() != *p) fail(std::string("bad literal (expected ") + word + ")");
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Value::string(string_token());
+      case 't': literal("true"); return Value::boolean(true);
+      case 'f': literal("false"); return Value::boolean(false);
+      case 'n': literal("null"); return Value();
+      default: return number_token();
+    }
+  }
+
+  Value object() {
+    take();  // {
+    auto obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      require(peek() == '"', "expected object key string");
+      auto key = string_token();
+      skip_ws();
+      require(take() == ':', "expected ':' after object key");
+      obj.add(std::move(key), value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return obj;
+      require(c == ',', "expected ',' or '}' in object");
+    }
+  }
+
+  Value array() {
+    take();  // [
+    auto arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      return arr;
+    }
+    while (true) {
+      arr.push_back(value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return arr;
+      require(c == ',', "expected ',' or ']' in array");
+    }
+  }
+
+  std::string string_token() {
+    take();  // "
+    std::string out;
+    while (true) {
+      require(pos_ < text_->size(), "unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        require(static_cast<unsigned char>(c) >= 0x20,
+                "unescaped control character in string");
+        out += c;
+        continue;
+      }
+      const char e = take();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The report writer only escapes control characters; decode the
+          // ASCII range and reject anything that needs real UTF-16 handling.
+          require(code < 0x80, "non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown string escape");
+      }
+    }
+  }
+
+  Value number_token() {
+    const auto start = pos_;
+    if (peek() == '-') take();
+    require(peek() >= '0' && peek() <= '9', "expected digit");
+    while (pos_ < text_->size() && (*text_)[pos_] >= '0' &&
+           (*text_)[pos_] <= '9')
+      ++pos_;
+    if (pos_ < text_->size() && (*text_)[pos_] == '.') {
+      ++pos_;
+      require(pos_ < text_->size() && peek() >= '0' && peek() <= '9',
+              "expected digit after decimal point");
+      while (pos_ < text_->size() && (*text_)[pos_] >= '0' &&
+             (*text_)[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_->size() &&
+        ((*text_)[pos_] == 'e' || (*text_)[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_->size() &&
+          ((*text_)[pos_] == '+' || (*text_)[pos_] == '-'))
+        ++pos_;
+      require(pos_ < text_->size() && peek() >= '0' && peek() <= '9',
+              "expected digit in exponent");
+      while (pos_ < text_->size() && (*text_)[pos_] >= '0' &&
+             (*text_)[pos_] <= '9')
+        ++pos_;
+    }
+    return Value::number(text_->substr(start, pos_ - start));
+  }
+
+  const std::string* text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).document(); }
+
+}  // namespace rispp::obs::json

@@ -42,6 +42,16 @@ std::string MetricsRegistry::summary() const {
          << acc.min() << ", " << acc.max() << "]";
     os << "\n";
   }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " n=" << h.total();
+    if (h.total() > 0) {
+      const auto p50 = h.percentile(0.50);
+      const auto p99 = h.percentile(0.99);
+      os << " p50=[" << p50.lower << ", " << p50.upper << ") p99=["
+         << p99.lower << ", " << p99.upper << ")";
+    }
+    os << "\n";
+  }
   return os.str();
 }
 

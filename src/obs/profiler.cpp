@@ -1,0 +1,329 @@
+#include "rispp/obs/profiler.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::obs {
+
+Profiler::Profiler(TraceMeta meta) : meta_(std::move(meta)) {}
+
+Profiler::Booking* Profiler::find_booking(std::int32_t container,
+                                          std::uint64_t start) {
+  for (auto& b : bookings_)
+    if (b.container == container && b.start == start) return &b;
+  return nullptr;
+}
+
+void Profiler::commit(Booking& b) {
+  b.committed = true;
+  ++counts_.rotations;
+  port_busy_ += b.done - b.start;
+  port_queue_.add(b.start >= b.booked ? b.start - b.booked : 0);
+  port_transfer_.add(b.done - b.start);
+}
+
+void Profiler::close_residency(ContainerState& c, std::uint64_t at) {
+  if (!c.resident) return;
+  const auto& r = *c.resident;
+  c.segments.push_back({r.atom, meta_.atom_name(r.atom), r.from,
+                        std::max(at, r.from), r.uses});
+  if (r.uses == 0) {
+    ++c.wasted;
+    ++counts_.wasted_rotations;
+  }
+  std::erase_if(resident_index_,
+                [&](const auto& e) { return e.second == &*c.resident; });
+  c.resident.reset();
+}
+
+void Profiler::advance(std::uint64_t t) {
+  if (t <= decided_) return;
+  decided_ = t;
+  // Commit bookings whose transfer has started (a cancellation tombstone is
+  // always emitted before the start cycle, so none can arrive any more),
+  // then promote completed transfers into container residency.
+  for (std::size_t i = 0; i < bookings_.size();) {
+    auto& b = bookings_[i];
+    if (!b.committed && b.start <= t) commit(b);
+    if (b.committed && b.done <= t) {
+      auto& c = containers_[b.container];
+      close_residency(c, b.done);  // defensive: eviction normally precedes
+      c.resident = Residency{b.atom, b.si, b.done, 0};
+      resident_index_.emplace_back(b.si, &*c.resident);
+      ++c.rotations;
+      bookings_.erase(bookings_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
+}
+
+void Profiler::on_event(const Event& e) {
+  ++events_;
+  const std::uint64_t end =
+      e.at + (e.kind == EventKind::SiExecuted ||
+                      e.kind == EventKind::RotationStarted
+                  ? e.cycles
+                  : 0);
+  first_ = any_event_ ? std::min(first_, e.at) : e.at;
+  end_ = any_event_ ? std::max(end_, end) : end;
+  any_event_ = true;
+
+  // A failure verdict is stamped at the faulty booking's own completion
+  // cycle, so resolve it *before* advancing decided time — advance(e.at)
+  // would promote the transfer into residency first. The port *was*
+  // occupied by the faulty transfer; only the completed-rotation count
+  // moves to "failed" (cf. summarize()), and nothing becomes resident.
+  if (e.kind == EventKind::RotationFailed) {
+    ++counts_.rotations_failed;
+    if (auto* b = find_booking(e.container, e.prev_cycles)) {
+      if (!b->committed) commit(*b);
+      --counts_.rotations;
+      bookings_.erase(bookings_.begin() + (b - bookings_.data()));
+    }
+    advance(e.at);
+    return;
+  }
+
+  // Every kind except the rotation span pair is stamped with the emission
+  // cycle; RotationStarted/Finished carry future timestamps but record the
+  // booking cycle in prev_cycles.
+  if (e.kind == EventKind::RotationStarted)
+    advance(e.prev_cycles);
+  else if (e.kind != EventKind::RotationFinished)
+    advance(e.at);
+
+  switch (e.kind) {
+    case EventKind::SiExecuted: {
+      if (e.si != cached_si_id_) {
+        cached_si_ = &sis_[e.si];
+        cached_si_id_ = e.si;
+      }
+      if (e.task != cached_task_id_) {
+        cached_task_ = &tasks_[e.task];
+        cached_task_id_ = e.task;
+      }
+      auto& si = *cached_si_;
+      si.all.add(e.cycles);
+      auto& task = *cached_task_;
+      if (e.hardware) {
+        si.hw.add(e.cycles);
+        task.hw += e.cycles;
+        if (const auto it = pending_forecast_.find(e.si);
+            it != pending_forecast_.end()) {
+          if (e.at >= it->second) si.lead.add(e.at - it->second);
+          pending_forecast_.erase(it);
+        }
+        for (auto& [rsi, r] : resident_index_)
+          if (rsi == e.si) ++r->uses;
+      } else {
+        si.sw.add(e.cycles);
+        // Stalled if the SI's own rotation was in flight on the port: the
+        // software fallback ran only because the Atom was still in transit.
+        bool stalled = false;
+        for (const auto& b : bookings_)
+          if (b.si == e.si && b.start <= e.at && e.at < b.done) {
+            stalled = true;
+            break;
+          }
+        (stalled ? task.stall : task.sw) += e.cycles;
+      }
+      break;
+    }
+    case EventKind::ForecastSeen:
+      ++counts_.forecasts;
+      pending_forecast_.emplace(e.si, e.at);  // keeps the earliest
+      break;
+    case EventKind::ForecastReleased:
+      ++counts_.releases;
+      pending_forecast_.erase(e.si);
+      break;
+    case EventKind::RotationStarted:
+      bookings_.push_back({e.container, e.si, e.atom, e.prev_cycles, e.at,
+                           e.at + e.cycles, false});
+      break;
+    case EventKind::RotationFinished:
+      break;  // duplicate of the Started span
+    case EventKind::RotationCancelled:
+      ++counts_.rotations_cancelled;
+      if (auto* b = find_booking(e.container, e.prev_cycles);
+          b && !b->committed)
+        bookings_.erase(bookings_.begin() + (b - bookings_.data()));
+      break;
+    case EventKind::RotationFailed:
+      break;  // fully handled before the advance() above
+    case EventKind::AcQuarantined:
+      ++counts_.acs_quarantined;
+      break;
+    case EventKind::MoleculeUpgraded:
+      break;  // latency changes surface through SiExecuted samples
+    case EventKind::TaskSwitch: {
+      ++counts_.task_switches;
+      if (any_switch_ && e.at >= cur_since_)
+        tasks_[cur_task_].occupancy += e.at - cur_since_;
+      tasks_[e.task];  // tasks with no executions still get a report row
+      cur_task_ = e.task;
+      cur_since_ = e.at;
+      any_switch_ = true;
+
+      BucketSet totals;
+      std::uint64_t occupancy = 0;
+      for (const auto& [id, t] : tasks_) {
+        totals.hw_exec += t.hw;
+        totals.sw_exec += t.sw;
+        totals.rotation_stall += t.stall;
+        occupancy += t.occupancy;
+      }
+      const auto exec =
+          totals.hw_exec + totals.sw_exec + totals.rotation_stall;
+      totals.plain_compute = occupancy > exec ? occupancy - exec : 0;
+      const auto elapsed = e.at >= first_ ? e.at - first_ : 0;
+      totals.idle = elapsed > occupancy ? elapsed - occupancy : 0;
+      samples_.push_back({e.at, totals});
+      break;
+    }
+    case EventKind::AtomEvicted:
+      ++counts_.evictions;
+      close_residency(containers_[e.container], e.at);
+      break;
+  }
+}
+
+LatencyDigest Profiler::digest(const util::LogHistogram& h) {
+  LatencyDigest d;
+  d.count = h.total();
+  if (d.count == 0) return d;
+  d.min = h.min();
+  d.max = h.max();
+  d.mean = h.mean();
+  d.p50 = h.percentile(0.50);
+  d.p90 = h.percentile(0.90);
+  d.p99 = h.percentile(0.99);
+  return d;
+}
+
+RunReport Profiler::finalize(const std::string& scenario) const {
+  // Finalization works on copies: the profiler stays reusable as a live
+  // sink (finalize mid-run, keep streaming).
+  auto tasks = tasks_;
+  auto containers = containers_;
+  auto queue = port_queue_;
+  auto transfer = port_transfer_;
+  auto counts = counts_;
+  auto port_busy = port_busy_;
+
+  // Every booking still pending at end-of-stream really ran: all
+  // cancellation/failure tombstones are already in the stream behind us.
+  for (const auto& b : bookings_) {
+    auto bb = b;
+    if (!bb.committed) {
+      bb.committed = true;
+      ++counts.rotations;
+      port_busy += bb.done - bb.start;
+      queue.add(bb.start >= bb.booked ? bb.start - bb.booked : 0);
+      transfer.add(bb.done - bb.start);
+    }
+    if (bb.done <= end_) {
+      auto& c = containers[bb.container];
+      if (c.resident) {
+        const auto& r = *c.resident;
+        c.segments.push_back({r.atom, meta_.atom_name(r.atom), r.from,
+                              std::max(bb.done, r.from), r.uses});
+        if (r.uses == 0) {
+          ++c.wasted;
+          ++counts.wasted_rotations;
+        }
+      }
+      c.resident = Residency{bb.atom, bb.si, bb.done, 0};
+      ++c.rotations;
+    }
+  }
+
+  // Close the final occupancy slice and still-resident Atoms at the span
+  // end. A never-evicted Atom with zero uses is *not* wasted — it was
+  // never given up, so the jury is still out when the trace ends.
+  if (any_switch_ && end_ >= cur_since_)
+    tasks[cur_task_].occupancy += end_ - cur_since_;
+  for (auto& [id, c] : containers)
+    if (c.resident) {
+      const auto& r = *c.resident;
+      c.segments.push_back({r.atom, meta_.atom_name(r.atom), r.from,
+                            std::max(end_, r.from), r.uses});
+      c.resident.reset();
+    }
+
+  RunReport r;
+  r.scenario = scenario;
+  r.first_cycle = any_event_ ? first_ : 0;
+  r.last_cycle = any_event_ ? end_ : 0;
+  r.counts = counts;
+  r.counts.events = events_;
+
+  const auto span = r.span_cycles();
+  for (const auto& [id, t] : tasks) {
+    const auto exec = t.hw + t.sw + t.stall;
+    const auto occupancy = any_switch_ ? t.occupancy : exec;
+    RISPP_REQUIRE(occupancy >= exec,
+                  "cycle attribution: task " + std::to_string(id) +
+                      " executes outside its slices (exec " +
+                      std::to_string(exec) + " > occupancy " +
+                      std::to_string(occupancy) + ")");
+    RISPP_REQUIRE(span >= occupancy,
+                  "cycle attribution: task " + std::to_string(id) +
+                      " occupancy " + std::to_string(occupancy) +
+                      " exceeds run span " + std::to_string(span));
+    TaskReport tr;
+    tr.task = id;
+    tr.name = meta_.task_name(id);
+    tr.buckets = {t.sw, t.hw, occupancy - exec, t.stall, span - occupancy};
+    RISPP_REQUIRE(tr.buckets.total() == span,
+                  "cycle attribution invariant violated for task " +
+                      std::to_string(id));
+    r.tasks.push_back(std::move(tr));
+    r.buckets.sw_exec += t.sw;
+    r.buckets.hw_exec += t.hw;
+    r.buckets.plain_compute += occupancy - exec;
+    r.buckets.rotation_stall += t.stall;
+    r.buckets.idle += span - occupancy;
+  }
+
+  for (const auto& [id, s] : sis_) {
+    SiReport sr;
+    sr.si = id;
+    sr.name = meta_.si_name(id);
+    sr.all = digest(s.all);
+    sr.hw = digest(s.hw);
+    sr.sw = digest(s.sw);
+    sr.forecast_lead = digest(s.lead);
+    r.sis.push_back(std::move(sr));
+  }
+
+  r.port.busy_cycles = port_busy;
+  r.port.utilization =
+      span ? static_cast<double>(port_busy) / static_cast<double>(span) : 0.0;
+  r.port.queueing = digest(queue);
+  r.port.transfer = digest(transfer);
+
+  for (auto& [id, c] : containers) {
+    ContainerReport cr;
+    cr.container = id;
+    cr.rotations = c.rotations;
+    cr.wasted_rotations = c.wasted;
+    cr.occupancy = std::move(c.segments);
+    r.containers.push_back(std::move(cr));
+  }
+  return r;
+}
+
+RunReport Profiler::profile(const std::vector<Event>& events,
+                            const TraceMeta& meta,
+                            const std::string& scenario) {
+  Profiler p(meta);
+  for (const auto& e : events) p.on_event(e);
+  return p.finalize(scenario);
+}
+
+}  // namespace rispp::obs

@@ -19,18 +19,30 @@ void write_trace_file(const std::string& path,
     write_chrome_trace(out, events, meta);
 }
 
-std::optional<std::string> trace_out_arg(int argc, char** argv) {
-  const std::string prefix = "--trace-out=";
+namespace {
+
+std::optional<std::string> path_arg(int argc, char** argv,
+                                    const std::string& prefix) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
       auto path = arg.substr(prefix.size());
       // Fail before the (possibly long) run, not at export time.
-      RISPP_REQUIRE(!path.empty(), "--trace-out= requires a file path");
+      RISPP_REQUIRE(!path.empty(), prefix + " requires a file path");
       return path;
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> trace_out_arg(int argc, char** argv) {
+  return path_arg(argc, argv, "--trace-out=");
+}
+
+std::optional<std::string> report_out_arg(int argc, char** argv) {
+  return path_arg(argc, argv, "--report-out=");
 }
 
 }  // namespace rispp::obs

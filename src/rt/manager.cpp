@@ -351,13 +351,16 @@ void RisppManager::issue(Cycle now) {
                  .atom = static_cast<std::int64_t>(*evicted)});
           // The span covers the actual transfer window [start, done) — the
           // hw::ReconfigPort latency — not the queueing delay before it.
+          // prev_cycles carries the booking cycle so consumers can separate
+          // port queueing (booked → start) from the transfer itself.
           const obs::Event span{.at = booking.start,
                                 .kind = obs::EventKind::RotationStarted,
                                 .task = step.task,
                                 .container = static_cast<std::int32_t>(*victim),
                                 .si = static_cast<std::int64_t>(step.si_index),
                                 .atom = static_cast<std::int64_t>(kind),
-                                .cycles = booking.done - booking.start};
+                                .cycles = booking.done - booking.start,
+                                .prev_cycles = now};
           cfg_.sink->on_event(span);
           if (booking.result == hw::TransferResult::Ok) {
             obs::Event fin = span;

@@ -1,6 +1,7 @@
 #include "rispp/util/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <sstream>
 
@@ -82,6 +83,62 @@ double Histogram::bucket_lo(std::size_t i) const {
 
 double Histogram::bucket_hi(std::size_t i) const {
   return bucket_lo(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+namespace {
+
+/// Nearest-rank bucket lookup shared by both histogram flavours: the index
+/// of the bucket containing the ceil(q * total)-th sample (1-based).
+std::size_t percentile_bucket(const std::vector<std::uint64_t>& counts,
+                              std::uint64_t total, double q) {
+  RISPP_REQUIRE(total > 0, "percentile() of empty histogram");
+  RISPP_REQUIRE(q > 0.0 && q <= 1.0, "percentile q must be in (0,1]");
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) return i;
+  }
+  return counts.size() - 1;  // unreachable: seen == total >= rank
+}
+
+}  // namespace
+
+PercentileBound Histogram::percentile(double q) const {
+  const auto i = percentile_bucket(counts_, total_, q);
+  return {bucket_lo(i), bucket_hi(i)};
+}
+
+std::uint64_t LogHistogram::min() const {
+  RISPP_REQUIRE(total_ > 0, "min() of empty histogram");
+  return min_;
+}
+
+std::uint64_t LogHistogram::max() const {
+  RISPP_REQUIRE(total_ > 0, "max() of empty histogram");
+  return max_;
+}
+
+double LogHistogram::mean() const {
+  return total_ ? static_cast<double>(sum_) / static_cast<double>(total_)
+                : 0.0;
+}
+
+std::uint64_t LogHistogram::bucket_lower(std::size_t i) const {
+  RISPP_REQUIRE(i < counts_.size(), "bucket index out of range");
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t LogHistogram::bucket_upper(std::size_t i) const {
+  RISPP_REQUIRE(i < counts_.size(), "bucket index out of range");
+  return i == 0 ? 1 : std::uint64_t{1} << i;
+}
+
+PercentileBound LogHistogram::percentile(double q) const {
+  const auto i = percentile_bucket(counts_, total_, q);
+  return {static_cast<double>(bucket_lower(i)),
+          static_cast<double>(bucket_upper(i))};
 }
 
 std::string Histogram::ascii(std::size_t width) const {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -256,6 +257,43 @@ TEST(StandardEval, JitterDrawsFromThePointSeed) {
   const auto other = run_sim_sweep(platform, reseeded, 1);
   EXPECT_NE(other.rows().at(0).at("cycles"),
             first.rows().at(0).at("cycles"));
+}
+
+TEST(StandardEval, PerPointReportsAreByteIdenticalAtAnyWorkerCount) {
+  // A `report_dir` axis makes every point drop a run report; the payload
+  // carries only the point label (no paths, no times), so the bytes must
+  // not depend on the worker count that produced them.
+  const auto platform = Platform::builtin("h264_frame");
+  const auto run_with = [&](unsigned jobs, const std::string& dir) {
+    std::filesystem::create_directories(dir);
+    Sweep sweep;
+    sweep.axis("workload", {"enc", "dec"})
+        .axis("containers", {"4", "6"})
+        .axis("frames", {"1"})
+        .axis("mb", {"8"})
+        .axis("report_dir", {dir})
+        .base_seed(1);
+    (void)run_sim_sweep(platform, sweep, jobs);
+    std::vector<std::string> reports;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      std::ifstream in(dir + "/point_" + std::to_string(i) + ".report.json",
+                       std::ios::binary);
+      EXPECT_TRUE(in.good()) << "missing report for point " << i;
+      std::stringstream ss;
+      ss << in.rdbuf();
+      reports.push_back(ss.str());
+    }
+    return reports;
+  };
+  const auto serial = run_with(1, ::testing::TempDir() + "rispp_reports_j1");
+  const auto parallel = run_with(4, ::testing::TempDir() + "rispp_reports_j4");
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty()) << i;
+    EXPECT_EQ(serial[i], parallel[i]) << "report for point " << i
+                                      << " depends on the worker count";
+  }
+  EXPECT_NE(serial[0].find("\"scenario\": \"point_0\""), std::string::npos);
 }
 
 TEST(StandardEval, GoldenSweepMatchesCheckedInCsv) {

@@ -143,7 +143,8 @@ TEST(CsvTrace, RejectsMalformedInput) {
 
 TEST(ChromeTrace, GoldenFile) {
   // Pin the exact exporter output for a 3-event stream: track metadata,
-  // microsecond conversion (100 MHz → cycles/100), span + instant shapes.
+  // microsecond conversion (100 MHz → cycles/100), span + instant shapes,
+  // and the appended counter tracks (port busy/queue, cycle buckets).
   const std::vector<Event> events = {
       {.at = 0, .kind = EventKind::TaskSwitch, .task = 0},
       si_exec(100, 0, 0, 544, false),
@@ -167,10 +168,20 @@ TEST(ChromeTrace, GoldenFile) {
 {"name":"switch → A","cat":"sched","ph":"i","s":"t","ts":0,"pid":1,"tid":0,"args":{"task":"A"}},
 {"name":"SATD","cat":"si","ph":"X","ts":1,"dur":5.44,"pid":1,"tid":1,"args":{"cycles":544,"molecule":"sw"}},
 {"name":"rotate Transform","cat":"rotation","ph":"X","ts":0.1,"dur":5,"pid":1,"tid":101,"args":{"atom":"Transform","container":1,"cycles":500}},
-{"name":"rotate Transform → AC 1","cat":"rotation","ph":"X","ts":0.1,"dur":5,"pid":1,"tid":50,"args":{"atom":"Transform","container":1,"cycles":500}}
+{"name":"rotate Transform → AC 1","cat":"rotation","ph":"X","ts":0.1,"dur":5,"pid":1,"tid":50,"args":{"atom":"Transform","container":1,"cycles":500}},
+{"name":"port busy","cat":"counter","ph":"C","ts":0.1,"pid":1,"args":{"busy":1}},
+{"name":"port busy","cat":"counter","ph":"C","ts":5.1,"pid":1,"args":{"busy":0}},
+{"name":"port queue","cat":"counter","ph":"C","ts":0,"pid":1,"args":{"queued":1}},
+{"name":"port queue","cat":"counter","ph":"C","ts":0.1,"pid":1,"args":{"queued":0}},
+{"name":"cycle buckets","cat":"counter","ph":"C","ts":0,"pid":1,"args":{"sw_exec":0,"hw_exec":0,"plain_compute":0,"rotation_stall":0,"idle":0}}
 ]}
 )";
   EXPECT_EQ(os.str(), expected);
+
+  // The counter tracks are opt-out.
+  std::ostringstream plain;
+  write_chrome_trace(plain, events, tiny_meta(), {.counter_tracks = false});
+  EXPECT_EQ(plain.str().find("\"cat\":\"counter\""), std::string::npos);
 }
 
 TEST(ChromeTrace, CancelledRotationSpansAreDropped) {
@@ -209,6 +220,18 @@ TEST(Summarize, AggregatesTinyStream) {
   ASSERT_EQ(satd.upgrade_gap.count(), 1u);
   EXPECT_DOUBLE_EQ(satd.upgrade_gap.mean(), 700.0);
   EXPECT_NEAR(s.rotation_utilization(), 500.0 / 724.0, 1e-12);
+}
+
+TEST(Summarize, ZeroSpanTracesDoNotDivideByZero) {
+  // Regression: empty and single-instant traces have span_cycles() == 0;
+  // rotation_utilization() must return 0.0, not NaN/inf.
+  EXPECT_DOUBLE_EQ(summarize({}).rotation_utilization(), 0.0);
+
+  const std::vector<Event> instant = {
+      {.at = 42, .kind = EventKind::TaskSwitch, .task = 0}};
+  const auto s = summarize(instant);
+  EXPECT_EQ(s.span_cycles(), 0u);
+  EXPECT_DOUBLE_EQ(s.rotation_utilization(), 0.0);
 }
 
 TEST(Summarize, CancelledRotationsDoNotOccupyThePort) {

@@ -178,6 +178,57 @@ TEST(Histogram, RejectsDegenerateRange) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
 }
 
+TEST(Histogram, PercentileReturnsBucketEdges) {
+  Histogram h(0.0, 10.0, 5);  // buckets of width 2
+  for (int i = 0; i < 9; ++i) h.add(1.0);  // bucket 0: [0, 2)
+  h.add(9.0);                              // bucket 4: [8, 10)
+  // Nearest rank: ceil(0.5 * 10) = 5th sample → bucket 0.
+  EXPECT_EQ(h.percentile(0.5), (PercentileBound{0.0, 2.0}));
+  // ceil(0.9 * 10) = 9th sample still in bucket 0; the 10th is the outlier.
+  EXPECT_EQ(h.percentile(0.9), (PercentileBound{0.0, 2.0}));
+  EXPECT_EQ(h.percentile(0.99), (PercentileBound{8.0, 10.0}));
+  EXPECT_EQ(h.percentile(1.0), (PercentileBound{8.0, 10.0}));
+}
+
+TEST(Histogram, PercentileRejectsBadArguments) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.percentile(0.5), PreconditionError);  // empty histogram
+  h.add(0.5);
+  EXPECT_THROW(h.percentile(0.0), PreconditionError);  // q must be in (0, 1]
+  EXPECT_THROW(h.percentile(1.5), PreconditionError);
+}
+
+TEST(LogHistogram, PowerOfTwoBuckets) {
+  LogHistogram h;
+  h.add(0);    // bucket 0 holds exactly {0}
+  h.add(1);    // bucket 1: [1, 2)
+  h.add(5);    // bucket 3: [4, 8)
+  h.add(544);  // bucket 10: [512, 1024)
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 544u);
+  EXPECT_DOUBLE_EQ(h.mean(), 550.0 / 4.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  EXPECT_EQ(h.bucket_lower(0), 0u);
+  EXPECT_EQ(h.bucket_upper(0), 1u);
+  EXPECT_EQ(h.bucket_lower(10), 512u);
+  EXPECT_EQ(h.bucket_upper(10), 1024u);
+}
+
+TEST(LogHistogram, PercentileBracketsNearestRank) {
+  LogHistogram h;
+  for (int i = 0; i < 99; ++i) h.add(20);  // bucket [16, 32)
+  h.add(544);                              // bucket [512, 1024)
+  EXPECT_EQ(h.percentile(0.5), (PercentileBound{16.0, 32.0}));
+  EXPECT_EQ(h.percentile(0.99), (PercentileBound{16.0, 32.0}));
+  EXPECT_EQ(h.percentile(1.0), (PercentileBound{512.0, 1024.0}));
+  LogHistogram empty;
+  EXPECT_THROW(empty.percentile(0.5), PreconditionError);
+}
+
 TEST(Counters, BumpAndGet) {
   Counters c;
   c.bump("x");

@@ -1,17 +1,24 @@
 /// trace_summary — summarizes a recorded observability trace:
 ///
-///   trace_summary <trace.csv>
+///   trace_summary [--json] [--scenario=<label>] <trace.csv>
 ///
 /// Input is the CSV event dump written by `--trace-out=<file>.csv` (the
 /// benches) or obs::write_csv_trace. Prints port (rotation) utilization,
 /// the per-SI execution mix with latency moments, and the forecast→upgrade
 /// reaction-gap distribution. The Chrome-JSON flavour of the same trace is
 /// for chrome://tracing / Perfetto; this tool is its terminal counterpart.
+///
+/// `--json` instead emits the versioned run report (the obs::write_report
+/// serializer — the same bytes `--report-out=` produces, docs/FORMATS.md
+/// §5), suitable for `rispp_report show|diff`.
 
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "rispp/obs/csv_trace.hpp"
+#include "rispp/obs/profiler.hpp"
+#include "rispp/obs/report.hpp"
 #include "rispp/obs/summary.hpp"
 #include "rispp/util/stats.hpp"
 #include "rispp/util/table.hpp"
@@ -19,13 +26,28 @@
 int main(int argc, char** argv) {
   using rispp::util::TextTable;
 
-  if (argc != 2) {
-    std::cerr << "usage: trace_summary <trace.csv>\n";
+  bool json = false;
+  std::string scenario;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json")
+      json = true;
+    else if (arg.rfind("--scenario=", 0) == 0)
+      scenario = arg.substr(11);
+    else if (!path)
+      path = argv[i];
+    else
+      path = nullptr;  // too many positionals
+  }
+  if (!path) {
+    std::cerr << "usage: trace_summary [--json] [--scenario=<label>] "
+                 "<trace.csv>\n";
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(path);
   if (!in) {
-    std::cerr << "cannot open trace file: " << argv[1] << "\n";
+    std::cerr << "cannot open trace file: " << path << "\n";
     return 1;
   }
 
@@ -34,9 +56,21 @@ int main(int argc, char** argv) {
   try {
     events = rispp::obs::read_csv_trace(in, &meta);
   } catch (const std::exception& e) {
-    std::cerr << "failed to parse " << argv[1] << ": " << e.what() << "\n";
+    std::cerr << "failed to parse " << path << ": " << e.what() << "\n";
     return 1;
   }
+
+  if (json) {
+    try {
+      std::cout << rispp::obs::write_report(
+          rispp::obs::Profiler::profile(events, meta, scenario));
+    } catch (const std::exception& e) {
+      std::cerr << "failed to profile " << path << ": " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
   const auto s = rispp::obs::summarize(events);
 
   TextTable overall{"metric", "value"};
