@@ -15,6 +15,7 @@
 /// exporters and consumers must not assume `at` is monotone.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -68,12 +69,24 @@ class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void on_event(const Event& e) = 0;
+
+  /// Batched delivery: one virtual call for a contiguous run of events, in
+  /// emission order. Producers on hot paths buffer into an EventBatch and
+  /// hand over whole runs; the default unrolls to on_event so every existing
+  /// sink keeps working unchanged. High-volume sinks (TraceRecorder)
+  /// override this with a bulk implementation.
+  virtual void on_batch(std::span<const Event> events) {
+    for (const auto& e : events) on_event(e);
+  }
 };
 
 /// Buffers the stream in emission order — the input to every exporter.
 class TraceRecorder final : public EventSink {
  public:
   void on_event(const Event& e) override { events_.push_back(e); }
+  void on_batch(std::span<const Event> events) override {
+    events_.insert(events_.end(), events.begin(), events.end());
+  }
   const std::vector<Event>& events() const { return events_; }
   void clear() { events_.clear(); }
 
@@ -90,10 +103,55 @@ class TeeSink final : public EventSink {
     if (a_) a_->on_event(e);
     if (b_) b_->on_event(e);
   }
+  void on_batch(std::span<const Event> events) override {
+    if (a_) a_->on_batch(events);
+    if (b_) b_->on_batch(events);
+  }
 
  private:
   EventSink* a_;
   EventSink* b_;
+};
+
+/// Small emission buffer between an instrumented hot path and its sink:
+/// emit() is a plain vector append (no virtual call), and whole runs are
+/// handed to the sink with a single on_batch() call at flush points. The
+/// run-time manager flushes at reallocation (poll / rotation) boundaries,
+/// on capacity, and on destruction; hosts that read the sink mid-stream
+/// (tests driving a RisppManager directly) call flush() — or the manager's
+/// flush_events() — first. Order is preserved exactly: sinks observe the
+/// same sequence they would have seen unbatched, just later in wall time.
+class EventBatch {
+ public:
+  explicit EventBatch(EventSink* sink = nullptr) : sink_(sink) {
+    if (sink_) buffer_.reserve(kCapacity);
+  }
+  ~EventBatch() { flush(); }
+  EventBatch(const EventBatch&) = delete;
+  EventBatch& operator=(const EventBatch&) = delete;
+
+  /// True when a sink is attached — emission sites guard on this so the
+  /// disabled path stays one dead branch, exactly like the raw-sink idiom.
+  bool enabled() const { return sink_ != nullptr; }
+
+  /// Appends one event (caller must have checked enabled()).
+  void emit(const Event& e) {
+    buffer_.push_back(e);
+    if (buffer_.size() >= kCapacity) flush();
+  }
+
+  /// Delivers everything buffered to the sink, in emission order.
+  void flush() {
+    if (sink_ == nullptr || buffer_.empty()) return;
+    sink_->on_batch(buffer_);
+    buffer_.clear();
+  }
+
+  static constexpr std::size_t kCapacity = 64;
+
+ private:
+  EventSink* sink_;
+  std::vector<Event> buffer_;
 };
 
 /// Static names and unit conversions the exporters need to render a stream.

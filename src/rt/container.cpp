@@ -8,7 +8,7 @@
 namespace rispp::rt {
 
 ContainerFile::ContainerFile(unsigned count, const isa::AtomCatalog& catalog)
-    : catalog_(&catalog), committed_(catalog.size()) {
+    : catalog_(&catalog), committed_(catalog.size()), usable_(catalog.size()) {
   RISPP_REQUIRE(count > 0, "need at least one atom container");
   containers_.resize(count);
   for (unsigned i = 0; i < count; ++i) containers_[i].id = i;
@@ -30,11 +30,15 @@ void ContainerFile::refresh(Cycle now) {
   // Promotion keeps the container's committed kind, so committed_ is
   // unaffected here. Failed loads never reach this point: the kernel
   // retires them through on_rotation_failed before refreshing.
+  if (loading_count_ == 0) return;  // steady state: nothing to promote
   for (auto& c : containers_) {
     if (c.loading && now >= c.ready_at) {
       c.atom = c.loading;
       c.loading.reset();
       c.fail_streak = 0;  // a clean load ends any failure streak
+      usable_.set(*c.atom, usable_[*c.atom] + 1);
+      ++usable_generation_;
+      --loading_count_;
     }
   }
 }
@@ -59,8 +63,17 @@ void ContainerFile::start_rotation(unsigned c, std::size_t atom_kind,
                 "static atoms are never rotated into containers");
   auto& ac = containers_[c];
   const auto old = ac.loading ? ac.loading : ac.atom;
-  if (old) committed_.set(*old, committed_[*old] - 1);
+  if (old) {
+    committed_.set(*old, committed_[*old] - 1);
+    loaded_slices_ -= catalog_->at(*old).hardware.slices;
+  }
   committed_.set(atom_kind, committed_[atom_kind] + 1);
+  loaded_slices_ += catalog_->at(atom_kind).hardware.slices;
+  if (ac.atom) {
+    usable_.set(*ac.atom, usable_[*ac.atom] - 1);
+    ++usable_generation_;
+  }
+  if (!ac.loading) ++loading_count_;
   // The old content becomes unusable the moment reconfiguration begins.
   ac.atom.reset();
   ac.loading = atom_kind;
@@ -73,6 +86,9 @@ void ContainerFile::abort_rotation(unsigned c) {
   auto& ac = containers_[c];
   RISPP_REQUIRE(ac.loading.has_value(), "no rotation to abort");
   committed_.set(*ac.loading, committed_[*ac.loading] - 1);
+  loaded_slices_ -= catalog_->at(*ac.loading).hardware.slices;
+  --loading_count_;
+  ++usable_generation_;  // the aborted load will never become usable
   ac.loading.reset();
   ac.atom.reset();
   ac.ready_at = 0;
@@ -90,6 +106,9 @@ bool ContainerFile::on_rotation_failed(unsigned c, std::size_t atom_kind,
   RISPP_REQUIRE(ac.loading && *ac.loading == atom_kind,
                 "failed rotation does not match the container's load");
   committed_.set(atom_kind, committed_[atom_kind] - 1);
+  loaded_slices_ -= catalog_->at(atom_kind).hardware.slices;
+  --loading_count_;
+  ++usable_generation_;  // the poisoned load will never become usable
   ac.loading.reset();
   ac.atom.reset();
   ac.ready_at = 0;
@@ -111,19 +130,22 @@ void ContainerFile::touch(const atom::Molecule& used, Cycle now) {
   // containers least-recently-used first (ties towards the lowest id) so
   // repeated touches of a partially-used kind cycle through its instances
   // and keep the timestamps coherent instead of re-marking the same ids.
-  std::vector<unsigned> order;
-  order.reserve(containers_.size());
+  // Runs once per SI execution: the order/remaining scratch is reused
+  // across calls so the hot path makes no allocations.
+  auto& order = touch_order_;
+  order.clear();
   for (const auto& c : containers_)
     if (c.atom && !c.loading) order.push_back(c.id);
   std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
     return containers_[a].last_used < containers_[b].last_used;
   });
 
-  atom::Molecule remaining = used;
+  auto& remaining = touch_remaining_;
+  remaining.assign(used.counts().begin(), used.counts().end());
   for (const auto id : order) {
     auto& c = containers_[id];
     if (remaining[*c.atom] > 0) {
-      remaining.set(*c.atom, remaining[*c.atom] - 1);
+      --remaining[*c.atom];
       c.last_used = now;
     }
   }
@@ -203,12 +225,9 @@ std::optional<unsigned> ContainerFile::choose_victim(
 
 std::optional<unsigned> ContainerFile::choose_victim(
     const atom::Molecule& target, Cycle now, ReplacementPolicy& policy) const {
-  for (const auto& c : containers_)
-    if (!c.atom && !c.loading && !c.blocked(now)) return c.id;
-
-  const auto candidates = victim_candidates(target, now);
-  if (candidates.empty()) return std::nullopt;
-  return policy.pick(candidates);
+  return choose_victim_with(
+      target, now,
+      [&](const std::vector<VictimCandidate>& c) { return policy.pick(c); });
 }
 
 }  // namespace rispp::rt

@@ -1,0 +1,91 @@
+#include "rispp/rt/dispatch.hpp"
+
+namespace rispp::rt {
+
+SelectionDispatch::SelectionDispatch(const std::string& name,
+                                     const isa::SiLibrary& lib)
+    : impl_(make_selection_policy(name, lib)) {
+  // The factory validated the key (it throws on unknown names). Swap in the
+  // by-value alternative only while the key still resolves to the stock
+  // builtin — a re-registered "greedy" must keep the factory's product.
+  switch (selection_policy_kind(name)) {
+    case SelectionKind::Greedy:
+      impl_.emplace<GreedySelector>(lib);
+      break;
+    case SelectionKind::Exhaustive:
+      impl_.emplace<ExhaustiveSelector>(lib);
+      break;
+    case SelectionKind::Custom:
+      break;  // keep the virtual product
+  }
+}
+
+SelectionPlan SelectionDispatch::plan(
+    const std::vector<ForecastDemand>& demands,
+    std::uint64_t containers) const {
+  return std::visit(
+      [&](const auto& p) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(p)>,
+                                     std::unique_ptr<SelectionPolicy>>)
+          return p->plan(demands, containers);
+        else
+          return p.plan(demands, containers);  // static type known: direct call
+      },
+      impl_);
+}
+
+const SelectionPolicy& SelectionDispatch::policy() const {
+  return std::visit(
+      [](const auto& p) -> const SelectionPolicy& {
+        if constexpr (std::is_same_v<std::decay_t<decltype(p)>,
+                                     std::unique_ptr<SelectionPolicy>>)
+          return *p;
+        else
+          return p;
+      },
+      impl_);
+}
+
+ReplacementDispatch::ReplacementDispatch(const std::string& name)
+    : impl_(make_replacement_policy(name)) {
+  switch (replacement_policy_kind(name)) {
+    case ReplacementKind::Lru:
+      impl_.emplace<LruReplacement>();
+      break;
+    case ReplacementKind::Mru:
+      impl_.emplace<MruReplacement>();
+      break;
+    case ReplacementKind::RoundRobin:
+      impl_.emplace<RoundRobinReplacement>();
+      break;
+    case ReplacementKind::Custom:
+      break;  // keep the virtual product
+  }
+}
+
+unsigned ReplacementDispatch::pick(
+    const std::vector<VictimCandidate>& candidates) {
+  return std::visit(
+      [&](auto& p) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(p)>,
+                                     std::unique_ptr<ReplacementPolicy>>)
+          return p->pick(candidates);
+        else
+          return p.pick(candidates);  // final classes: direct call
+      },
+      impl_);
+}
+
+const ReplacementPolicy& ReplacementDispatch::policy() const {
+  return std::visit(
+      [](const auto& p) -> const ReplacementPolicy& {
+        if constexpr (std::is_same_v<std::decay_t<decltype(p)>,
+                                     std::unique_ptr<ReplacementPolicy>>)
+          return *p;
+        else
+          return p;
+      },
+      impl_);
+}
+
+}  // namespace rispp::rt

@@ -77,10 +77,31 @@ class ContainerFile {
   /// Promote finished rotations (loading → atom). Must be called with a
   /// monotonically non-decreasing `now`. Failed rotations must be retired
   /// via on_rotation_failed *before* the refresh that would promote them.
+  /// O(1) when no rotation is in flight (the steady-state execute path).
   void refresh(Cycle now);
 
   /// Atom instances usable *right now* (completed, not being overwritten).
   atom::Molecule available_atoms(Cycle now) const;
+
+  /// The available-atom multiset as of the last refresh(), maintained
+  /// incrementally (no recompute, no allocation). Identical to
+  /// available_atoms(now) right after refresh(now) — which is how the
+  /// execute hot path calls it; between refreshes it lags transfers that
+  /// finished but were not promoted yet. Differential-tested against the
+  /// recompute in rt_container_test.
+  const atom::Molecule& usable_atoms() const { return usable_; }
+
+  /// Total bitstream slices of the atoms loaded or loading — the leakage
+  /// model's input. Maintained incrementally on start/abort/fail (promotion
+  /// keeps the kind, so refresh does not touch it); O(1) instead of the
+  /// seed's per-call walk with a catalog lookup per container.
+  std::uint64_t loaded_slices() const { return loaded_slices_; }
+
+  /// Bumped whenever the usable-atom multiset may have changed (a promotion,
+  /// a started/aborted/failed rotation). Callers caching anything derived
+  /// from usable_atoms() — the manager's fastest-molecule memo — key their
+  /// cache on this.
+  std::uint64_t usable_generation() const { return usable_generation_; }
 
   /// Atom instances the file is committed to after all in-flight rotations
   /// finish — what the selection logic must diff its target against.
@@ -129,11 +150,24 @@ class ContainerFile {
       VictimPolicy policy = VictimPolicy::LruExcess) const;
 
   /// Same contract, but the victim among expendable candidates is picked by
-  /// a ReplacementPolicy strategy object (see policy.hpp). This is the
-  /// overload the reallocation kernel uses.
+  /// a ReplacementPolicy strategy object (see policy.hpp).
   std::optional<unsigned> choose_victim(const atom::Molecule& target,
                                         Cycle now,
                                         ReplacementPolicy& policy) const;
+
+  /// Same contract again, picking through an arbitrary callable over the
+  /// candidate list. The reallocation kernel passes its devirtualized
+  /// ReplacementDispatch through here, so the whole victim decision runs
+  /// without a virtual call for the built-in policies.
+  template <typename Pick>
+  std::optional<unsigned> choose_victim_with(const atom::Molecule& target,
+                                             Cycle now, Pick&& pick) const {
+    for (const auto& c : containers_)
+      if (!c.atom && !c.loading && !c.blocked(now)) return c.id;
+    const auto candidates = victim_candidates(target, now);
+    if (candidates.empty()) return std::nullopt;
+    return pick(candidates);
+  }
 
  private:
   /// Expendable containers for `target` at `now`, in container-id order.
@@ -143,6 +177,15 @@ class ContainerFile {
   std::vector<AtomContainer> containers_;
   const isa::AtomCatalog* catalog_;
   atom::Molecule committed_;  ///< incremental committed_atoms() view
+  atom::Molecule usable_;     ///< incremental usable_atoms() view
+  std::uint64_t usable_generation_ = 0;
+  std::uint64_t loaded_slices_ = 0;  ///< incremental loaded_slices() view
+  unsigned loading_count_ = 0;       ///< containers with a transfer in flight
+  /// Scratch buffers reused by touch() so the per-execution LRU update makes
+  /// no allocations (a ContainerFile was never shareable across threads —
+  /// one manager owns one file — so plain members are fine).
+  mutable std::vector<unsigned> touch_order_;
+  mutable std::vector<atom::Count> touch_remaining_;
   /// Cursor for the legacy VictimPolicy::RoundRobinExcess path; the
   /// policy-object path keeps its cursor inside RoundRobinReplacement.
   mutable unsigned rr_cursor_ = 0;

@@ -1,0 +1,75 @@
+#pragma once
+/// \file dispatch.hpp
+/// \brief Devirtualized policy dispatch for the reallocation kernel.
+///
+/// The public policy seam stays the string-keyed factory of policy.hpp —
+/// benches, tools and custom registrations are untouched. Internally the
+/// kernel routes the *built-in* policies through a std::variant of concrete
+/// values instead of a unique_ptr<Base>: the variant holds the policy by
+/// value, so every plan()/pick() call site knows the dynamic type statically
+/// and the compiler emits direct (inlinable) calls — no vtable load on the
+/// reallocate()/execute() hot path.
+///
+/// Correctness guard: whether a key is "built-in" is decided by
+/// selection_policy_kind()/replacement_policy_kind(), which report Custom
+/// for any key that ever passed through register_*_policy — including a
+/// re-registration of a built-in name. Custom keys take the fallback
+/// alternative, a unique_ptr to whatever the factory produced, dispatched
+/// virtually exactly as before. Behaviour is therefore identical either
+/// way; only the call overhead differs.
+
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "rispp/rt/policy.hpp"
+#include "rispp/rt/selection.hpp"
+
+namespace rispp::rt {
+
+/// Molecule-selection dispatch: GreedySelector / ExhaustiveSelector by
+/// value, anything custom through the factory's virtual product.
+class SelectionDispatch {
+ public:
+  SelectionDispatch(const std::string& name, const isa::SiLibrary& lib);
+
+  SelectionPlan plan(const std::vector<ForecastDemand>& demands,
+                     std::uint64_t containers) const;
+  /// benefit() is a non-virtual base method — already devirtualized; the
+  /// forwarding keeps the manager's call sites uniform.
+  double benefit(const atom::Molecule& config,
+                 const std::vector<ForecastDemand>& demands) const {
+    return policy().benefit(config, demands);
+  }
+
+  /// The active policy as its abstract interface — the introspection
+  /// surface (RisppManager::selection_policy()) is unchanged.
+  const SelectionPolicy& policy() const;
+
+ private:
+  std::variant<GreedySelector, ExhaustiveSelector,
+               std::unique_ptr<SelectionPolicy>>
+      impl_;
+};
+
+/// Replacement-victim dispatch: the three built-in policies by value
+/// (all `final`, so pick() calls are direct), custom ones virtual.
+class ReplacementDispatch {
+ public:
+  explicit ReplacementDispatch(const std::string& name);
+
+  unsigned pick(const std::vector<VictimCandidate>& candidates);
+
+  const ReplacementPolicy& policy() const;
+  ReplacementPolicy& policy() {
+    return const_cast<ReplacementPolicy&>(
+        static_cast<const ReplacementDispatch*>(this)->policy());
+  }
+
+ private:
+  std::variant<LruReplacement, MruReplacement, RoundRobinReplacement,
+               std::unique_ptr<ReplacementPolicy>>
+      impl_;
+};
+
+}  // namespace rispp::rt

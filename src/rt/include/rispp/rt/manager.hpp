@@ -27,6 +27,7 @@
 #include "rispp/isa/si_library.hpp"
 #include "rispp/obs/event.hpp"
 #include "rispp/rt/container.hpp"
+#include "rispp/rt/dispatch.hpp"
 #include "rispp/rt/energy.hpp"
 #include "rispp/rt/policy.hpp"
 #include "rispp/rt/rotation.hpp"
@@ -174,6 +175,20 @@ class RisppManager {
   /// monitoring statistics and container LRU state.
   ExecResult execute(std::size_t si, Cycle now, int task = kNoTask);
 
+  /// Emits a host-generated event (the simulator's TaskSwitch) through the
+  /// manager's emission batch, so host and manager events reach the sink in
+  /// one correctly-ordered stream. No-op without a sink.
+  void emit_host_event(const obs::Event& e) {
+    if (batch_.enabled()) batch_.emit(e);
+  }
+
+  /// Delivers everything still buffered in the emission batch to the sink.
+  /// The manager flushes on every reallocation (forecast / release / poll)
+  /// and on destruction; hosts that read the sink between those points —
+  /// tests driving execute() directly — call this first. See
+  /// obs::EventBatch.
+  void flush_events() { batch_.flush(); }
+
   /// Re-evaluates the allocation without a new forecast — used after
   /// rotations complete when a previous reallocation was blocked by
   /// in-flight transfers. When nothing changed since the cached plan
@@ -193,6 +208,15 @@ class RisppManager {
     return next;
   }
 
+  /// Bumped whenever the scheduling timeline changes — a rotation is
+  /// booked, cancelled, or fails (failures also open backoff windows).
+  /// While this value is unchanged and no poll has fired, a previously
+  /// computed next_wakeup() answer stays valid: no completion or unblock
+  /// point was added or removed. Event-driven hosts key their cached
+  /// wakeup horizon on this instead of recomputing next_wakeup() on every
+  /// scheduling decision (which walks bookings and containers).
+  std::uint64_t state_generation() const { return state_generation_; }
+
   /// --- state inspection -----------------------------------------------
   atom::Molecule available_atoms(Cycle now);
   const atom::Molecule& committed_atoms() const {
@@ -200,9 +224,20 @@ class RisppManager {
   }
   const ContainerFile& containers() const { return containers_; }
   /// The policy objects driving selection/replacement (for introspection).
-  const SelectionPolicy& selection_policy() const { return *selector_; }
-  const ReplacementPolicy& replacement_policy() const { return *replacer_; }
-  const std::vector<RtEvent>& events() const { return events_; }
+  const SelectionPolicy& selection_policy() const {
+    return selector_.policy();
+  }
+  const ReplacementPolicy& replacement_policy() const {
+    return replacer_.policy();
+  }
+  /// The recorded RtEvent log. Cancellations tombstone their pre-recorded
+  /// RotationDone entries instead of erasing them in place; this accessor
+  /// compacts lazily, so the caller always sees the erased view while the
+  /// cancel path itself stays O(1) per cancellation.
+  const std::vector<RtEvent>& events() const {
+    compact_events();
+    return events_;
+  }
   const util::Counters& counters() const { return counters_; }
   std::uint64_t rotations_performed() const {
     return rotations_.rotations_performed();
@@ -219,8 +254,11 @@ class RisppManager {
 
   /// Energy spent so far (execution + rotation + leakage of loaded atoms).
   const EnergyMeter& energy() const { return energy_; }
-  /// Total slices of the atoms currently loaded in containers.
-  std::uint64_t loaded_slices() const;
+  /// Total slices of the atoms currently loaded (or loading) in containers.
+  /// O(1): the ContainerFile maintains the sum incrementally; the seed
+  /// walked every container with a catalog lookup apiece on each call —
+  /// and the energy meter asks on every single execute().
+  std::uint64_t loaded_slices() const { return containers_.loaded_slices(); }
 
   const isa::SiLibrary& library() const { return *lib_; }
   /// The shared snapshot itself — hand this to sibling components (other
@@ -245,14 +283,24 @@ class RisppManager {
   /// default none() fault model.
   void process_failures(Cycle now);
   void record(RtEvent e);
+  /// Drop tombstoned events_ entries (stable order) and remap the indices
+  /// pending_dones_ remembers. Called lazily from events().
+  void compact_events() const;
 
   std::shared_ptr<const isa::SiLibrary> lib_;
   RtConfig cfg_;
   ContainerFile containers_;
   RotationScheduler rotations_;
-  std::unique_ptr<SelectionPolicy> selector_;
-  std::unique_ptr<ReplacementPolicy> replacer_;
+  /// Devirtualized policy dispatch (rt/dispatch.hpp): built-in policies run
+  /// by value with direct calls; custom registrations fall back to the
+  /// factory's virtual product.
+  SelectionDispatch selector_;
+  ReplacementDispatch replacer_;
   EnergyMeter energy_;
+  /// Emission buffer between the manager's hot paths and cfg_.sink: emit is
+  /// a plain append, the sink sees whole runs via on_batch at reallocation
+  /// boundaries / capacity / destruction. Order is preserved exactly.
+  obs::EventBatch batch_;
 
   struct DemandState {
     ForecastDemand demand;
@@ -282,16 +330,45 @@ class RisppManager {
   bool failed_since_plan_ = false;
 
   /// Index of every recorded-but-not-yet-reached RotationDone event, so a
-  /// cancellation erases its tombstone by position instead of scanning all
-  /// of events_.
+  /// cancellation finds its entry by position instead of scanning all of
+  /// events_. Indices refer to events_ *with tombstones still in place*
+  /// (positions are stable until compact_events() remaps them).
   struct PendingDone {
     unsigned container = 0;
     Cycle done = 0;
     std::size_t event_index = 0;
   };
-  std::vector<PendingDone> pending_dones_;
+  mutable std::vector<PendingDone> pending_dones_;
 
-  std::vector<RtEvent> events_;
+  /// Recorded log plus the tombstone side-list: cancelling a pre-recorded
+  /// RotationDone marks its index dead (O(1)) instead of erasing mid-vector
+  /// (O(n) shift + O(n) index fixup in the seed). events() compacts
+  /// lazily — mutable so the accessor can stay const.
+  mutable std::vector<RtEvent> events_;
+  mutable std::vector<std::size_t> dead_events_;
+
+  /// --- execute() fast path --------------------------------------------
+  /// Per-SI Molecule options with their rotatable projections precomputed
+  /// (the seed re-projected every option on every execution), plus a memo
+  /// of the winning option keyed on the container file's usable-atom
+  /// generation: between rotations the answer cannot change, so the common
+  /// execute() re-checks one integer instead of scanning options.
+  struct ExecOption {
+    const isa::MoleculeOption* opt = nullptr;
+    atom::Molecule projected;  ///< catalog().project_rotatable(opt->atoms)
+  };
+  struct ExecCacheEntry {
+    std::vector<ExecOption> options;  ///< in SpecialInstruction order
+    std::uint64_t memo_generation = ~std::uint64_t{0};
+    const ExecOption* memo_best = nullptr;  ///< null = software molecule
+    bool memo_valid = false;
+  };
+  std::vector<ExecCacheEntry> exec_cache_;  ///< by SI index
+
+  /// Bumped per booked / cancelled / failed rotation — see
+  /// state_generation().
+  std::uint64_t state_generation_ = 0;
+
   util::Counters counters_;
 };
 

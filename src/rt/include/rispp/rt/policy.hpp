@@ -171,4 +171,20 @@ bool replacement_policy_registered(const std::string& name);
 /// Factory key of the legacy VictimPolicy enum knob.
 const char* to_policy_name(VictimPolicy policy);
 
+/// --- devirtualization support (rt/dispatch.hpp) --------------------------
+/// The reallocation kernel dispatches the built-in policies through a
+/// std::variant of concrete types instead of the virtual interface, so the
+/// hot path makes no virtual calls. These queries report whether a factory
+/// key still resolves to the *unmodified* built-in implementation: a
+/// register_*_policy() call — even one re-registering a built-in name —
+/// demotes the key to Custom, and the kernel falls back to the virtual
+/// object the factory produces. The string-keyed factory therefore stays
+/// the single public extension point.
+
+enum class SelectionKind { Greedy, Exhaustive, Custom };
+enum class ReplacementKind { Lru, Mru, RoundRobin, Custom };
+
+SelectionKind selection_policy_kind(const std::string& name);
+ReplacementKind replacement_policy_kind(const std::string& name);
+
 }  // namespace rispp::rt

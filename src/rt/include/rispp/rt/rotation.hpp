@@ -76,6 +76,11 @@ class RotationScheduler {
   /// port, so the zero-fault kernel path stays one dead branch.
   std::vector<Booking> take_failures(Cycle now);
 
+  /// True when some faulty booking is still awaiting delivery — the O(1)
+  /// guard the kernel checks per execute()/poll() before paying for a
+  /// take_failures() call. Always false with a fault-free port.
+  bool has_pending_failures() const { return !faulty_.empty(); }
+
   /// Cycle until which the port is occupied.
   Cycle busy_until() const { return busy_until_; }
 

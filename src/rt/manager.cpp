@@ -72,11 +72,24 @@ RisppManager::RisppManager(std::shared_ptr<const isa::SiLibrary> lib,
       containers_(cfg_.atom_containers, lib_->catalog()),
       rotations_(hw::FaultyReconfigPort(cfg_.port, cfg_.faults),
                  cfg_.clock_mhz),
-      selector_(make_selection_policy(cfg_.selection_policy, *lib_)),
-      replacer_(make_replacement_policy(cfg_.replacement_policy.empty()
-                                            ? to_policy_name(cfg_.legacy_victim_policy())
-                                            : cfg_.replacement_policy)),
-      energy_(cfg_.power, cfg_.clock_mhz) {}
+      selector_(cfg_.selection_policy, *lib_),
+      replacer_(cfg_.replacement_policy.empty()
+                    ? to_policy_name(cfg_.legacy_victim_policy())
+                    : cfg_.replacement_policy),
+      energy_(cfg_.power, cfg_.clock_mhz),
+      batch_(cfg_.sink) {
+  // Precompute the execute() fast-path tables: every Molecule option's
+  // rotatable projection (the satisfied_by / touch input) once, instead of
+  // re-projecting per execution.
+  exec_cache_.resize(lib_->size());
+  for (std::size_t si = 0; si < lib_->size(); ++si) {
+    const auto& options = lib_->at(si).options();
+    exec_cache_[si].options.reserve(options.size());
+    for (const auto& o : options)
+      exec_cache_[si].options.push_back(
+          {&o, lib_->catalog().project_rotatable(o.atoms)});
+  }
+}
 
 
 RisppManager::RisppManager(const isa::SiLibrary& lib, RtConfig cfg)
@@ -84,16 +97,6 @@ RisppManager::RisppManager(const isa::SiLibrary& lib, RtConfig cfg)
           std::shared_ptr<const isa::SiLibrary>(
               std::shared_ptr<const isa::SiLibrary>{}, &lib),
           std::move(cfg)) {}
-
-std::uint64_t RisppManager::loaded_slices() const {
-  std::uint64_t slices = 0;
-  for (unsigned i = 0; i < containers_.size(); ++i) {
-    const auto& c = containers_.at(i);
-    const auto kind = c.loading ? c.loading : c.atom;
-    if (kind) slices += lib_->catalog().at(*kind).hardware.slices;
-  }
-  return slices;
-}
 
 void RisppManager::record(RtEvent e) {
   if (cfg_.record_events) events_.push_back(e);
@@ -121,11 +124,11 @@ void RisppManager::forecast(std::size_t si, double expected_executions,
   counters_.bump("forecasts");
   record({.at = now, .kind = RtEvent::Kind::Forecast, .si_index = si,
           .task = task});
-  if (cfg_.sink)
-    cfg_.sink->on_event({.at = now,
-                         .kind = obs::EventKind::ForecastSeen,
-                         .task = task,
-                         .si = static_cast<std::int64_t>(si)});
+  if (batch_.enabled())
+    batch_.emit({.at = now,
+                 .kind = obs::EventKind::ForecastSeen,
+                 .task = task,
+                 .si = static_cast<std::int64_t>(si)});
   RISPP_DEBUG << "forecast " << lib_->at(si).name() << " E=" << expectation
               << " p=" << probability << " @" << now;
   reallocate(now);
@@ -148,11 +151,11 @@ void RisppManager::forecast_release(std::size_t si, Cycle now, int task) {
   ++demand_generation_;  // dirties the cached plan
   counters_.bump("forecast_releases");
   record({.at = now, .kind = RtEvent::Kind::ForecastRelease, .si_index = si});
-  if (cfg_.sink)
-    cfg_.sink->on_event({.at = now,
-                         .kind = obs::EventKind::ForecastReleased,
-                         .task = task,
-                         .si = static_cast<std::int64_t>(si)});
+  if (batch_.enabled())
+    batch_.emit({.at = now,
+                 .kind = obs::EventKind::ForecastReleased,
+                 .task = task,
+                 .si = static_cast<std::int64_t>(si)});
   reallocate(now);
 }
 
@@ -163,6 +166,9 @@ void RisppManager::on_fc_block(const forecast::FcBlock& block, Cycle now,
 }
 
 void RisppManager::process_failures(Cycle now) {
+  // O(1) out in the fault-free common case — execute() pays one branch
+  // instead of a take_failures() call per invocation.
+  if (!rotations_.has_pending_failures()) return;
   for (const auto& b : rotations_.take_failures(now)) {
     const bool quarantined = containers_.on_rotation_failed(
         b.container, b.atom_kind, b.done, cfg_.max_rotation_retries,
@@ -172,25 +178,26 @@ void RisppManager::process_failures(Cycle now) {
     if (b.result == hw::TransferResult::Poisoned)
       counters_.bump("rotations_poisoned");
     failed_since_plan_ = true;
+    ++state_generation_;  // the failed booking left the timeline; a backoff
+                          // (or quarantine) changed the unblock horizon
     record({.at = b.done, .kind = RtEvent::Kind::RotationFailed,
             .atom_kind = b.atom_kind, .container = b.container});
-    if (cfg_.sink)
-      cfg_.sink->on_event({.at = b.done,
-                           .kind = obs::EventKind::RotationFailed,
-                           .container = static_cast<std::int32_t>(b.container),
-                           .atom = static_cast<std::int64_t>(b.atom_kind),
-                           .cycles = b.done - b.start,
-                           // identifies the span whose transfer this was
-                           .prev_cycles = b.start});
+    if (batch_.enabled())
+      batch_.emit({.at = b.done,
+                   .kind = obs::EventKind::RotationFailed,
+                   .container = static_cast<std::int32_t>(b.container),
+                   .atom = static_cast<std::int64_t>(b.atom_kind),
+                   .cycles = b.done - b.start,
+                   // identifies the span whose transfer this was
+                   .prev_cycles = b.start});
     if (quarantined) {
       counters_.bump("acs_quarantined");
       record({.at = b.done, .kind = RtEvent::Kind::AcQuarantined,
               .container = b.container});
-      if (cfg_.sink)
-        cfg_.sink->on_event(
-            {.at = b.done,
-             .kind = obs::EventKind::AcQuarantined,
-             .container = static_cast<std::int32_t>(b.container)});
+      if (batch_.enabled())
+        batch_.emit({.at = b.done,
+                     .kind = obs::EventKind::AcQuarantined,
+                     .container = static_cast<std::int32_t>(b.container)});
       RISPP_DEBUG << "AC " << b.container << " quarantined @" << b.done;
     } else {
       counters_.bump("rotation_retries");
@@ -218,21 +225,27 @@ void RisppManager::reallocate(Cycle now) {
                      rotations_.completed_in(plan_time_, now) ||
                      failed_since_plan_ ||
                      containers_.unblocked_in(plan_time_, now);
-  if (!stale) return;
-  failed_since_plan_ = false;
+  if (stale) {
+    failed_since_plan_ = false;
 
-  const auto demands = active_demands();
-  // Plan against the in-service AC budget: quarantined containers are gone
-  // for good, so the selector must not count on their slots.
-  plan_ = selector_->plan(demands, containers_.usable_count());
-  plan_generation_ = demand_generation_;
-  plan_time_ = now;
-  counters_.bump("selector_plans");
+    const auto demands = active_demands();
+    // Plan against the in-service AC budget: quarantined containers are
+    // gone for good, so the selector must not count on their slots.
+    plan_ = selector_.plan(demands, containers_.usable_count());
+    plan_generation_ = demand_generation_;
+    plan_time_ = now;
+    counters_.bump("selector_plans");
 
-  // --- gate / cancel-stale / issue stages -----------------------------
-  if (!gate_passes(demands)) return;
-  if (cfg_.cancel_stale_rotations) cancel_stale(now);
-  issue(now);
+    // --- gate / cancel-stale / issue stages ---------------------------
+    if (gate_passes(demands)) {
+      if (cfg_.cancel_stale_rotations) cancel_stale(now);
+      issue(now);
+    }
+  }
+  // Reallocations are the batch's flush boundary: every forecast, release
+  // and poll hands the buffered run to the sink here, so an attached
+  // profiler/recorder is never more than one poll behind.
+  batch_.flush();
 }
 
 bool RisppManager::gate_passes(
@@ -241,8 +254,8 @@ bool RisppManager::gate_passes(
   // over the *current* configuration does not pay for the transfers.
   if (cfg_.rotation_cost_factor <= 0.0) return true;
   const auto& current = containers_.committed_atoms();
-  const double gain = selector_->benefit(plan_.target, demands) -
-                      selector_->benefit(current, demands);
+  const double gain = selector_.benefit(plan_.target, demands) -
+                      selector_.benefit(current, demands);
   const auto needed =
       lib_->catalog().project_rotatable(current).residual_to(plan_.target);
   double cost_cycles = 0;
@@ -273,32 +286,57 @@ void RisppManager::cancel_stale(Cycle now) {
     containers_.abort_rotation(c);
     energy_.refund_rotation(pending->done - pending->start);
     counters_.bump("rotations_cancelled");
+    ++state_generation_;  // a completion point left the timeline
     // The completion event recorded at issue time will never happen —
-    // erase it by its remembered position instead of scanning events_.
+    // tombstone it by its remembered position. The seed erased mid-vector
+    // here (O(n) shift plus an O(n) index fixup over pending_dones_);
+    // marking is O(1) and events() compacts lazily.
     if (cfg_.record_events) {
       for (auto it = pending_dones_.begin(); it != pending_dones_.end();
            ++it) {
         if (it->container != c || it->done != pending->done) continue;
-        const auto erased = it->event_index;
-        events_.erase(events_.begin() +
-                      static_cast<std::ptrdiff_t>(erased));
+        dead_events_.push_back(it->event_index);
         pending_dones_.erase(it);
-        for (auto& p : pending_dones_)
-          if (p.event_index > erased) --p.event_index;
         break;
       }
     }
     record({.at = now, .kind = RtEvent::Kind::RotationCancelled,
             .atom_kind = kind, .container = c});
-    if (cfg_.sink)
-      cfg_.sink->on_event({.at = now,
-                           .kind = obs::EventKind::RotationCancelled,
-                           .container = static_cast<std::int32_t>(c),
-                           .atom = static_cast<std::int64_t>(kind),
-                           .cycles = pending->done - pending->start,
-                           // identifies the span that will never happen
-                           .prev_cycles = pending->start});
+    if (batch_.enabled())
+      batch_.emit({.at = now,
+                   .kind = obs::EventKind::RotationCancelled,
+                   .container = static_cast<std::int32_t>(c),
+                   .atom = static_cast<std::int64_t>(kind),
+                   .cycles = pending->done - pending->start,
+                   // identifies the span that will never happen
+                   .prev_cycles = pending->start});
   }
+}
+
+void RisppManager::compact_events() const {
+  if (dead_events_.empty()) return;
+  std::sort(dead_events_.begin(), dead_events_.end());
+  // Remap the live pending_dones_ indices before the positions move: each
+  // drops by the number of dead entries below it (its own entry is never
+  // dead — cancellation erased the PendingDone along with the tombstone).
+  for (auto& p : pending_dones_) {
+    const auto below =
+        std::lower_bound(dead_events_.begin(), dead_events_.end(),
+                         p.event_index) -
+        dead_events_.begin();
+    p.event_index -= static_cast<std::size_t>(below);
+  }
+  std::size_t out = 0, dead = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (dead < dead_events_.size() && dead_events_[dead] == i) {
+      ++dead;
+      continue;
+    }
+    if (out != i) events_[out] = std::move(events_[i]);
+    ++out;
+  }
+  events_.resize(out);
+  dead_events_.clear();
 }
 
 void RisppManager::issue(Cycle now) {
@@ -311,8 +349,10 @@ void RisppManager::issue(Cycle now) {
     cum = cum.plus(step.additional);
     for (std::size_t kind = 0; kind < cum.dimension(); ++kind) {
       while (containers_.committed_atoms()[kind] < cum[kind]) {
-        const auto victim =
-            containers_.choose_victim(plan_.target, now, *replacer_);
+        const auto victim = containers_.choose_victim_with(
+            plan_.target, now, [&](const std::vector<VictimCandidate>& c) {
+              return replacer_.pick(c);
+            });
         if (!victim) return;  // all remaining containers busy or needed;
                               // the next wakeup or forecast event retries
         const auto& vc = containers_.at(*victim);
@@ -320,6 +360,7 @@ void RisppManager::issue(Cycle now) {
         const auto booking =
             rotations_.schedule(now, kind, lib_->catalog(), *victim);
         containers_.start_rotation(*victim, kind, booking.done, step.task);
+        ++state_generation_;  // a new completion point entered the timeline
         // Energy covers the actual transfer window (bandwidth degradation
         // stretches it); identical to the nominal duration when fault-free.
         energy_.add_rotation(booking.done - booking.start);
@@ -341,14 +382,13 @@ void RisppManager::issue(Cycle now) {
             pending_dones_.push_back(
                 {*victim, booking.done, events_.size() - 1});
         }
-        if (cfg_.sink) {
+        if (batch_.enabled()) {
           if (evicted)
-            cfg_.sink->on_event(
-                {.at = now,
-                 .kind = obs::EventKind::AtomEvicted,
-                 .task = step.task,
-                 .container = static_cast<std::int32_t>(*victim),
-                 .atom = static_cast<std::int64_t>(*evicted)});
+            batch_.emit({.at = now,
+                         .kind = obs::EventKind::AtomEvicted,
+                         .task = step.task,
+                         .container = static_cast<std::int32_t>(*victim),
+                         .atom = static_cast<std::int64_t>(*evicted)});
           // The span covers the actual transfer window [start, done) — the
           // hw::ReconfigPort latency — not the queueing delay before it.
           // prev_cycles carries the booking cycle so consumers can separate
@@ -361,12 +401,12 @@ void RisppManager::issue(Cycle now) {
                                 .atom = static_cast<std::int64_t>(kind),
                                 .cycles = booking.done - booking.start,
                                 .prev_cycles = now};
-          cfg_.sink->on_event(span);
+          batch_.emit(span);
           if (booking.result == hw::TransferResult::Ok) {
             obs::Event fin = span;
             fin.at = booking.done;
             fin.kind = obs::EventKind::RotationFinished;
-            cfg_.sink->on_event(fin);
+            batch_.emit(fin);
           }
         }
       }
@@ -388,18 +428,36 @@ RisppManager::ExecResult RisppManager::execute(std::size_t si, Cycle now,
   for (auto& [key, state] : active_)
     if (key.first == si) ++state.observed_executions;
 
+  // Fastest-supported lookup, allocation-free: right after refresh(now) the
+  // incremental usable_atoms() view equals available_atoms(now) (the seed
+  // rebuilt that Molecule per execution), the candidate projections were
+  // precomputed at construction (the seed re-projected every option per
+  // execution), and the winner is memoized on the usable-atom generation —
+  // between rotations the scan reduces to one integer compare.
   const auto& instr = lib_->at(si);
-  const auto loaded = containers_.available_atoms(now);
-  const auto* opt = instr.fastest_supported(loaded, lib_->catalog());
+  auto& cache = exec_cache_[si];
+  const auto generation = containers_.usable_generation();
+  if (!cache.memo_valid || cache.memo_generation != generation) {
+    const auto& usable = containers_.usable_atoms();
+    const ExecOption* best = nullptr;
+    for (const auto& o : cache.options)
+      if (o.projected.leq(usable) &&
+          (!best || o.opt->cycles < best->opt->cycles))
+        best = &o;
+    cache.memo_best = best;
+    cache.memo_generation = generation;
+    cache.memo_valid = true;
+  }
+  const ExecOption* chosen = cache.memo_best;
 
   ExecResult res;
-  if (opt) {
-    res = {opt->cycles, true, opt};
-    energy_.add_execution(opt->cycles, true);
-    containers_.touch(lib_->catalog().project_rotatable(opt->atoms), now);
+  if (chosen) {
+    res = {chosen->opt->cycles, true, chosen->opt};
+    energy_.add_execution(chosen->opt->cycles, true);
+    containers_.touch(chosen->projected, now);
     counters_.bump("si_exec_hw");
     record({.at = now, .kind = RtEvent::Kind::ExecuteHw, .si_index = si,
-            .task = task, .cycles = opt->cycles});
+            .task = task, .cycles = chosen->opt->cycles});
   } else {
     res = {instr.software_cycles(), false, nullptr};
     energy_.add_execution(instr.software_cycles(), false);
@@ -407,25 +465,25 @@ RisppManager::ExecResult RisppManager::execute(std::size_t si, Cycle now,
     record({.at = now, .kind = RtEvent::Kind::ExecuteSw, .si_index = si,
             .task = task, .cycles = instr.software_cycles()});
   }
-  if (cfg_.sink) {
-    cfg_.sink->on_event({.at = now,
-                         .kind = obs::EventKind::SiExecuted,
-                         .task = task,
-                         .si = static_cast<std::int64_t>(si),
-                         .cycles = res.cycles,
-                         .hardware = res.hardware});
+  if (batch_.enabled()) {
+    batch_.emit({.at = now,
+                 .kind = obs::EventKind::SiExecuted,
+                 .task = task,
+                 .si = static_cast<std::int64_t>(si),
+                 .cycles = res.cycles,
+                 .hardware = res.hardware});
     // Upgrade detection is keyed per (SI, task): a task's first execution
     // of an SI is an observation, not an upgrade, even when another task
     // already ran the same SI at a different speed.
     auto& last = last_exec_cycles_[{si, task}];
     if (last != 0 && last != res.cycles)
-      cfg_.sink->on_event({.at = now,
-                           .kind = obs::EventKind::MoleculeUpgraded,
-                           .task = task,
-                           .si = static_cast<std::int64_t>(si),
-                           .cycles = res.cycles,
-                           .prev_cycles = last,
-                           .hardware = res.hardware});
+      batch_.emit({.at = now,
+                   .kind = obs::EventKind::MoleculeUpgraded,
+                   .task = task,
+                   .si = static_cast<std::int64_t>(si),
+                   .cycles = res.cycles,
+                   .prev_cycles = last,
+                   .hardware = res.hardware});
     last = res.cycles;
   }
   return res;

@@ -51,6 +51,21 @@ unsigned RoundRobinReplacement::pick(
 
 namespace {
 
+// Keys whose factory was replaced (or added) through register_*_policy.
+// The built-in entries installed below never pass through the registration
+// functions, so membership here is exactly "no longer the stock builtin" —
+// which is what the devirtualized dispatch must check before bypassing the
+// factory's virtual product.
+std::map<std::string, bool>& selection_overrides() {
+  static std::map<std::string, bool> overridden;
+  return overridden;
+}
+
+std::map<std::string, bool>& replacement_overrides() {
+  static std::map<std::string, bool> overridden;
+  return overridden;
+}
+
 std::map<std::string, SelectionPolicyFactory>& selection_registry() {
   static std::map<std::string, SelectionPolicyFactory> registry = {
       {"greedy",
@@ -90,12 +105,14 @@ void register_selection_policy(const std::string& name,
                                SelectionPolicyFactory factory) {
   RISPP_REQUIRE(static_cast<bool>(factory), "null selection policy factory");
   selection_registry()[name] = std::move(factory);
+  selection_overrides()[name] = true;
 }
 
 void register_replacement_policy(const std::string& name,
                                  ReplacementPolicyFactory factory) {
   RISPP_REQUIRE(static_cast<bool>(factory), "null replacement policy factory");
   replacement_registry()[name] = std::move(factory);
+  replacement_overrides()[name] = true;
 }
 
 std::unique_ptr<SelectionPolicy> make_selection_policy(
@@ -138,6 +155,21 @@ bool selection_policy_registered(const std::string& name) {
 
 bool replacement_policy_registered(const std::string& name) {
   return replacement_registry().count(name) != 0;
+}
+
+SelectionKind selection_policy_kind(const std::string& name) {
+  if (selection_overrides().count(name) != 0) return SelectionKind::Custom;
+  if (name == "greedy") return SelectionKind::Greedy;
+  if (name == "exhaustive") return SelectionKind::Exhaustive;
+  return SelectionKind::Custom;
+}
+
+ReplacementKind replacement_policy_kind(const std::string& name) {
+  if (replacement_overrides().count(name) != 0) return ReplacementKind::Custom;
+  if (name == "lru") return ReplacementKind::Lru;
+  if (name == "mru") return ReplacementKind::Mru;
+  if (name == "round-robin") return ReplacementKind::RoundRobin;
+  return ReplacementKind::Custom;
 }
 
 const char* to_policy_name(VictimPolicy policy) {

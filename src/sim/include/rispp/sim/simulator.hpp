@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,25 @@ const char* to_string(Driving d);
 /// listing the valid spellings otherwise) — grid axes and CLI flags use it.
 Driving parse_driving(const std::string& key);
 
+/// How run() finds the next runnable task. Scheduling order and results are
+/// identical in both modes (rt_stress/sim_sched tests assert it); only the
+/// per-switch cost differs.
+enum class Scheduler {
+  /// Circular doubly-linked ring over the not-yet-finished tasks: picking
+  /// the next task is one link hop and a finished task unlinks in O(1),
+  /// so a task switch costs O(1) regardless of task count. The default.
+  RunnableRing,
+  /// The seed's O(T) behaviour: scan forward from the current slot,
+  /// skipping finished tasks, plus an any_of over all tasks per switch.
+  /// Kept for differential tests and bench/kernel_throughput.
+  LinearScan,
+};
+
+const char* to_string(Scheduler s);
+/// Parses "runnable-ring" / "linear-scan" (throws util::PreconditionError
+/// otherwise).
+Scheduler parse_scheduler(const std::string& key);
+
 struct SimConfig {
   rt::RtConfig rt{};
   /// Round-robin quantum in cycles. Compute intervals are sliced at quantum
@@ -48,6 +68,8 @@ struct SimConfig {
   std::uint64_t quantum = 10000;
   /// Reallocation driving mode (see Driving).
   Driving driving = Driving::Wakeups;
+  /// Task-lookup strategy (see Scheduler); results are identical.
+  Scheduler scheduler = Scheduler::RunnableRing;
 
   /// Deprecated shims for the old bool pair; they rewrite `driving`.
   /// `set_rotation_wakeups(false)` restores the seed's every-switch polling
@@ -129,7 +151,18 @@ class Simulator {
     std::size_t op = 0;              ///< next trace op
     std::uint64_t op_progress = 0;   ///< consumed cycles / SI repetitions
     rt::Cycle busy = 0;              ///< accumulated busy cycles
+    /// One past the last trace op that can consume cycles (an Si, or a
+    /// Compute with cycles > 0) — precomputed by add_task. A scheduled
+    /// quantum consumes cycles iff op < work_end: zero-cost ops (Forecast /
+    /// Release / Label) never end the quantum loop, so a remaining
+    /// cycle-consuming op is always reached within the slice.
+    std::size_t work_end = 0;
     bool done() const { return op >= def.trace.size(); }
+    /// True when the task's next quantum will consume at least one cycle.
+    /// run() suppresses the TaskSwitch event otherwise: the seed recorded
+    /// spurious zero-length TaskSwitch intervals for tasks whose remaining
+    /// trace was pure bookkeeping.
+    bool has_work() const { return op < work_end; }
   };
 
   std::shared_ptr<const isa::SiLibrary> lib_;
@@ -140,6 +173,16 @@ class Simulator {
   /// Last task-switch cycle at which wakeups were checked; a poll fires
   /// when some rotation completed in (wakeup_checked_, now_].
   rt::Cycle wakeup_checked_ = 0;
+  /// Cached next_wakeup(wakeup_checked_) horizon, keyed on the manager's
+  /// state_generation(): while no rotation was booked/cancelled/failed and
+  /// no poll fired, the horizon stays valid as wakeup_checked_ advances —
+  /// no event fell inside the skipped window, so the earliest event after
+  /// the old check cycle is the earliest after the new one too. Turns the
+  /// per-switch next_wakeup() walk (bookings + containers) into one
+  /// generation compare on the common path.
+  std::optional<rt::Cycle> cached_wake_;
+  std::uint64_t wake_generation_ = 0;
+  bool wake_valid_ = false;
 };
 
 }  // namespace rispp::sim

@@ -21,6 +21,21 @@ Driving parse_driving(const std::string& key) {
                                 "' (valid: wakeups, poll-every-switch)");
 }
 
+const char* to_string(Scheduler s) {
+  switch (s) {
+    case Scheduler::RunnableRing: return "runnable-ring";
+    case Scheduler::LinearScan: return "linear-scan";
+  }
+  return "?";
+}
+
+Scheduler parse_scheduler(const std::string& key) {
+  if (key == "runnable-ring") return Scheduler::RunnableRing;
+  if (key == "linear-scan") return Scheduler::LinearScan;
+  throw util::PreconditionError("unknown scheduler '" + key +
+                                "' (valid: runnable-ring, linear-scan)");
+}
+
 const SiStats& SimResult::si(const std::string& name) const {
   const auto it = per_si.find(name);
   RISPP_REQUIRE(it != per_si.end(), "no stats for SI: " + name);
@@ -48,39 +63,98 @@ void Simulator::add_task(TaskDef task) {
         op.kind == TraceOp::Kind::Release)
       RISPP_REQUIRE(op.si_index < lib_->size(),
                     "trace references unknown SI in task " + task.name);
-  tasks_.push_back(TaskState{std::move(task), 0, 0, 0});
+  // Precompute where the cycle-consuming tail of the trace ends (see
+  // TaskState::work_end): run() gates TaskSwitch emission on it.
+  std::size_t work_end = 0;
+  for (std::size_t i = task.trace.size(); i-- > 0;) {
+    const auto& op = task.trace[i];
+    if (op.kind == TraceOp::Kind::Si ||
+        (op.kind == TraceOp::Kind::Compute && op.cycles > 0)) {
+      work_end = i + 1;
+      break;
+    }
+  }
+  tasks_.push_back(TaskState{std::move(task), 0, 0, 0, work_end});
 }
 
 SimResult Simulator::run() {
   SimResult result;
+  // Per-SI stats by index during the run; folded into the name-keyed map at
+  // the end. The seed did a string-keyed map lookup per SI invocation.
+  std::vector<SiStats> si_stats(lib_->size());
+
+  const std::size_t n = tasks_.size();
+  const bool linear = cfg_.scheduler == Scheduler::LinearScan;
+
+  // Runnable-task ring: circular doubly-linked list (index arrays) over the
+  // not-yet-finished tasks, in task-id order — the same round-robin order
+  // the linear scan produces. Advancing is one hop; a finished task unlinks
+  // in O(1). Built fresh per run() (a re-run may start with finished tasks).
+  std::vector<std::size_t> ring_next(n), ring_prev(n);
+  std::size_t runnable = 0;
+  std::size_t head = 0;
+  {
+    std::vector<std::size_t> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (!tasks_[i].done()) ids.push_back(i);
+    runnable = ids.size();
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      ring_next[ids[k]] = ids[(k + 1) % ids.size()];
+      ring_prev[ids[k]] = ids[(k + ids.size() - 1) % ids.size()];
+    }
+    if (!ids.empty()) head = ids.front();
+  }
 
   auto any_running = [&] {
     return std::any_of(tasks_.begin(), tasks_.end(),
                        [](const TaskState& t) { return !t.done(); });
   };
 
-  std::size_t current = 0;
+  std::size_t current = linear ? 0 : head;
   int last_task = -1;
-  while (any_running()) {
-    // Pick the next runnable task, round-robin.
-    while (tasks_[current].done()) current = (current + 1) % tasks_.size();
+  while (linear ? any_running() : runnable > 0) {
+    // Pick the next runnable task, round-robin. The ring is already parked
+    // on one; the legacy mode scans forward over finished tasks.
+    if (linear)
+      while (tasks_[current].done()) current = (current + 1) % tasks_.size();
     TaskState& task = tasks_[current];
     const int task_id = static_cast<int>(current);
-    if (cfg_.rt.sink && task_id != last_task)
-      cfg_.rt.sink->on_event({.at = now_,
-                              .kind = obs::EventKind::TaskSwitch,
-                              .task = task_id});
-    last_task = task_id;
+    // Announce the switch only when this quantum will consume cycles: a
+    // task whose remaining trace is pure bookkeeping (forecasts, releases,
+    // labels) finishes inside this slice without occupying the core, and
+    // the seed's zero-length TaskSwitch record for it mis-attributed an
+    // empty interval. A suppressed switch leaves last_task alone, so the
+    // stream reads as if the previous task ran straight through. Routed
+    // through the manager's emission batch to keep one ordered stream.
+    if (task_id != last_task && task.has_work()) {
+      manager_.emit_host_event({.at = now_,
+                                .kind = obs::EventKind::TaskSwitch,
+                                .task = task_id});
+      last_task = task_id;
+    }
 
     // Wakeup-driven reallocation retry: between rotation completions a poll
     // cannot change the platform state (victims unblock only when a
     // transfer finishes; committed atoms change only inside the manager),
-    // so only poll when a completion landed since the last check.
+    // so only poll when a completion landed since the last check. The
+    // horizon itself is cached against the manager's state generation (see
+    // cached_wake_) instead of recomputed every switch.
     if (cfg_.driving == Driving::PollEverySwitch) {
       manager_.poll(now_);
     } else {
-      const auto wake = manager_.next_wakeup(wakeup_checked_);
-      if (wake && *wake <= now_) manager_.poll(now_);
+      const auto generation = manager_.state_generation();
+      if (!wake_valid_ || wake_generation_ != generation) {
+        cached_wake_ = manager_.next_wakeup(wakeup_checked_);
+        wake_generation_ = generation;
+        wake_valid_ = true;
+      }
+      if (cached_wake_ && *cached_wake_ <= now_) {
+        manager_.poll(now_);
+        // The poll may book or cancel rotations and wakeup_checked_ moves
+        // past the cached horizon — recompute at the next switch.
+        wake_valid_ = false;
+      }
       wakeup_checked_ = now_;
     }
 
@@ -107,7 +181,7 @@ SimResult Simulator::run() {
           now_ += exec.cycles;
           task.busy += exec.cycles;
           budget -= std::min<std::uint64_t>(budget, exec.cycles);
-          auto& stats = result.per_si[lib_->at(op.si_index).name()];
+          auto& stats = si_stats[op.si_index];
           ++stats.invocations;
           exec.hardware ? ++stats.hw_invocations : ++stats.sw_invocations;
           stats.total_cycles += exec.cycles;
@@ -132,14 +206,30 @@ SimResult Simulator::run() {
           break;
       }
     }
-    current = (current + 1) % tasks_.size();
+
+    if (linear) {
+      current = (current + 1) % tasks_.size();
+    } else {
+      const std::size_t following = ring_next[current];
+      if (task.done()) {
+        --runnable;
+        ring_next[ring_prev[current]] = following;
+        ring_prev[following] = ring_prev[current];
+      }
+      current = following;
+    }
   }
 
   result.total_cycles = now_;
   for (const auto& t : tasks_) result.task_cycles[t.def.name] = t.busy;
+  for (std::size_t i = 0; i < si_stats.size(); ++i)
+    if (si_stats[i].invocations > 0)
+      result.per_si[lib_->at(i).name()] = si_stats[i];
   result.rt_events = manager_.events();
   result.rotations = manager_.rotations_performed();
   manager_.poll(now_);  // settle leakage integration up to the end of time
+  manager_.flush_events();  // batched emissions reach the sink before return
+  wake_valid_ = false;      // the settle poll moved the scheduling state
   const auto& e = manager_.energy();
   result.energy_execution_nj = e.execution_nj();
   result.energy_rotation_nj = e.rotation_nj();

@@ -194,6 +194,10 @@ TEST(MoleculeUpgrade, FirstObservationOfAnotherTaskIsNotAnUpgrade) {
   EXPECT_FALSE(mgr.execute(xa, now, /*task=*/1).hardware);   // task 1, first
   EXPECT_FALSE(mgr.execute(xa, now + 10, /*task=*/0).hardware);  // task 0
 
+  // Emissions are batched (obs::EventBatch): hosts reading the sink between
+  // reallocation boundaries flush first.
+  mgr.flush_events();
+
   unsigned task0_upgrades = 0, task1_upgrades = 0;
   for (const auto& e : recorder.events()) {
     if (e.kind != rispp::obs::EventKind::MoleculeUpgraded) continue;

@@ -283,6 +283,142 @@ TEST_F(Manager, InFlightTransferIsNeverCancelled) {
   EXPECT_EQ(mgr.rotations_cancelled(), 0u);
 }
 
+TEST_F(Manager, LoadedSlicesMatchesRecomputeWalk) {
+  // loaded_slices() is maintained incrementally (the seed walked every
+  // container with a catalog lookup apiece, on every energy sample); the
+  // walk stays the ground truth, so recompute it at every lifecycle stage.
+  RtConfig cfg = fast_config();
+  cfg.atom_containers = 6;
+  RisppManager mgr(borrow(lib_), cfg);
+
+  const auto recompute = [&] {
+    std::uint64_t slices = 0;
+    const auto& file = mgr.containers();
+    for (unsigned i = 0; i < file.size(); ++i) {
+      const auto& ac = file.at(i);
+      const auto kind = ac.loading ? ac.loading : ac.atom;
+      if (kind) slices += lib_.catalog().at(*kind).hardware.slices;
+    }
+    return slices;
+  };
+
+  EXPECT_EQ(mgr.loaded_slices(), recompute());  // fresh: nothing loaded
+  EXPECT_EQ(mgr.loaded_slices(), 0u);
+
+  mgr.forecast(satd_, 5000, 1.0, 0);  // transfers queued / in flight
+  EXPECT_EQ(mgr.loaded_slices(), recompute());
+  EXPECT_GT(mgr.loaded_slices(), 0u);
+
+  const Cycle warm = 500000;
+  ASSERT_TRUE(mgr.execute(satd_, warm).hardware);  // all promoted
+  EXPECT_EQ(mgr.loaded_slices(), recompute());
+
+  // Demand shift evicts SATD's excess atoms in favour of DCT.
+  mgr.forecast_release(satd_, warm);
+  mgr.forecast(dct_, 5000, 1.0, warm);
+  EXPECT_EQ(mgr.loaded_slices(), recompute());
+
+  const Cycle warm2 = warm + 600000;
+  ASSERT_TRUE(mgr.execute(dct_, warm2).hardware);
+  EXPECT_EQ(mgr.loaded_slices(), recompute());
+
+  mgr.forecast_release(dct_, warm2);
+  mgr.poll(warm2 + 1);
+  EXPECT_EQ(mgr.loaded_slices(), recompute());
+}
+
+TEST_F(Manager, UsableAtomsMatchesAvailableRecompute) {
+  // The execute hot path trusts the incrementally-maintained usable_atoms()
+  // instead of recomputing available_atoms(now); right after a refresh the
+  // two must be the same multiset, at every stage of the lifecycle.
+  RtConfig cfg = fast_config();
+  cfg.atom_containers = 6;
+  RisppManager mgr(borrow(lib_), cfg);
+
+  const auto check = [&](Cycle now) {
+    // available_atoms() refreshes to `now`, then the incremental view must
+    // agree with it exactly (Molecule has defaulted equality).
+    const auto recomputed = mgr.available_atoms(now);
+    EXPECT_TRUE(recomputed == mgr.containers().usable_atoms())
+        << "incremental usable view diverged at cycle " << now;
+  };
+
+  check(0);
+  mgr.forecast(satd_, 5000, 1.0, 0);
+  // Sample across the transfer completions (one lands every ~90k cycles).
+  for (Cycle t = 0; t <= 600000; t += 30000) check(t);
+  mgr.forecast_release(satd_, 600001);
+  mgr.forecast(dct_, 5000, 1.0, 600001);
+  for (Cycle t = 600002; t <= 1300000; t += 30000) check(t);
+}
+
+TEST_F(Manager, EventCompactionIsInvisibleToReaders) {
+  // A cancelled rotation tombstones its pre-recorded RotationDone event
+  // instead of the seed's O(n) mid-vector erase; compaction happens lazily
+  // inside events(), remapping the surviving pending-done indices. Reading
+  // mid-stream — which compacts while later cancellations still reference
+  // events recorded after the holes — must yield exactly the same final
+  // trace as never reading until the end.
+  RtConfig cfg = fast_config();
+  cfg.cancel_stale_rotations = true;
+  const auto ht4 = lib_.index_of("HT_4x4");
+
+  RisppManager observed(borrow(lib_), cfg);  // events() read between waves
+  RisppManager control(borrow(lib_), cfg);   // events() read once at the end
+  const auto drive_wave1 = [&](RisppManager& mgr) {
+    mgr.forecast(satd_, 1000, 1.0, 0);
+    mgr.forecast_release(satd_, 10);  // strands 3 queued SATD transfers
+    mgr.forecast(ht4, 1'000'000, 1.0, 10);
+  };
+  const auto drive_wave2 = [&](RisppManager& mgr) {
+    // The port is still busy with the first SATD transfer, so HT_4x4's
+    // bookings are all queued — releasing it strands them in turn.
+    mgr.forecast_release(ht4, 20);
+    mgr.forecast(satd_, 1000, 1.0, 20);
+    (void)mgr.execute(satd_, 900000);
+    mgr.poll(2'000'000);
+  };
+
+  drive_wave1(observed);
+  drive_wave1(control);
+  const auto wave1_cancels = observed.rotations_cancelled();
+  ASSERT_GT(wave1_cancels, 0u);
+  // Mid-stream read: compacts wave 1's tombstones while the pending dones
+  // booked after them (HT_4x4's) still need their indices remapped for
+  // wave 2's cancellations to hit the right events.
+  const auto mid_size = observed.events().size();
+  EXPECT_GT(mid_size, 0u);
+
+  drive_wave2(observed);
+  drive_wave2(control);
+  ASSERT_GT(observed.rotations_cancelled(), wave1_cancels);
+
+  const auto& a = observed.events();
+  const auto& b = control.events();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at) << "event " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].si_index, b[i].si_index) << "event " << i;
+    EXPECT_EQ(a[i].atom_kind, b[i].atom_kind) << "event " << i;
+    EXPECT_EQ(a[i].container, b[i].container) << "event " << i;
+    EXPECT_EQ(a[i].task, b[i].task) << "event " << i;
+    EXPECT_EQ(a[i].cycles, b[i].cycles) << "event " << i;
+  }
+
+  // The structural invariant the tombstones must preserve: every surviving
+  // RotationStart pairs with a completion, every cancellation dropped one.
+  std::uint64_t starts = 0, dones = 0, cancels = 0;
+  for (const auto& e : a) {
+    if (e.kind == RtEvent::Kind::RotationStart) ++starts;
+    if (e.kind == RtEvent::Kind::RotationDone) ++dones;
+    if (e.kind == RtEvent::Kind::RotationCancelled) ++cancels;
+  }
+  EXPECT_EQ(cancels, observed.rotations_cancelled());
+  EXPECT_EQ(dones, observed.rotations_performed());
+  EXPECT_EQ(starts, dones + cancels);
+}
+
 TEST_F(Manager, ForecastValidation) {
   RisppManager mgr(borrow(lib_), fast_config());
   EXPECT_THROW(mgr.forecast(99, 10, 1.0, 0), rispp::util::PreconditionError);

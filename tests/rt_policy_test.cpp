@@ -148,6 +148,54 @@ TEST_F(Policies, ExhaustiveSelectorPlansStepsReachingItsTarget) {
   }
 }
 
+TEST_F(Policies, PolicyKindTracksOverrides) {
+  // The devirtualized dispatch may only bypass the factory's virtual
+  // product while the key still means the stock builtin. Custom keys — and
+  // builtin names that have been re-registered — must report Custom so the
+  // dispatch falls back to whatever the factory produces.
+  EXPECT_EQ(selection_policy_kind("exhaustive"), SelectionKind::Exhaustive);
+  EXPECT_EQ(replacement_policy_kind("lru"), ReplacementKind::Lru);
+  EXPECT_EQ(replacement_policy_kind("mru"), ReplacementKind::Mru);
+  EXPECT_EQ(replacement_policy_kind("round-robin"),
+            ReplacementKind::RoundRobin);
+  EXPECT_EQ(selection_policy_kind("no-such-policy"), SelectionKind::Custom);
+  EXPECT_EQ(replacement_policy_kind("no-such-policy"),
+            ReplacementKind::Custom);
+  // Freshly registered custom keys are Custom (tests run one-per-process
+  // under gtest_discover_tests, so register here rather than relying on
+  // CustomRegistrationIsConstructible having run).
+  register_selection_policy("kind-test-selector", [](const auto& lib) {
+    return std::make_unique<GreedySelector>(lib);
+  });
+  register_replacement_policy(
+      "kind-test-replacer", [] { return std::make_unique<LruReplacement>(); });
+  EXPECT_EQ(selection_policy_kind("kind-test-selector"),
+            SelectionKind::Custom);
+  EXPECT_EQ(replacement_policy_kind("kind-test-replacer"),
+            ReplacementKind::Custom);
+
+  // Re-registering a builtin name demotes it: even a behaviour-identical
+  // replacement factory must reach the manager through the virtual seam,
+  // since the concrete type behind the key is no longer known. (This
+  // demotion is process-global, which is why the test checks "greedy" last
+  // and re-registers the stock factory semantics.)
+  EXPECT_EQ(selection_policy_kind("greedy"), SelectionKind::Greedy);
+  register_selection_policy("greedy", [](const auto& lib) {
+    return std::make_unique<GreedySelector>(lib);
+  });
+  EXPECT_EQ(selection_policy_kind("greedy"), SelectionKind::Custom);
+
+  // A default-configured manager still works end to end on the demoted key:
+  // same GreedySelector behaviour, now via the fallback dispatch arm.
+  RtConfig cfg;
+  cfg.atom_containers = 6;
+  RisppManager mgr(borrow(lib_), cfg);
+  EXPECT_EQ(mgr.selection_policy().name(), "greedy");
+  mgr.forecast(lib_.index_of("SATD_4x4"), 5000, 1.0, 0);
+  EXPECT_GT(mgr.rotations_performed(), 0u);
+  EXPECT_TRUE(mgr.execute(lib_.index_of("SATD_4x4"), 10'000'000).hardware);
+}
+
 TEST_F(Policies, ManagerRotatesUnderExhaustiveSelection) {
   RtConfig cfg;
   cfg.atom_containers = 6;
