@@ -1,6 +1,7 @@
-/// sweep_scaling — engine-vs-legacy batch throughput on the Fig-13 grid.
+/// sweep_scaling — engine-vs-legacy batch throughput on the Fig-13 grid,
+/// plus streaming-vs-materialized memory behaviour on a large grid.
 ///
-/// The grid is the fig13_pareto sweep: SI × atom budget 0..16 over the
+/// Part 1 grid is the fig13_pareto sweep: SI × atom budget 0..16 over the
 /// H.264 library (68 points). Two ways to run it:
 ///
 ///   legacy serial — the seed workflow: every point re-parses the SI
@@ -10,12 +11,18 @@
 ///   engine        — exp::Runner over one immutable Platform snapshot,
 ///     built (parsed) exactly once, at 1/2/4/8 workers.
 ///
-/// Reported honestly: the JSON records hardware_concurrency — on a
-/// single-core host the worker counts cannot add parallel speed-up, and the
-/// engine's gain over the legacy baseline comes from building the platform
-/// once instead of per point (which is precisely the sharing the session
-/// API redesign enables). Per-point results must be byte-identical across
-/// the legacy run and every worker count; any mismatch fails the bench.
+/// Part 2 scales the same evaluator to ~10^5 points (si × budget × rep) and
+/// runs the sink-driven engine twice: once into a StreamingAggregator
+/// (resident rows bounded by the reorder window) and once materializing the
+/// full ResultTable — the pre-sink behaviour. Reported: wall time, rows/s,
+/// resident rows, and getrusage peak RSS. ru_maxrss is a process-lifetime
+/// high-water mark, so the streaming pass runs FIRST; the materialized
+/// pass's reading then shows the growth the table itself forces. Aggregates
+/// from both passes must agree, and the fig13 part must stay byte-identical
+/// across the legacy run and every worker count; any mismatch fails the
+/// bench.
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +35,7 @@
 
 #include "rispp/exp/platform.hpp"
 #include "rispp/exp/runner.hpp"
+#include "rispp/exp/sink.hpp"
 #include "rispp/isa/io.hpp"
 #include "rispp/util/error.hpp"
 #include "rispp/util/table.hpp"
@@ -66,6 +74,28 @@ double best_of(int reps, const std::function<double()>& run_ms) {
   double best = run_ms();
   for (int i = 1; i < reps; ++i) best = std::min(best, run_ms());
   return best;
+}
+
+/// Process-lifetime peak RSS in KiB (Linux ru_maxrss units). Monotonic:
+/// only meaningful as "did this phase push the high-water mark up".
+long peak_rss_kib() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
+/// The large grid for part 2: fig13's axes times a `rep` axis, ~10^5
+/// points, still evaluated by the cheap pure-ISA lookup (the point is to
+/// measure the engine's row handling, not the simulator).
+rispp::exp::Sweep large_sweep(const rispp::isa::SiLibrary& lib,
+                              std::size_t reps_axis) {
+  auto sweep = fig13_sweep(lib);
+  std::vector<std::string> reps;
+  reps.reserve(reps_axis);
+  for (std::size_t r = 0; r < reps_axis; ++r)
+    reps.push_back(std::to_string(r));
+  sweep.axis("rep", std::move(reps));
+  return sweep;
 }
 
 }  // namespace
@@ -132,6 +162,57 @@ int main(int argc, char** argv) try {
     });
   }
 
+  // --- part 2: streaming vs materialized on ~10^5 points ---------------
+  // One pass each (the grid is big enough that best-of-N would only smooth
+  // noise part 1 already characterizes). Streaming runs first: ru_maxrss
+  // never goes down, so this ordering keeps its reading untainted by the
+  // table the materialized pass is about to allocate.
+  const auto platform = rispp::exp::Platform::make(
+      rispp::isa::parse_si_library(library_text), "h264");
+  const auto big = large_sweep(platform->library(), 1500);
+  const auto big_points = big.size();
+  const auto eval = [](const rispp::exp::Platform& p,
+                       const rispp::exp::SweepPoint& pt) {
+    return eval_point(p.library(), pt);
+  };
+  const rispp::exp::Runner big_runner(platform, {4});
+
+  rispp::exp::StreamingAggregator streaming_agg;
+  rispp::exp::RunStats streaming_stats;
+  const long rss_before_kib = peak_rss_kib();
+  const auto s0 = Clock::now();
+  {
+    rispp::exp::Runner::RunOptions opts;
+    opts.stats = &streaming_stats;
+    big_runner.run(big, eval, streaming_agg, opts);
+  }
+  const double streaming_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - s0).count();
+  const long rss_streaming_kib = peak_rss_kib();
+
+  rispp::exp::ResultTable big_table;
+  rispp::exp::TableSink big_table_sink(big_table);
+  rispp::exp::StreamingAggregator materialized_agg;
+  std::vector<rispp::exp::ResultSink*> both{&big_table_sink,
+                                            &materialized_agg};
+  rispp::exp::MultiSink materialized_sink(both);
+  rispp::exp::RunStats materialized_stats;
+  const auto m0 = Clock::now();
+  {
+    rispp::exp::Runner::RunOptions opts;
+    opts.stats = &materialized_stats;
+    big_runner.run(big, eval, materialized_sink, opts);
+  }
+  const double materialized_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - m0).count();
+  const long rss_materialized_kib = peak_rss_kib();
+
+  RISPP_REQUIRE(streaming_agg.summary_json() ==
+                    materialized_agg.summary_json(),
+                "streaming and materialized aggregates diverged");
+  RISPP_REQUIRE(big_table.size() == big_points,
+                "materialized table dropped rows");
+
   const unsigned hc = std::thread::hardware_concurrency();
   TextTable t{"mode", "wall [ms]", "speed-up vs legacy serial"};
   t.set_title("Sweep scaling on the Fig-13 grid (68 points, best of " +
@@ -146,7 +227,26 @@ int main(int argc, char** argv) try {
   std::cout << t.str();
   std::cout << "(per-point results byte-identical across all modes; on a "
                "single-core host the engine's gain is snapshot amortization, "
-               "not parallelism)\n";
+               "not parallelism)\n\n";
+
+  TextTable t2{"sink", "wall [ms]", "rows/s", "resident rows",
+               "peak RSS [KiB]"};
+  t2.set_title("Streaming vs materialized on " + std::to_string(big_points) +
+               " points (4 workers, reorder window " +
+               std::to_string(streaming_stats.reorder_window) + ")");
+  t2.add_row({"streaming aggregator", TextTable::num(streaming_ms, 2),
+              TextTable::num(big_points / (streaming_ms / 1000.0), 0),
+              std::to_string(streaming_stats.max_reorder_buffered),
+              std::to_string(rss_streaming_kib)});
+  t2.add_row({"materialized table", TextTable::num(materialized_ms, 2),
+              TextTable::num(big_points / (materialized_ms / 1000.0), 0),
+              std::to_string(big_table.size()),
+              std::to_string(rss_materialized_kib)});
+  std::cout << t2.str();
+  std::cout << "(peak RSS is the process-lifetime high-water mark — the "
+               "streaming pass ran first, so the materialized row shows the "
+               "growth the full table forces on top of it; aggregates from "
+               "both passes are byte-identical)\n";
 
   std::ofstream json(out_path);
   json << "{\n"
@@ -164,7 +264,25 @@ int main(int argc, char** argv) try {
     json << (w ? ", " : "") << "\"jobs_" << worker_counts[w]
          << "\": " << legacy_ms / engine_ms[w];
   json << "},\n"
-       << "  \"per_point_results_byte_identical\": true\n"
+       << "  \"per_point_results_byte_identical\": true,\n"
+       << "  \"streaming_vs_materialized\": {\n"
+       << "    \"grid_points\": " << big_points << ",\n"
+       << "    \"jobs\": 4,\n"
+       << "    \"reorder_window\": " << streaming_stats.reorder_window
+       << ",\n"
+       << "    \"streaming\": {\"wall_ms\": " << streaming_ms
+       << ", \"rows_per_s\": " << big_points / (streaming_ms / 1000.0)
+       << ", \"resident_rows\": " << streaming_stats.max_reorder_buffered
+       << ", \"peak_rss_kib\": " << rss_streaming_kib << "},\n"
+       << "    \"materialized\": {\"wall_ms\": " << materialized_ms
+       << ", \"rows_per_s\": " << big_points / (materialized_ms / 1000.0)
+       << ", \"resident_rows\": " << big_table.size()
+       << ", \"peak_rss_kib\": " << rss_materialized_kib << "},\n"
+       << "    \"baseline_rss_kib\": " << rss_before_kib << ",\n"
+       << "    \"note\": \"ru_maxrss is monotonic; streaming ran first so "
+          "its peak excludes the table the materialized pass allocates\",\n"
+       << "    \"aggregates_byte_identical\": true\n"
+       << "  }\n"
        << "}\n";
   std::cout << "Wrote " << out_path << "\n";
   return 0;

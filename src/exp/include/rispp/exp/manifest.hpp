@@ -1,0 +1,111 @@
+#pragma once
+/// \file manifest.hpp
+/// \brief Sweep shard manifests: the JSONL spill / checkpoint / shard-output
+/// format, and the merge that reassembles shards into the single-process
+/// table (docs/FORMATS.md §7).
+///
+/// One file serves all three roles. Line 1 is a versioned header object
+/// ("rispp.sweep_shard", written with the obs::json writer) identifying the
+/// plan — spec string, fingerprint, base seed, total point count, shard
+/// view, platform and evaluator ids. Every following line is one completed
+/// row, appended and flushed as the Runner delivers it, so after a kill the
+/// file is a valid prefix: a torn final line (no trailing newline, or a
+/// partial token) is detected and dropped on read, and `--resume` simply
+/// re-evaluates whatever is missing.
+///
+/// Determinism contract: rows are pure functions of (plan, point index), so
+/// `merge_manifests` over any shard partition — any shard count, any
+/// `--jobs`, any kill/resume history — rebuilds a ResultTable whose CSV and
+/// JSON renderings are byte-identical to one single-process run. The merge
+/// cross-checks every row's seed against the plan fingerprint's base seed
+/// and refuses rows from foreign plans or conflicting duplicates.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rispp/exp/result_table.hpp"
+#include "rispp/exp/sink.hpp"
+#include "rispp/exp/sweep.hpp"
+
+namespace rispp::exp {
+
+/// The header line of a shard manifest. `grid`/`platform`/`evaluator` are
+/// informative labels; compatibility between shards (and between a manifest
+/// and a `--resume` plan) is judged on fingerprint + base_seed +
+/// total_points.
+struct ManifestHeader {
+  std::string grid;            ///< Sweep::spec() of the plan
+  std::uint64_t fingerprint = 0;  ///< Sweep::fingerprint()
+  std::uint64_t base_seed = 1;
+  std::size_t total_points = 0;  ///< full plan, not this shard's share
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::string platform;   ///< Platform::name()
+  std::string evaluator;  ///< evaluator id, e.g. kSimEvaluatorId
+
+  /// Header describing `sweep`'s current view.
+  static ManifestHeader for_sweep(const Sweep& sweep, std::string platform,
+                                  std::string evaluator);
+  /// True when rows written under the two headers may be combined.
+  bool compatible_with(const ManifestHeader& other) const;
+};
+
+/// A parsed manifest file.
+struct Manifest {
+  ManifestHeader header;
+  std::vector<ResultRow> rows;  ///< file order (ascending per run segment)
+  bool torn_tail = false;       ///< a partial trailing line was dropped
+  /// Size of the valid prefix in bytes (= file size unless torn_tail).
+  /// Resume MUST truncate the file here before appending — appending after
+  /// a torn partial line would fuse two rows into one malformed line.
+  std::size_t valid_bytes = 0;
+  std::string path;  ///< where it was read from (for messages)
+
+  /// Bitmask over global point indices: true = row present.
+  std::vector<bool> completed() const;
+};
+
+/// A ResultSink that appends one JSON line per row and flushes it — the
+/// spill sink, shard output and checkpoint all at once. In append mode the
+/// header line is *not* rewritten (the resume path continues an existing
+/// file); otherwise the file is truncated and the header written first.
+class ManifestWriter : public ResultSink {
+ public:
+  ManifestWriter(const std::string& path, const ManifestHeader& header,
+                 bool append = false);
+
+  void on_row(const ResultRow& row) override;
+  void finish() override;
+
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_written_ = 0;
+};
+
+/// Serialized forms (one line, no trailing newline) — exposed for tests.
+std::string manifest_header_line(const ManifestHeader& header);
+std::string manifest_row_line(const ResultRow& row);
+
+/// Reads a manifest file. A torn final line is dropped (torn_tail = true);
+/// malformed interior lines or an unknown schema/version throw.
+Manifest read_manifest(const std::string& path);
+
+/// Merges shard manifests into one table. Validates that all headers are
+/// compatible, that every row's seed matches the plan's derived seed, that
+/// duplicate points (overlapping shards, resumed runs) carry identical
+/// rows, and — unless `allow_partial` — that points 0..total-1 are all
+/// present (throwing with the missing indices). Rows are added in ascending
+/// point order, so the table renders byte-identically to a single-process
+/// run.
+ResultTable merge_manifests(const std::vector<Manifest>& manifests,
+                            bool allow_partial = false);
+
+/// Convenience: read_manifest over each path, then merge.
+ResultTable merge_manifest_files(const std::vector<std::string>& paths,
+                                 bool allow_partial = false);
+
+}  // namespace rispp::exp

@@ -32,7 +32,9 @@ struct ResultRow {
 class ResultTable {
  public:
   /// Inserts a row keeping the table sorted by point index. Duplicate point
-  /// indices throw.
+  /// indices throw. Ascending-order adds (the sink-driven Runner's delivery
+  /// order) are O(1) appends; out-of-order adds fall back to an O(n) sorted
+  /// insert.
   void add(ResultRow row);
 
   const std::vector<ResultRow>& rows() const { return rows_; }

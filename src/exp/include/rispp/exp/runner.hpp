@@ -1,21 +1,29 @@
 #pragma once
 /// \file runner.hpp
-/// \brief The parallel sweep executor: a fixed-size worker pool with work
-/// stealing, evaluating sweep points against a shared immutable Platform.
+/// \brief The parallel sweep executor: a worker pool that streams completed
+/// rows into a ResultSink in deterministic point order.
 ///
 /// Threading model — the whole reason the session API moved to
 /// `shared_ptr<const>`: every worker thread builds its *own* Simulator /
 /// RisppManager from the one shared Platform snapshot; mutable state is
-/// strictly thread-local, the shared state is strictly immutable. Results
-/// land in pre-sized per-point slots (no ordering races), so the assembled
-/// ResultTable is byte-identical at any worker count (pinned by tests and
-/// bench/sweep_scaling).
+/// strictly thread-local, the shared state is strictly immutable.
 ///
-/// Scheduling: points are dealt round-robin into per-worker deques; a worker
-/// pops from the front of its own deque and, when empty, steals from the
-/// back of its neighbours'. The first exception cancels the remaining points
-/// and is rethrown on the caller's thread.
+/// Streaming model (the v2 engine): workers claim points from an ordered
+/// ticket counter and deliver rows through a bounded reorder buffer, so the
+/// sink observes rows in strictly ascending point order no matter which
+/// worker finished first — memory stays O(reorder window), not O(points),
+/// and an aggregating sink's floating-point folds are identical at any
+/// `--jobs`. Backpressure lives at the *claim* gate: a worker does not start
+/// point k until fewer than `reorder_window` rows separate it from the next
+/// row the sink is owed. The worker holding that next row is always past the
+/// gate, so the pipeline cannot deadlock; everyone else parks until the
+/// window slides.
+///
+/// The first evaluator exception cancels outstanding points, joins every
+/// worker, and is rethrown on the caller's thread; the sink's `finish()` is
+/// *not* called, so spill files remain valid prefixes of a complete run.
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
@@ -24,6 +32,7 @@
 
 #include "rispp/exp/platform.hpp"
 #include "rispp/exp/result_table.hpp"
+#include "rispp/exp/sink.hpp"
 #include "rispp/exp/sweep.hpp"
 
 namespace rispp::exp {
@@ -41,6 +50,25 @@ struct RunnerConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency(). 1 evaluates
   /// inline on the calling thread (no pool).
   unsigned jobs = 1;
+  /// Reorder-buffer capacity in rows — the engine's only O(window) row
+  /// storage. 0 = max(8, 4 * jobs). Must cover at least the worker count;
+  /// smaller values are clamped up.
+  std::size_t reorder_window = 0;
+};
+
+/// What a run actually did — the checkpoint/resume and bounded-memory
+/// contracts are asserted against these numbers.
+struct RunStats {
+  /// Points this run was asked to evaluate (the sweep view minus any
+  /// `completed` skips, before the `max_points` cap).
+  std::size_t points_total = 0;
+  /// Points actually evaluated and delivered to the sink.
+  std::size_t points_evaluated = 0;
+  /// High-water mark of rows buffered for reordering — bounded by the
+  /// resolved reorder window, never by the point count.
+  std::size_t max_reorder_buffered = 0;
+  /// The resolved window (after defaulting/clamping).
+  std::size_t reorder_window = 0;
 };
 
 class Runner {
@@ -48,9 +76,29 @@ class Runner {
   explicit Runner(std::shared_ptr<const Platform> platform,
                   RunnerConfig cfg = {});
 
-  /// Evaluates every point of the sweep and returns the aggregated table:
-  /// one row per point (index order), cells = point parameters then the
-  /// evaluator's metrics.
+  struct RunOptions {
+    /// When set, global point indices marked true are skipped (already
+    /// evaluated — the resume path). Size must be >= the sweep's
+    /// total_points().
+    const std::vector<bool>* completed = nullptr;
+    /// Evaluate at most this many points, in view order, then return
+    /// normally with a partial run (0 = no cap). Exists to exercise the
+    /// kill/resume path deterministically: the sink sees a clean prefix,
+    /// exactly as if the process had died after that many checkpoints.
+    std::size_t max_points = 0;
+    RunStats* stats = nullptr;  ///< filled when non-null
+  };
+
+  /// Evaluates the sweep view (its shard's points, minus `completed`),
+  /// streaming rows into `sink` in ascending global point order. Cells per
+  /// row: point parameters first, then the evaluator's metrics. Calls
+  /// `sink.finish()` on success (including the max_points partial case).
+  void run(const Sweep& sweep, const PointFn& fn, ResultSink& sink,
+           const RunOptions& opts) const;
+  void run(const Sweep& sweep, const PointFn& fn, ResultSink& sink) const;
+
+  /// Convenience: run into a TableSink and return the aggregated table —
+  /// the materialize-all behaviour as one sink among several.
   ResultTable run(const Sweep& sweep, const PointFn& fn) const;
 
   const Platform& platform() const { return *platform_; }
@@ -63,6 +111,7 @@ class Runner {
  private:
   std::shared_ptr<const Platform> platform_;
   unsigned jobs_ = 1;
+  std::size_t reorder_window_ = 0;
 };
 
 }  // namespace rispp::exp

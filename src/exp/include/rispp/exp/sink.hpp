@@ -1,0 +1,128 @@
+#pragma once
+/// \file sink.hpp
+/// \brief The ResultSink seam: where sweep results *stream* instead of
+/// *accumulate*.
+///
+/// `Runner::run` used to materialize one ResultRow slot per point and
+/// assemble a full ResultTable at the end — memory linear in grid size, and
+/// an interrupted sweep lost everything. It now feeds a ResultSink as points
+/// complete: the Runner guarantees `on_row` is called with rows in strictly
+/// ascending global point-index order (a bounded reorder buffer puts
+/// out-of-order worker completions back in sequence) and never concurrently,
+/// so sinks need no locking and deterministic folds (floating-point means,
+/// percentile sketches, incremental file writes) produce identical bytes at
+/// any worker count. `finish` fires exactly once after the last row of a
+/// successful run — not when the evaluator throws.
+///
+/// Implementations here: TableSink (the old materialize-everything
+/// behaviour, now just one sink among several), StreamingAggregator
+/// (bounded-memory per-metric statistics — O(metrics), not O(points)),
+/// CsvSpillSink (incremental CSV rows), and MultiSink (fan-out).
+/// exp/manifest.hpp adds ManifestWriter, the JSONL spill/checkpoint sink.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rispp/exp/result_table.hpp"
+#include "rispp/util/stats.hpp"
+
+namespace rispp::exp {
+
+/// Receives completed sweep rows, in ascending point order, one at a time.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  /// One completed point. Rows arrive in strictly ascending `row.point`
+  /// order; calls are serialized by the Runner.
+  virtual void on_row(const ResultRow& row) = 0;
+  /// Called once after the last row of a successful run. Not called when
+  /// the run throws — partial spill files stay valid prefixes instead.
+  virtual void finish() {}
+};
+
+/// The classic behaviour as a sink: collects every row into a ResultTable.
+class TableSink : public ResultSink {
+ public:
+  explicit TableSink(ResultTable& out) : out_(out) {}
+  void on_row(const ResultRow& row) override { out_.add(row); }
+
+ private:
+  ResultTable& out_;
+};
+
+/// Fans one row stream out to several sinks, in the order given.
+class MultiSink : public ResultSink {
+ public:
+  explicit MultiSink(std::vector<ResultSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+  void on_row(const ResultRow& row) override {
+    for (auto* s : sinks_) s->on_row(row);
+  }
+  void finish() override {
+    for (auto* s : sinks_) s->finish();
+  }
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+/// Bounded-memory streaming statistics over the numeric metric cells:
+/// per metric count / mean / min / max (exact, via util::Accumulator) and
+/// p50/p90/p99 *sketches* (util::LogHistogram over the rounded value —
+/// power-of-two bucket brackets, docs/FORMATS.md §7). Holds one fixed-size
+/// accumulator per metric column and zero rows; because rows arrive in
+/// deterministic point order, the floating-point folds — and therefore
+/// summary_json()'s bytes — are identical at any worker or shard count.
+///
+/// Non-numeric cells (axis values like workload=enc) are skipped and
+/// counted per metric; negative values fold into the accumulator but not
+/// the (non-negative) sketch.
+class StreamingAggregator : public ResultSink {
+ public:
+  void on_row(const ResultRow& row) override;
+
+  std::size_t rows() const { return rows_; }
+
+  struct Metric {
+    std::string name;
+    util::Accumulator acc;
+    util::LogHistogram sketch;
+    std::uint64_t non_numeric = 0;
+  };
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  /// Deterministic "rispp.sweep_summary" JSON document (docs/FORMATS.md §7):
+  /// metrics in first-seen column order, doubles %.6f with trailing zeros
+  /// trimmed, percentiles as [lower, upper) bucket brackets.
+  std::string summary_json() const;
+
+ private:
+  Metric& metric_for(const std::string& name);
+
+  std::vector<Metric> metrics_;  ///< first-seen order (deterministic output)
+  std::size_t rows_ = 0;
+};
+
+/// Streams rows to an ostream as CSV, incrementally. The header is fixed by
+/// the *first* row ("point", "seed", then its cell keys); later rows render
+/// under those columns, missing cells empty. A later row introducing an
+/// unseen key throws util::PreconditionError — a streamed header cannot be
+/// rewritten, and silently dropping data would be worse. Ragged sweeps
+/// belong in the JSONL manifest sink (exp/manifest.hpp) instead.
+class CsvSpillSink : public ResultSink {
+ public:
+  explicit CsvSpillSink(std::ostream& out) : out_(out) {}
+  void on_row(const ResultRow& row) override;
+  void finish() override;
+
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> columns_;  ///< empty until the first row
+};
+
+}  // namespace rispp::exp

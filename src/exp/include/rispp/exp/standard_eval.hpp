@@ -49,12 +49,19 @@
 
 namespace rispp::exp {
 
+/// Identifies the standard evaluator (and its metric-set revision) in shard
+/// manifests: rispp_merge refuses to combine rows produced by different
+/// evaluators.
+inline constexpr const char* kSimEvaluatorId = "rispp.sim_eval/1";
+
 /// Builds (and range-checks) the SimConfig a point requests. Throws
 /// util::Error subclasses on unknown policy keys / driving spellings.
 sim::SimConfig sim_config_for(const SweepPoint& point);
 
 /// Validates every point of a sweep against the standard evaluator's
-/// parameter space without running anything.
+/// parameter space without running anything — and, since it walks the plan
+/// with Sweep::visit, without materializing it (validating a million-point
+/// grid is O(1) memory; `rispp_sweep --dry-run` rides on this).
 void validate_sim_sweep(const Sweep& sweep);
 
 /// The standard evaluator (a PointFn).
@@ -63,5 +70,12 @@ PointMetrics run_sim_point(const Platform& platform, const SweepPoint& point);
 /// Convenience: validate_sim_sweep + Runner{jobs}.run(run_sim_point).
 ResultTable run_sim_sweep(std::shared_ptr<const Platform> platform,
                           const Sweep& sweep, unsigned jobs = 1);
+
+/// Sink-driven variant: validates, then streams the sweep view into `sink`
+/// (see Runner::run for the ordering contract and RunOptions for
+/// resume/max_points).
+void run_sim_sweep_into(std::shared_ptr<const Platform> platform,
+                        const Sweep& sweep, unsigned jobs, ResultSink& sink,
+                        const Runner::RunOptions& opts = Runner::RunOptions());
 
 }  // namespace rispp::exp

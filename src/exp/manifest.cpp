@@ -1,0 +1,249 @@
+#include "rispp/exp/manifest.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "rispp/obs/json.hpp"
+#include "rispp/util/error.hpp"
+
+namespace rispp::exp {
+
+namespace {
+
+using obs::json::Value;
+
+constexpr const char* kSchema = "rispp.sweep_shard";
+constexpr std::uint64_t kVersion = 1;
+
+ManifestHeader parse_header(const Value& v, const std::string& path) {
+  const auto* schema = v.find("schema");
+  RISPP_REQUIRE(schema != nullptr && schema->as_string() == kSchema,
+                path + ": not a sweep shard manifest (schema mismatch)");
+  const auto version = v.at("version").as_u64();
+  RISPP_REQUIRE(version == kVersion,
+                path + ": unknown manifest version " +
+                    std::to_string(version));
+  ManifestHeader h;
+  h.grid = v.at("grid").as_string();
+  h.fingerprint = v.at("fingerprint").as_u64();
+  h.base_seed = v.at("base_seed").as_u64();
+  h.total_points = v.at("total_points").as_u64();
+  h.shard_index = v.at("shard_index").as_u64();
+  h.shard_count = v.at("shard_count").as_u64();
+  h.platform = v.at("platform").as_string();
+  h.evaluator = v.at("evaluator").as_string();
+  return h;
+}
+
+ResultRow parse_row(const Value& v) {
+  ResultRow row;
+  row.point = v.at("point").as_u64();
+  row.seed = v.at("seed").as_u64();
+  const auto& cells = v.at("cells").items();
+  row.cells.reserve(cells.size());
+  for (const auto& cell : cells) {
+    const auto& pair = cell.items();
+    RISPP_REQUIRE(pair.size() == 2, "manifest cell is not a [key, value] pair");
+    row.cells.emplace_back(pair[0].as_string(), pair[1].as_string());
+  }
+  return row;
+}
+
+bool same_row(const ResultRow& a, const ResultRow& b) {
+  return a.point == b.point && a.seed == b.seed && a.cells == b.cells;
+}
+
+}  // namespace
+
+ManifestHeader ManifestHeader::for_sweep(const Sweep& sweep,
+                                         std::string platform,
+                                         std::string evaluator) {
+  ManifestHeader h;
+  h.grid = sweep.spec();
+  h.fingerprint = sweep.fingerprint();
+  h.base_seed = sweep.seed();
+  h.total_points = sweep.total_points();
+  h.shard_index = sweep.shard_index();
+  h.shard_count = sweep.shard_count();
+  h.platform = std::move(platform);
+  h.evaluator = std::move(evaluator);
+  return h;
+}
+
+bool ManifestHeader::compatible_with(const ManifestHeader& other) const {
+  // Shard view may differ (that is the point of merging); the plan and the
+  // meaning of a row may not.
+  return fingerprint == other.fingerprint && base_seed == other.base_seed &&
+         total_points == other.total_points &&
+         evaluator == other.evaluator && platform == other.platform;
+}
+
+std::string manifest_header_line(const ManifestHeader& header) {
+  auto v = Value::object();
+  v.add("schema", Value::string(kSchema));
+  v.add("version", Value::number(kVersion));
+  v.add("grid", Value::string(header.grid));
+  v.add("fingerprint", Value::number(header.fingerprint));
+  v.add("base_seed", Value::number(header.base_seed));
+  v.add("total_points", Value::number(std::uint64_t{header.total_points}));
+  v.add("shard_index", Value::number(std::uint64_t{header.shard_index}));
+  v.add("shard_count", Value::number(std::uint64_t{header.shard_count}));
+  v.add("platform", Value::string(header.platform));
+  v.add("evaluator", Value::string(header.evaluator));
+  return v.dump(-1);
+}
+
+std::string manifest_row_line(const ResultRow& row) {
+  auto v = Value::object();
+  v.add("point", Value::number(std::uint64_t{row.point}));
+  v.add("seed", Value::number(row.seed));
+  auto& cells = v.add("cells", Value::array());
+  for (const auto& [key, value] : row.cells) {
+    auto pair = Value::array();
+    pair.push_back(Value::string(key));
+    pair.push_back(Value::string(value));
+    cells.push_back(std::move(pair));
+  }
+  return v.dump(-1);
+}
+
+ManifestWriter::ManifestWriter(const std::string& path,
+                               const ManifestHeader& header, bool append) {
+  out_.open(path, std::ios::binary |
+                      (append ? std::ios::app : std::ios::trunc));
+  RISPP_REQUIRE(out_.good(),
+                "cannot open manifest '" + path + "' for writing");
+  if (!append) {
+    out_ << manifest_header_line(header) << '\n';
+    out_.flush();
+  }
+}
+
+void ManifestWriter::on_row(const ResultRow& row) {
+  out_ << manifest_row_line(row) << '\n';
+  out_.flush();  // every flushed row survives a kill
+  ++rows_written_;
+}
+
+void ManifestWriter::finish() { out_.flush(); }
+
+std::vector<bool> Manifest::completed() const {
+  std::vector<bool> done(header.total_points, false);
+  for (const auto& row : rows) done[row.point] = true;
+  return done;
+}
+
+Manifest read_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RISPP_REQUIRE(in.good(), "cannot open manifest '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto text = ss.str();
+  RISPP_REQUIRE(!text.empty(), path + ": empty manifest");
+
+  // Split into lines; a file not ending in '\n' has a torn final line (the
+  // writer flushes a complete line at a time, so only a kill mid-write
+  // produces one).
+  std::vector<std::string> lines;
+  std::vector<std::size_t> starts;  // byte offset of each line
+  std::size_t pos = 0;
+  bool terminated = true;
+  while (pos < text.size()) {
+    starts.push_back(pos);
+    const auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      terminated = false;
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+
+  Manifest m;
+  m.path = path;
+  m.valid_bytes = text.size();
+  RISPP_REQUIRE(!lines.empty(), path + ": empty manifest");
+  m.header = parse_header(obs::json::parse(lines[0]), path);
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const bool last = i + 1 == lines.size();
+    try {
+      auto row = parse_row(obs::json::parse(lines[i]));
+      RISPP_REQUIRE(row.point < m.header.total_points,
+                    "row for point " + std::to_string(row.point) +
+                        " out of range");
+      m.rows.push_back(std::move(row));
+    } catch (const util::Error&) {
+      // A torn final line (kill mid-write) is expected damage: drop it and
+      // let resume re-evaluate the point. Interior corruption is not.
+      if (last && !terminated) {
+        m.torn_tail = true;
+        m.valid_bytes = starts[i];
+        break;
+      }
+      throw util::PreconditionError(path + ": malformed manifest line " +
+                                    std::to_string(i + 1));
+    }
+  }
+  return m;
+}
+
+ResultTable merge_manifests(const std::vector<Manifest>& manifests,
+                            bool allow_partial) {
+  RISPP_REQUIRE(!manifests.empty(), "nothing to merge");
+  const auto& ref = manifests.front().header;
+  std::map<std::size_t, const ResultRow*> chosen;
+  std::map<std::size_t, const std::string*> source;
+  for (const auto& m : manifests) {
+    RISPP_REQUIRE(
+        m.header.compatible_with(ref),
+        m.path + ": shard belongs to a different plan than " +
+            manifests.front().path + " (fingerprint/seed/points mismatch)");
+    for (const auto& row : m.rows) {
+      const auto expect = Sweep::derive_seed(ref.base_seed, row.point);
+      RISPP_REQUIRE(row.seed == expect,
+                    m.path + ": point " + std::to_string(row.point) +
+                        " carries seed " + std::to_string(row.seed) +
+                        ", plan derives " + std::to_string(expect));
+      const auto [it, inserted] = chosen.emplace(row.point, &row);
+      if (inserted) {
+        source.emplace(row.point, &m.path);
+      } else if (!same_row(*it->second, row)) {
+        throw util::PreconditionError(
+            "conflicting rows for point " + std::to_string(row.point) +
+            " in " + *source.at(row.point) + " and " + m.path);
+      }
+    }
+  }
+  if (!allow_partial && chosen.size() != ref.total_points) {
+    std::string missing;
+    std::size_t shown = 0, count = 0;
+    for (std::size_t k = 0; k < ref.total_points; ++k) {
+      if (chosen.count(k)) continue;
+      ++count;
+      if (shown < 10) {
+        missing += (shown ? ", " : "") + std::to_string(k);
+        ++shown;
+      }
+    }
+    throw util::PreconditionError(
+        "merge is missing " + std::to_string(count) + " of " +
+        std::to_string(ref.total_points) + " points (first missing: " +
+        missing + "); run the absent shards or pass --allow-partial");
+  }
+  ResultTable table;
+  for (const auto& [point, row] : chosen) table.add(*row);
+  return table;
+}
+
+ResultTable merge_manifest_files(const std::vector<std::string>& paths,
+                                 bool allow_partial) {
+  std::vector<Manifest> manifests;
+  manifests.reserve(paths.size());
+  for (const auto& p : paths) manifests.push_back(read_manifest(p));
+  return merge_manifests(manifests, allow_partial);
+}
+
+}  // namespace rispp::exp

@@ -24,6 +24,13 @@ const std::string& ResultRow::at(const std::string& key) const {
 }
 
 void ResultTable::add(ResultRow row) {
+  // Fast path: the sink-driven Runner delivers rows in ascending point
+  // order, so appends are O(1) amortized; only genuinely out-of-order adds
+  // pay the O(n) insert below.
+  if (rows_.empty() || rows_.back().point < row.point) {
+    rows_.push_back(std::move(row));
+    return;
+  }
   const auto pos = std::lower_bound(
       rows_.begin(), rows_.end(), row.point,
       [](const ResultRow& r, std::size_t p) { return r.point < p; });

@@ -1,50 +1,21 @@
 #include "rispp/exp/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <deque>
+#include <condition_variable>
 #include <exception>
+#include <map>
 #include <mutex>
-#include <optional>
 #include <thread>
 
 #include "rispp/util/error.hpp"
 
 namespace rispp::exp {
 
-namespace {
-
-/// One worker's share of the point queue. The owner pops from the front;
-/// thieves take from the back, so an owner working down a hot streak and a
-/// thief balancing the tail rarely contend on the same end.
-class WorkDeque {
- public:
-  void push(std::size_t point) { deque_.push_back(point); }
-
-  std::optional<std::size_t> pop_front() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (deque_.empty()) return std::nullopt;
-    const auto point = deque_.front();
-    deque_.pop_front();
-    return point;
-  }
-
-  std::optional<std::size_t> steal_back() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (deque_.empty()) return std::nullopt;
-    const auto point = deque_.back();
-    deque_.pop_back();
-    return point;
-  }
-
- private:
-  std::mutex mutex_;
-  std::deque<std::size_t> deque_;
-};
-
-}  // namespace
-
 Runner::Runner(std::shared_ptr<const Platform> platform, RunnerConfig cfg)
-    : platform_(std::move(platform)), jobs_(cfg.jobs) {
+    : platform_(std::move(platform)),
+      jobs_(cfg.jobs),
+      reorder_window_(cfg.reorder_window) {
   RISPP_REQUIRE(platform_ != nullptr, "runner needs a platform");
   if (jobs_ == 0) {
     jobs_ = std::thread::hardware_concurrency();
@@ -52,62 +23,136 @@ Runner::Runner(std::shared_ptr<const Platform> platform, RunnerConfig cfg)
   }
 }
 
-ResultTable Runner::run(const Sweep& sweep, const PointFn& fn) const {
+void Runner::run(const Sweep& sweep, const PointFn& fn, ResultSink& sink,
+                 const RunOptions& opts) const {
   RISPP_REQUIRE(fn != nullptr, "runner needs a point evaluator");
-  const auto points = sweep.points();
 
-  std::vector<std::optional<ResultRow>> slots(points.size());
-  const auto evaluate = [&](std::size_t i) {
+  // The work list: global indices of the sweep view, ascending, minus
+  // already-completed points (the resume path). 8 bytes per point — the
+  // only O(points) state a streaming run keeps.
+  std::vector<std::size_t> todo;
+  if (opts.completed != nullptr)
+    RISPP_REQUIRE(opts.completed->size() >= sweep.total_points(),
+                  "completed mask smaller than the sweep plan");
+  todo.reserve(sweep.size());
+  for (const auto k : sweep.indices())
+    if (opts.completed == nullptr || !(*opts.completed)[k]) todo.push_back(k);
+
+  RunStats stats;
+  stats.points_total = todo.size();
+  if (opts.max_points != 0 && todo.size() > opts.max_points)
+    todo.resize(opts.max_points);
+
+  const unsigned workers = static_cast<unsigned>(
+      std::max<std::size_t>(1, std::min<std::size_t>(jobs_, todo.size())));
+  std::size_t window =
+      reorder_window_ != 0 ? reorder_window_
+                           : std::max<std::size_t>(8, 4 * std::size_t{jobs_});
+  window = std::max<std::size_t>(window, workers);
+  stats.reorder_window = window;
+
+  // Shared run state. `positions` are indices into `todo` (dense), so the
+  // claim-gate arithmetic is independent of shard striding.
+  std::atomic<std::size_t> next_claim{0};
+  std::mutex mutex;
+  std::condition_variable admitted;
+  std::map<std::size_t, ResultRow> buffer;  // completed, waiting their turn
+  std::size_t next_flush = 0;               // next position the sink is owed
+  std::size_t max_buffered = 0;
+  bool cancelled = false;
+  std::exception_ptr first_error;
+
+  const auto fail = [&](std::unique_lock<std::mutex>& lock) {
+    (void)lock;  // must be held
+    if (!first_error) first_error = std::current_exception();
+    cancelled = true;
+    admitted.notify_all();
+  };
+
+  const auto evaluate = [&](std::size_t pos) {
+    const auto point = sweep.point_at(todo[pos]);
     ResultRow row;
-    row.point = points[i].index;
-    row.seed = points[i].seed;
-    row.cells = points[i].params;
-    auto metrics = fn(*platform_, points[i]);
+    row.point = point.index;
+    row.seed = point.seed;
+    row.cells = point.params;
+    auto metrics = fn(*platform_, point);
     row.cells.insert(row.cells.end(),
                      std::make_move_iterator(metrics.begin()),
                      std::make_move_iterator(metrics.end()));
-    slots[i] = std::move(row);
+    return row;
   };
 
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(jobs_, points.size()));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < points.size(); ++i) evaluate(i);
-  } else {
-    std::vector<WorkDeque> queues(workers);
-    for (std::size_t i = 0; i < points.size(); ++i)
-      queues[i % workers].push(i);  // dealt before any worker starts
-
-    std::atomic<bool> cancelled{false};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-    const auto worker = [&](unsigned self) {
-      while (!cancelled.load(std::memory_order_relaxed)) {
-        auto point = queues[self].pop_front();
-        for (unsigned k = 1; !point && k < workers; ++k)
-          point = queues[(self + k) % workers].steal_back();
-        if (!point) return;  // every queue drained
+  const auto worker = [&] {
+    for (;;) {
+      const auto pos = next_claim.fetch_add(1, std::memory_order_relaxed);
+      if (pos >= todo.size()) return;
+      {
+        // Backpressure: start point `pos` only once it is within the
+        // reorder window of the next row owed to the sink. The worker
+        // holding position `next_flush` always passes, so the window
+        // always slides and waiters always wake.
+        std::unique_lock<std::mutex> lock(mutex);
+        admitted.wait(lock,
+                      [&] { return cancelled || pos < next_flush + window; });
+        if (cancelled) return;
+      }
+      ResultRow row;
+      try {
+        row = evaluate(pos);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mutex);
+        fail(lock);
+        return;
+      }
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (cancelled) return;
+        buffer.emplace(pos, std::move(row));
+        max_buffered = std::max(max_buffered, buffer.size());
         try {
-          evaluate(*point);
+          // Drain every in-order row. Sink calls run under the lock: they
+          // are serialized, ordered, and any sink exception cancels the
+          // run exactly like an evaluator exception.
+          for (auto it = buffer.find(next_flush); it != buffer.end();
+               it = buffer.find(next_flush)) {
+            sink.on_row(it->second);
+            buffer.erase(it);
+            ++next_flush;
+          }
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          cancelled.store(true, std::memory_order_relaxed);
+          fail(lock);
           return;
         }
+        admitted.notify_all();
       }
-    };
+    }
+  };
 
+  if (workers <= 1 || todo.size() <= 1) {
+    worker();  // inline: already ordered, gate always open
+  } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker, w);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
   }
 
+  stats.points_evaluated = next_flush;
+  stats.max_reorder_buffered = max_buffered;
+  if (opts.stats != nullptr) *opts.stats = stats;
+  if (first_error) std::rethrow_exception(first_error);
+  sink.finish();
+}
+
+void Runner::run(const Sweep& sweep, const PointFn& fn,
+                 ResultSink& sink) const {
+  run(sweep, fn, sink, RunOptions());
+}
+
+ResultTable Runner::run(const Sweep& sweep, const PointFn& fn) const {
   ResultTable table;
-  for (auto& slot : slots)
-    if (slot) table.add(std::move(*slot));
+  TableSink sink(table);
+  run(sweep, fn, sink);
   return table;
 }
 

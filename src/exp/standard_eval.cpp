@@ -80,7 +80,7 @@ sim::SimConfig sim_config_for(const SweepPoint& point) {
 }
 
 void validate_sim_sweep(const Sweep& sweep) {
-  for (const auto& point : sweep.points()) (void)sim_config_for(point);
+  sweep.visit([](const SweepPoint& point) { (void)sim_config_for(point); });
 }
 
 PointMetrics run_sim_point(const Platform& platform,
@@ -178,6 +178,14 @@ ResultTable run_sim_sweep(std::shared_ptr<const Platform> platform,
   validate_sim_sweep(sweep);
   const Runner runner(std::move(platform), {jobs});
   return runner.run(sweep, run_sim_point);
+}
+
+void run_sim_sweep_into(std::shared_ptr<const Platform> platform,
+                        const Sweep& sweep, unsigned jobs, ResultSink& sink,
+                        const Runner::RunOptions& opts) {
+  validate_sim_sweep(sweep);
+  const Runner runner(std::move(platform), {jobs});
+  runner.run(sweep, run_sim_point, sink, opts);
 }
 
 }  // namespace rispp::exp

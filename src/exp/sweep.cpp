@@ -74,6 +74,16 @@ Sweep& Sweep::base_seed(std::uint64_t seed) {
   return *this;
 }
 
+Sweep& Sweep::shard(std::size_t index, std::size_t count) {
+  RISPP_REQUIRE(count >= 1, "shard count must be at least 1");
+  RISPP_REQUIRE(index < count,
+                "shard index " + std::to_string(index) +
+                    " out of range for " + std::to_string(count) + " shards");
+  shard_index_ = index;
+  shard_count_ = count;
+  return *this;
+}
+
 Sweep Sweep::parse_grid(const std::string& spec) {
   Sweep sweep;
   std::size_t pos = 0;
@@ -115,7 +125,7 @@ std::uint64_t Sweep::derive_seed(std::uint64_t base, std::size_t index) {
   return z ^ (z >> 31);
 }
 
-std::size_t Sweep::size() const {
+std::size_t Sweep::total_points() const {
   if (!explicit_.empty()) return explicit_.size();
   if (axes_.empty()) return 0;
   std::size_t n = 1;
@@ -123,38 +133,139 @@ std::size_t Sweep::size() const {
   return n;
 }
 
+std::size_t Sweep::size() const {
+  const auto total = total_points();
+  // Round-robin assignment: shard i of n owns indices {i, i+n, i+2n, ...}.
+  return total / shard_count_ +
+         (shard_index_ < total % shard_count_ ? 1 : 0);
+}
+
+SweepPoint Sweep::point_at(std::size_t global_index) const {
+  RISPP_REQUIRE(global_index < total_points(),
+                "sweep point index " + std::to_string(global_index) +
+                    " out of range (plan has " +
+                    std::to_string(total_points()) + " points)");
+  SweepPoint p;
+  p.index = global_index;
+  p.seed = derive_seed(base_seed_, global_index);
+  if (!explicit_.empty()) {
+    p.params = explicit_[global_index];
+    return p;
+  }
+  // Mixed-radix decomposition of the grid index, last axis fastest — the
+  // same order the odometer enumeration produces.
+  p.params.resize(axes_.size());
+  std::size_t rem = global_index;
+  for (std::size_t a = axes_.size(); a > 0;) {
+    --a;
+    const auto& axis = axes_[a];
+    p.params[a] = {axis.name, axis.values[rem % axis.values.size()]};
+    rem /= axis.values.size();
+  }
+  return p;
+}
+
+std::vector<std::size_t> Sweep::indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(size());
+  const auto total = total_points();
+  for (std::size_t k = shard_index_; k < total; k += shard_count_)
+    out.push_back(k);
+  return out;
+}
+
+void Sweep::visit(const std::function<void(const SweepPoint&)>& fn) const {
+  const auto total = total_points();
+  for (std::size_t k = shard_index_; k < total; k += shard_count_)
+    fn(point_at(k));
+}
+
 std::vector<SweepPoint> Sweep::points() const {
   std::vector<SweepPoint> out;
   out.reserve(size());
-  if (!explicit_.empty()) {
-    for (const auto& params : explicit_) {
-      SweepPoint p;
-      p.index = out.size();
-      p.seed = derive_seed(base_seed_, p.index);
-      p.params = params;
-      out.push_back(std::move(p));
-    }
-    return out;
+  visit([&](const SweepPoint& p) { out.push_back(p); });
+  return out;
+}
+
+std::string Sweep::spec() const {
+  if (!explicit_.empty())
+    return "explicit:" + std::to_string(explicit_.size());
+  std::string out;
+  for (const auto& a : axes_) {
+    if (!out.empty()) out += ';';
+    out += a.name + "=";
+    for (std::size_t v = 0; v < a.values.size(); ++v)
+      out += (v ? "," : "") + a.values[v];
   }
-  if (axes_.empty()) return out;
-  std::vector<std::size_t> cursor(axes_.size(), 0);
-  while (true) {
-    SweepPoint p;
-    p.index = out.size();
-    p.seed = derive_seed(base_seed_, p.index);
-    p.params.reserve(axes_.size());
-    for (std::size_t a = 0; a < axes_.size(); ++a)
-      p.params.emplace_back(axes_[a].name, axes_[a].values[cursor[a]]);
-    out.push_back(std::move(p));
-    // Odometer increment, last axis fastest.
-    std::size_t a = axes_.size();
-    while (a > 0) {
-      --a;
-      if (++cursor[a] < axes_[a].values.size()) break;
-      cursor[a] = 0;
-      if (a == 0) return out;
+  return out;
+}
+
+std::uint64_t Sweep::fingerprint() const {
+  // FNV-1a over a tagged flattening of the plan. Field separators are
+  // length prefixes (not delimiter bytes), so "ab"+"c" and "a"+"bc" hash
+  // differently. Shard narrowing is deliberately excluded: every shard of
+  // one plan carries the same fingerprint.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix_byte = [&](unsigned char b) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte((v >> (8 * i)) & 0xFF);
+  };
+  const auto mix_str = [&](const std::string& s) {
+    mix_u64(s.size());
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+  };
+  mix_u64(base_seed_);
+  mix_u64(axes_.size());
+  for (const auto& a : axes_) {
+    mix_str(a.name);
+    mix_u64(a.values.size());
+    for (const auto& v : a.values) mix_str(v);
+  }
+  mix_u64(explicit_.size());
+  for (const auto& params : explicit_) {
+    mix_u64(params.size());
+    for (const auto& [k, v] : params) {
+      mix_str(k);
+      mix_str(v);
     }
   }
+  return h;
+}
+
+std::string Sweep::describe(std::size_t max_listed) const {
+  std::string out;
+  out += "plan: " + spec() + "\n";
+  out += "base seed: " + std::to_string(base_seed_) + "\n";
+  out += "total points: " + std::to_string(total_points()) + "\n";
+  if (shard_count_ > 1)
+    out += "shard: " + std::to_string(shard_index_) + "/" +
+           std::to_string(shard_count_) + " (" + std::to_string(size()) +
+           " points in this shard)\n";
+  for (const auto& a : axes_) {
+    out += "axis " + a.name + " (" + std::to_string(a.values.size()) + "): ";
+    for (std::size_t v = 0; v < a.values.size(); ++v)
+      out += (v ? "," : "") + a.values[v];
+    out += "\n";
+  }
+  const auto total = total_points();
+  std::size_t listed = 0;
+  for (std::size_t k = shard_index_; k < total; k += shard_count_) {
+    if (listed == max_listed) {
+      out += "... (" + std::to_string(size() - listed) + " more points)\n";
+      break;
+    }
+    const auto p = point_at(k);
+    out += "point " + std::to_string(p.index) + " seed " +
+           std::to_string(p.seed);
+    for (const auto& [key, value] : p.params)
+      out += " " + key + "=" + value;
+    out += "\n";
+    ++listed;
+  }
+  return out;
 }
 
 }  // namespace rispp::exp

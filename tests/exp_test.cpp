@@ -121,6 +121,60 @@ TEST(ResultTableTest, JsonRendering) {
             "{\n  \"columns\": [\"point\", \"seed\"],\n  \"rows\": []\n}\n");
 }
 
+TEST(ResultTableTest, RaggedRowsRenderEmptyCellsInBothFormats) {
+  ResultTable table;
+  table.add({0, 10, {{"a", "1"}, {"b", "2"}}});
+  table.add({1, 11, {}});  // a row with no cells at all
+  table.add({2, 12, {{"b", "3"}}});
+  EXPECT_EQ(table.csv(),
+            "point,seed,a,b\n"
+            "0,10,1,2\n"
+            "1,11,,\n"
+            "2,12,,3\n");
+  // JSON rows carry only the cells they have; absent cells are absent keys.
+  EXPECT_NE(table.json().find("{\"point\": 1, \"seed\": 11}"),
+            std::string::npos);
+}
+
+TEST(ResultTableTest, DuplicateCellKeysCsvTakesFirstJsonKeepsBoth) {
+  ResultTable table;
+  table.add({0, 5, {{"m", "first"}, {"m", "second"}}});
+  // The column union lists `m` once and CSV resolves it via the row's first
+  // occurrence; JSON echoes cells verbatim, duplicates included.
+  EXPECT_EQ(table.columns(),
+            (std::vector<std::string>{"point", "seed", "m"}));
+  EXPECT_EQ(table.csv(), "point,seed,m\n0,5,first\n");
+  EXPECT_NE(table.json().find("\"m\": \"first\", \"m\": \"second\""),
+            std::string::npos);
+}
+
+TEST(ResultTableTest, CsvQuotesCommasQuotesAndNewlines) {
+  ResultTable table;
+  table.add({0, 1,
+             {{"plain", "x"},
+              {"comma", "a,b"},
+              {"quote", "say \"hi\""},
+              {"newline", "two\nlines"}}});
+  EXPECT_EQ(table.csv(),
+            "point,seed,plain,comma,quote,newline\n"
+            "0,1,x,\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\n");
+}
+
+TEST(ResultTableTest, OutOfOrderAddsMatchAscendingAddsByteForByte) {
+  const auto row = [](std::size_t p) {
+    return ResultRow{p, 100 + p, {{"v", std::to_string(p)}}};
+  };
+  ResultTable ascending, shuffled;
+  for (const std::size_t p : {0u, 1u, 2u, 3u, 4u, 5u}) ascending.add(row(p));
+  for (const std::size_t p : {4u, 0u, 5u, 2u, 1u, 3u}) shuffled.add(row(p));
+  EXPECT_EQ(shuffled.csv(), ascending.csv());
+  EXPECT_EQ(shuffled.json(), ascending.json());
+  // Duplicates are caught on both the append fast path and the sorted
+  // insert fallback.
+  EXPECT_THROW(ascending.add(row(5)), PreconditionError);
+  EXPECT_THROW(ascending.add(row(2)), PreconditionError);
+}
+
 TEST(PlatformTest, BuiltinsAndParetoTables) {
   for (const auto& name : Platform::builtin_names()) {
     const auto platform = Platform::builtin(name);

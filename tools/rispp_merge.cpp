@@ -1,0 +1,95 @@
+/// rispp_merge — reassembles sweep shard manifests into the final table.
+///
+/// Reads the JSONL shard manifests `rispp_sweep --out-shard=` writes
+/// (docs/FORMATS.md §7), validates that they all belong to one plan (plan
+/// fingerprint, base seed, point count, evaluator), that every row's seed
+/// matches the plan's derivation, and that overlapping rows agree — then
+/// emits a ResultTable that is byte-identical to what a single-process
+/// `rispp_sweep --jobs=1` run of the full grid would have written, at any
+/// shard count, any per-shard --jobs, and across any kill/resume history.
+/// Missing points are an error (listed) unless --allow-partial.
+///
+/// Examples:
+///   rispp_merge s0.jsonl s1.jsonl s2.jsonl --out=final.csv
+///   rispp_merge shard*.jsonl --out=final.json --summary
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rispp/exp/manifest.hpp"
+#include "rispp/exp/sink.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " SHARD.jsonl [SHARD.jsonl ...] [options]\n"
+      << "  --out=FILE        write there instead of stdout; a .json\n"
+      << "                    extension selects JSON\n"
+      << "  --format=csv|json override the format choice\n"
+      << "  --allow-partial   merge even when points are missing\n"
+      << "  --summary         also print the streaming-aggregator summary\n"
+      << "                    JSON (stderr)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::vector<std::string> shards;
+  std::string out, format;
+  bool allow_partial = false, summary = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) out = arg.substr(6);
+    else if (arg.rfind("--format=", 0) == 0) format = arg.substr(9);
+    else if (arg == "--allow-partial") allow_partial = true;
+    else if (arg == "--summary") summary = true;
+    else if (arg.rfind("--", 0) == 0) return usage(argv[0]);
+    else shards.push_back(arg);
+  }
+  if (shards.empty()) return usage(argv[0]);
+  if (format.empty())
+    format = out.size() >= 5 && out.rfind(".json") == out.size() - 5
+                 ? "json"
+                 : "csv";
+  if (format != "csv" && format != "json") return usage(argv[0]);
+
+  std::vector<rispp::exp::Manifest> manifests;
+  manifests.reserve(shards.size());
+  std::size_t rows = 0;
+  for (const auto& path : shards) {
+    manifests.push_back(rispp::exp::read_manifest(path));
+    if (manifests.back().torn_tail)
+      std::cerr << "note: dropped a torn final line in " << path << "\n";
+    rows += manifests.back().rows.size();
+  }
+  const auto table = rispp::exp::merge_manifests(manifests, allow_partial);
+
+  if (summary) {
+    rispp::exp::StreamingAggregator agg;
+    for (const auto& row : table.rows()) agg.on_row(row);
+    std::cerr << agg.summary_json();
+  }
+
+  if (out.empty() || out == "-") {
+    format == "json" ? table.write_json(std::cout)
+                     : table.write_csv(std::cout);
+  } else {
+    std::ofstream file(out, std::ios::binary);
+    if (!file.good()) {
+      std::cerr << "error: cannot open " << out << " for writing\n";
+      return 1;
+    }
+    format == "json" ? table.write_json(file) : table.write_csv(file);
+  }
+  std::cerr << "merged " << manifests.size() << " shard(s), " << rows
+            << " row(s), " << table.size() << " distinct point(s)\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -1,24 +1,39 @@
 /// rispp_sweep — batch-experiment CLI over the exp:: engine.
 ///
 /// Evaluates a parameter grid against one shared Platform snapshot with a
-/// worker pool, and writes the aggregated ResultTable as CSV or JSON
-/// (docs/FORMATS.md "ResultTable"). Results are byte-identical at any
-/// --jobs value; per-point RNG seeds derive from --seed and the point index.
+/// worker pool. Results *stream*: completed points flow through ResultSink
+/// implementations — the classic aggregated table (--out), a bounded-memory
+/// statistics summary (--agg-out), an incremental CSV spill (--spill-csv)
+/// and the JSONL shard manifest (--out-shard), which doubles as the
+/// checkpoint a killed sweep resumes from (--resume). Results are
+/// byte-identical at any --jobs and across any shard partition
+/// (docs/FORMATS.md §4, §7); per-point RNG seeds derive from --seed and the
+/// global point index, so shard i/N evaluates exactly the rows a
+/// single-process run would.
 ///
 /// Examples:
 ///   rispp_sweep --grid="workload=enc;containers=4,8;quantum=10000,30000"
-///   rispp_sweep --platform=h264 --grid="workload=fig7;bandwidth=66,264"
-///               --jobs=4 --out=sweep.json
+///   rispp_sweep --grid="workload=fig7;bandwidth=66,264" --dry-run
+///   rispp_sweep --grid=... --shard=0/3 --jobs=4 --out-shard=s0.jsonl
+///   rispp_sweep --grid=... --resume=s0.jsonl        # after a kill
+///   rispp_merge s0.jsonl s1.jsonl s2.jsonl --out=final.csv
 ///
 /// Grid axes are the standard evaluator's parameters — see
 /// exp/standard_eval.hpp for the full list and defaults.
 
+#include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "rispp/exp/manifest.hpp"
 #include "rispp/exp/platform.hpp"
+#include "rispp/exp/sink.hpp"
 #include "rispp/exp/standard_eval.hpp"
+#include "rispp/util/error.hpp"
 
 namespace {
 
@@ -32,18 +47,49 @@ int usage(const char* argv0) {
       << "  --jobs=N          worker threads (default 1; 0 = all cores)\n"
       << "  --seed=S          base seed for per-point RNG streams "
          "(default 1)\n"
-      << "  --out=FILE        write there instead of stdout; a .json\n"
-      << "                    extension selects JSON\n"
-      << "  --format=csv|json override the format choice\n";
+      << "  --out=FILE        aggregated table; a .json extension selects\n"
+      << "                    JSON ('-' or no sink flags = CSV to stdout)\n"
+      << "  --format=csv|json override the table format choice\n"
+      << "  --shard=I/N       evaluate only points with index %% N == I\n"
+      << "  --out-shard=FILE  stream rows to a JSONL shard manifest\n"
+      << "                    (checkpoint; merge with rispp_merge)\n"
+      << "  --resume=FILE     continue a killed --out-shard run: re-evaluate\n"
+      << "                    only the points FILE is missing\n"
+      << "  --agg-out=FILE    bounded-memory streaming summary JSON\n"
+      << "  --spill-csv=FILE  stream rows to CSV incrementally (fixed\n"
+      << "                    columns from the first row)\n"
+      << "  --window=W        reorder-buffer capacity in rows (default 4x "
+         "jobs)\n"
+      << "  --max-points=K    stop after K points (checkpoint testing;\n"
+      << "                    exits 3 when the run is left incomplete)\n"
+      << "  --dry-run         print the resolved plan (points, axes, seeds)\n"
+      << "                    and validate it without evaluating anything\n";
   return 2;
+}
+
+bool parse_shard(const std::string& spec, std::size_t& index,
+                 std::size_t& count) {
+  const auto slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 == spec.size())
+    return false;
+  try {
+    index = std::stoull(spec.substr(0, slash));
+    count = std::stoull(spec.substr(slash + 1));
+  } catch (...) {
+    return false;
+  }
+  return count >= 1 && index < count;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) try {
   std::string grid, platform_name = "h264_frame", lib_file, out, format;
+  std::string out_shard, resume, agg_out, spill_csv, shard_spec;
   unsigned jobs = 1;
   std::uint64_t seed = 1;
+  std::size_t window = 0, max_points = 0;
+  bool dry_run = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,6 +106,18 @@ int main(int argc, char** argv) try {
       seed = std::stoull(value("--seed="));
     else if (arg.rfind("--out=", 0) == 0) out = value("--out=");
     else if (arg.rfind("--format=", 0) == 0) format = value("--format=");
+    else if (arg.rfind("--shard=", 0) == 0) shard_spec = value("--shard=");
+    else if (arg.rfind("--out-shard=", 0) == 0)
+      out_shard = value("--out-shard=");
+    else if (arg.rfind("--resume=", 0) == 0) resume = value("--resume=");
+    else if (arg.rfind("--agg-out=", 0) == 0) agg_out = value("--agg-out=");
+    else if (arg.rfind("--spill-csv=", 0) == 0)
+      spill_csv = value("--spill-csv=");
+    else if (arg.rfind("--window=", 0) == 0)
+      window = std::stoull(value("--window="));
+    else if (arg.rfind("--max-points=", 0) == 0)
+      max_points = std::stoull(value("--max-points="));
+    else if (arg == "--dry-run") dry_run = true;
     else return usage(argv[0]);
   }
   if (grid.empty()) return usage(argv[0]);
@@ -68,27 +126,137 @@ int main(int argc, char** argv) try {
                  ? "json"
                  : "csv";
   if (format != "csv" && format != "json") return usage(argv[0]);
+  if (!resume.empty() && !out_shard.empty() && resume != out_shard) {
+    std::cerr << "error: --resume continues its own file; --out-shard must "
+                 "be absent or equal\n";
+    return 2;
+  }
+
+  auto sweep = rispp::exp::Sweep::parse_grid(grid);
+  sweep.base_seed(seed);
+  std::size_t shard_index = 0, shard_count = 1;
+  if (!shard_spec.empty()) {
+    if (!parse_shard(shard_spec, shard_index, shard_count)) {
+      std::cerr << "error: --shard wants I/N with I < N, got '" << shard_spec
+                << "'\n";
+      return 2;
+    }
+    sweep.shard(shard_index, shard_count);
+  }
+
+  if (dry_run) {
+    rispp::exp::validate_sim_sweep(sweep);  // typos fail before any worker
+    std::cout << sweep.describe();
+    std::cout << "plan valid; no points evaluated (--dry-run)\n";
+    return 0;
+  }
 
   const auto platform = lib_file.empty()
                             ? rispp::exp::Platform::builtin(platform_name)
                             : rispp::exp::Platform::from_file(lib_file);
-  auto sweep = rispp::exp::Sweep::parse_grid(grid);
-  sweep.base_seed(seed);
 
-  const auto table = rispp::exp::run_sim_sweep(platform, sweep, jobs);
+  const auto header = rispp::exp::ManifestHeader::for_sweep(
+      sweep, platform->name(), rispp::exp::kSimEvaluatorId);
 
-  if (out.empty()) {
-    format == "json" ? table.write_json(std::cout)
-                     : table.write_csv(std::cout);
-  } else {
-    std::ofstream file(out, std::ios::binary);
-    if (!file.good()) {
-      std::cerr << "error: cannot open " << out << " for writing\n";
+  // Resume: read the checkpoint, verify it belongs to this very plan and
+  // shard view, and skip whatever it already holds.
+  rispp::exp::Runner::RunOptions opts;
+  std::vector<bool> completed;
+  if (!resume.empty()) {
+    const auto manifest = rispp::exp::read_manifest(resume);
+    if (!manifest.header.compatible_with(header) ||
+        manifest.header.shard_index != sweep.shard_index() ||
+        manifest.header.shard_count != sweep.shard_count()) {
+      std::cerr << "error: " << resume
+                << " was written by a different plan or shard view than "
+                   "the flags given\n";
       return 1;
     }
-    format == "json" ? table.write_json(file) : table.write_csv(file);
-    std::cerr << "wrote " << table.size() << " points to " << out << " ("
-              << format << ")\n";
+    completed = manifest.completed();
+    opts.completed = &completed;
+    if (manifest.torn_tail) {
+      // Cut the partial line off before appending — otherwise the first
+      // resumed row would fuse with it into one malformed line.
+      std::filesystem::resize_file(resume, manifest.valid_bytes);
+      std::cerr << "note: dropped a torn final line in " << resume
+                << " (killed mid-write); its point will be re-evaluated\n";
+    }
+    out_shard = resume;
+  }
+  opts.max_points = max_points;
+  rispp::exp::RunStats stats;
+  opts.stats = &stats;
+
+  // Assemble the sink stack.
+  const bool want_table = !out.empty() || (out_shard.empty() &&
+                                           agg_out.empty() &&
+                                           spill_csv.empty());
+  rispp::exp::ResultTable table;
+  rispp::exp::TableSink table_sink(table);
+  rispp::exp::StreamingAggregator agg;
+  std::unique_ptr<rispp::exp::ManifestWriter> manifest_sink;
+  std::ofstream spill_file;
+  std::unique_ptr<rispp::exp::CsvSpillSink> spill_sink;
+  std::vector<rispp::exp::ResultSink*> sinks;
+  if (!out_shard.empty()) {
+    manifest_sink = std::make_unique<rispp::exp::ManifestWriter>(
+        out_shard, header, /*append=*/!resume.empty());
+    sinks.push_back(manifest_sink.get());
+  }
+  if (!spill_csv.empty()) {
+    spill_file.open(spill_csv, std::ios::binary);
+    if (!spill_file.good()) {
+      std::cerr << "error: cannot open " << spill_csv << " for writing\n";
+      return 1;
+    }
+    spill_sink = std::make_unique<rispp::exp::CsvSpillSink>(spill_file);
+    sinks.push_back(spill_sink.get());
+  }
+  if (!agg_out.empty()) sinks.push_back(&agg);
+  if (want_table) sinks.push_back(&table_sink);
+  rispp::exp::MultiSink multi(sinks);
+
+  rispp::exp::run_sim_sweep_into(platform, sweep, jobs, multi, opts);
+
+  if (!agg_out.empty()) {
+    std::ofstream f(agg_out, std::ios::binary);
+    if (!f.good()) {
+      std::cerr << "error: cannot open " << agg_out << " for writing\n";
+      return 1;
+    }
+    f << agg.summary_json();
+  }
+
+  if (want_table) {
+    // A resumed run's sinks only saw the freshly evaluated points; the
+    // aggregated table comes from the (now complete) manifest instead.
+    if (!resume.empty())
+      table = rispp::exp::merge_manifest_files({out_shard},
+                                               /*allow_partial=*/true);
+    if (out.empty() || out == "-") {
+      format == "json" ? table.write_json(std::cout)
+                       : table.write_csv(std::cout);
+    } else {
+      std::ofstream file(out, std::ios::binary);
+      if (!file.good()) {
+        std::cerr << "error: cannot open " << out << " for writing\n";
+        return 1;
+      }
+      format == "json" ? table.write_json(file) : table.write_csv(file);
+      std::cerr << "wrote " << table.size() << " points to " << out << " ("
+                << format << ")\n";
+    }
+  }
+
+  std::cerr << "evaluated " << stats.points_evaluated << "/"
+            << stats.points_total << " points (reorder window "
+            << stats.reorder_window << ", peak buffered "
+            << stats.max_reorder_buffered << " rows)\n";
+  if (stats.points_evaluated < stats.points_total) {
+    std::cerr << "sweep incomplete (--max-points); resume with --resume="
+              << (out_shard.empty() ? std::string("<manifest>") : out_shard)
+              << "\n";
+    return 3;
   }
   return 0;
 } catch (const std::exception& e) {
