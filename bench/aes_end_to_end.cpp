@@ -21,7 +21,7 @@
 #include "rispp/sim/observe.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
-#include "rispp/workload/graph_walk.hpp"
+#include "rispp/workload/trace_source.hpp"
 
 namespace {
 
@@ -42,12 +42,13 @@ Aggregate run(const rispp::cfg::BBGraph& g, const rispp::forecast::FcPlan& plan,
     wp.seed = seed;
     wp.emit_forecasts = forecasts;
     rispp::workload::WalkStats stats;
-    const auto trace = rispp::workload::walk_graph(g, plan, lib, wp, &stats);
+    const auto source = rispp::workload::TraceSource::make_graph_walk(
+        g, plan, borrow(lib), wp, &stats, "aes");
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = containers;
     cfg.rt.record_events = false;
     rispp::sim::Simulator sim(borrow(lib), cfg);
-    sim.add_task({"aes", trace});
+    source->add_to(sim);
     const auto r = sim.run();
     agg.cycles += static_cast<double>(r.total_cycles);
     agg.rotations += r.rotations;
@@ -118,13 +119,14 @@ int main(int argc, char** argv) try {
     rispp::workload::WalkParams wp;
     wp.seed = 1;
     wp.emit_forecasts = true;
-    const auto trace = rispp::workload::walk_graph(g, plan_rep, lib, wp);
+    const auto source = rispp::workload::TraceSource::make_graph_walk(
+        g, plan_rep, borrow(lib), wp, nullptr, "aes");
     rispp::obs::TraceRecorder recorder;
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = 6;
     cfg.rt.sink = &recorder;
     rispp::sim::Simulator sim(borrow(lib), cfg);
-    sim.add_task({"aes", trace});
+    source->add_to(sim);
     sim.run();
     const auto meta = make_trace_meta(lib, cfg, {"aes"});
     if (trace_out) {

@@ -26,6 +26,7 @@
 #include "rispp/sim/observe.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
+#include "rispp/workload/trace_source.hpp"
 
 int main(int argc, char** argv) try {
   using namespace rispp::sim;
@@ -74,8 +75,9 @@ int main(int argc, char** argv) try {
   b.push_back(TraceOp::label("T3: B's SI0 reuses containers now owned by A"));
   b.push_back(TraceOp::si(si0, 20));
 
-  sim.add_task({"A", std::move(a)});
-  sim.add_task({"B", std::move(b)});
+  rispp::workload::TraceSource::make_fixed(
+      {{"A", std::move(a)}, {"B", std::move(b)}}, "fig06")
+      ->add_to(sim);
   const auto r = sim.run();
 
   TextTable timeline{"cycle", "task", "event"};

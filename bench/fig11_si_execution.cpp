@@ -15,6 +15,7 @@
 #include "rispp/sim/observe.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
+#include "rispp/workload/trace_source.hpp"
 
 int main(int argc, char** argv) try {
   using rispp::util::TextTable;
@@ -72,6 +73,7 @@ int main(int argc, char** argv) try {
   cfg.rt.sink = &recorder;
   rispp::sim::Simulator sim(borrow(lib), cfg);
   std::vector<std::string> task_names;
+  std::vector<rispp::sim::TaskDef> tasks;
   for (const auto& si : lib.sis()) {
     rispp::sim::Trace trace;
     trace.push_back(rispp::sim::TraceOp::forecast(lib.index_of(si.name()), 2000));
@@ -81,8 +83,10 @@ int main(int argc, char** argv) try {
     }
     trace.push_back(rispp::sim::TraceOp::release(lib.index_of(si.name())));
     task_names.push_back(si.name());
-    sim.add_task({si.name(), std::move(trace)});
+    tasks.push_back({si.name(), std::move(trace)});
   }
+  rispp::workload::TraceSource::make_fixed(std::move(tasks), "fig11")
+      ->add_to(sim);
   sim.run();
 
   const auto summary = rispp::obs::summarize(recorder.events());

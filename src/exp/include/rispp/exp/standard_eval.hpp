@@ -6,7 +6,8 @@
 ///
 /// Understood parameters (all optional):
 ///   workload     enc | dec | encdec (phase traces; default encdec) |
-///                fig7 (the Fig-7/Fig-12 encoder macroblock trace)
+///                fig7 (the Fig-7/Fig-12 encoder macroblock trace) |
+///                phased (the workload::PhasedWorkload generator)
 ///   containers   Atom Containers                     (default 10)
 ///   quantum      round-robin quantum in cycles       (default 10000)
 ///   frames       frames per task (phase workloads)   (default 2)
@@ -31,6 +32,16 @@
 ///                <report_dir>/point_<index>.report.json; the payload holds
 ///                only the point label, so reports are byte-identical
 ///                across --jobs values  (default: no reports)
+///
+/// Phased-workload parameters (workload=phased only; each is a sweep axis):
+///   wconfig      path to a §8 workload config file   (default: a built-in
+///                three-phase template over the platform's SI library)
+///   wl_seed      generator seed                      (default point.seed)
+///   wl_tasks     task count override                 (default: config's)
+///   wl_events    per-phase event-count override      (default: config's)
+///   wl_skew      zipfian theta of the task chooser, in [0,1); 0 selects
+///                the uniform chooser; overrides per-phase task choosers
+///   wl_rate      multiplier applied to every phase's arrival-rate ramp
 ///
 /// Reported metrics: cycles, rotations, si_hw, si_sw, energy_nj,
 /// reallocations, selector_plans, then hw_<SI>/sw_<SI> per invoked SI.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "rispp/h264/phases.hpp"
@@ -12,10 +13,13 @@
 #include "rispp/sim/observe.hpp"
 #include "rispp/util/error.hpp"
 #include "rispp/util/rng.hpp"
+#include "rispp/workload/trace_source.hpp"
 
 namespace rispp::exp {
 
 namespace {
+
+using workload::Chooser;
 
 /// Scales every Compute op by a uniform factor in [1-jitter, 1+jitter],
 /// drawn from the point's own Xoshiro256 stream — same seed, same workload,
@@ -36,6 +40,91 @@ std::string format_nj(double nj) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.3f", nj);
   return buf;
+}
+
+/// The built-in phased template: three phases over every SI the platform
+/// library offers — a uniform warm-up, a zipf-skewed burst with a rate ramp
+/// and diurnal modulation, and a hot-set cool-down. The wl_* axes reshape it.
+workload::PhasedConfig builtin_phased_config(const isa::SiLibrary& lib) {
+  workload::PhasedConfig cfg;
+  cfg.name = "exp_builtin";
+  cfg.tasks = 8;
+  std::vector<std::pair<std::string, double>> all_sis;
+  for (const auto& si : lib.sis()) all_sis.emplace_back(si.name(), 1.0);
+
+  workload::PhaseConfig warm;
+  warm.name = "warm";
+  warm.events = 200;
+  warm.mix = all_sis;
+  warm.si_chooser.kind = Chooser::Kind::Uniform;
+  warm.compute_min = 2000;
+  warm.compute_max = 8000;
+
+  workload::PhaseConfig hot;
+  hot.name = "hot";
+  hot.events = 200;
+  hot.mix = all_sis;
+  hot.si_chooser.kind = Chooser::Kind::Zipfian;
+  hot.si_chooser.theta = 0.8;
+  hot.si_count = 2;
+  hot.rate_begin = 1.0;
+  hot.rate_end = 2.0;
+  hot.burst_period = 64;
+  hot.burst_amplitude = 0.3;
+
+  workload::PhaseConfig cool;
+  cool.name = "cool";
+  cool.events = 100;
+  cool.mix = all_sis;
+  cool.si_chooser.kind = Chooser::Kind::HotSet;
+  cool.si_chooser.hot_fraction = 0.25;
+  cool.si_chooser.hot_probability = 0.9;
+  cool.rate_begin = 2.0;
+  cool.rate_end = 0.5;
+
+  cfg.phases = {std::move(warm), std::move(hot), std::move(cool)};
+  return cfg;
+}
+
+/// Resolves a point's phased-workload config: the wconfig file when given,
+/// the built-in template otherwise, then the wl_* overrides on top.
+workload::PhasedConfig phased_config_for(const isa::SiLibrary& lib,
+                                         const SweepPoint& point) {
+  workload::PhasedConfig cfg;
+  if (const auto* path = point.find("wconfig")) {
+    std::ifstream in(*path);
+    if (!in.good())
+      throw util::PreconditionError("cannot open workload config '" + *path +
+                                    "'");
+    cfg = workload::parse_phased_config(in);
+  } else {
+    cfg = builtin_phased_config(lib);
+  }
+  cfg.seed = point.get_u64("wl_seed", point.seed);
+  if (point.find("wl_tasks") != nullptr)
+    cfg.tasks = point.get_u64("wl_tasks", cfg.tasks);
+  if (point.find("wl_events") != nullptr) {
+    const auto events = point.get_u64("wl_events", 0);
+    for (auto& phase : cfg.phases) phase.events = events;
+  }
+  if (point.find("wl_skew") != nullptr) {
+    // Workload-level task skew: wins over any per-phase task choosers so a
+    // single axis value reshapes the whole arrival stream.
+    const double skew = point.get_f64("wl_skew", 0.0);
+    workload::ChooserSpec spec{skew > 0.0 ? Chooser::Kind::Zipfian
+                                          : Chooser::Kind::Uniform};
+    if (skew > 0.0) spec.theta = skew;
+    cfg.task_chooser = spec;
+    for (auto& phase : cfg.phases) phase.task_chooser.reset();
+  }
+  if (point.find("wl_rate") != nullptr) {
+    const double rate = point.get_f64("wl_rate", 1.0);
+    for (auto& phase : cfg.phases) {
+      phase.rate_begin *= rate;
+      phase.rate_end *= rate;
+    }
+  }
+  return cfg;
 }
 
 }  // namespace
@@ -72,9 +161,20 @@ sim::SimConfig sim_config_for(const SweepPoint& point) {
   RISPP_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0,1)");
   const auto workload = point.get("workload", "encdec");
   if (workload != "enc" && workload != "dec" && workload != "encdec" &&
-      workload != "fig7")
+      workload != "fig7" && workload != "phased")
     throw util::PreconditionError("unknown workload '" + workload +
-                                  "' (known: enc, dec, encdec, fig7)");
+                                  "' (known: enc, dec, encdec, fig7, phased)");
+  if (workload == "phased") {
+    // The wl_* axes are range-checked here so a bad grid fails in --dry-run
+    // validation, before any worker generates anything.
+    const double skew = point.get_f64("wl_skew", 0.0);
+    RISPP_REQUIRE(skew >= 0.0 && skew < 1.0, "wl_skew must be in [0,1)");
+    RISPP_REQUIRE(point.get_u64("wl_tasks", 1) >= 1, "wl_tasks must be >= 1");
+    RISPP_REQUIRE(point.get_u64("wl_events", 1) >= 1,
+                  "wl_events must be >= 1");
+    RISPP_REQUIRE(point.get_f64("wl_rate", 1.0) > 0.0,
+                  "wl_rate must be > 0");
+  }
   rt::validate(cfg.rt);
   return cfg;
 }
@@ -91,19 +191,39 @@ PointMetrics run_sim_point(const Platform& platform,
   const double jitter = point.get_f64("jitter", 0.0);
   util::Xoshiro256 rng(point.seed);
 
+  // Every workload arrives through the TraceSource seam; the evaluator only
+  // materializes the tasks once, jitters them in list order (one shared rng
+  // stream — same seed, same workload, bit for bit), and feeds the sim.
+  std::unique_ptr<workload::TraceSource> source;
+  if (workload == "phased") {
+    source = workload::TraceSource::make_phased(workload::PhasedWorkload(
+        phased_config_for(lib, point), platform.library_ptr()));
+  } else if (workload == "fig7") {
+    h264::TraceParams p;
+    p.macroblocks = point.get_u64("mb", 60);
+    source = workload::TraceSource::make_fixed(
+        {{"encoder", h264::make_encode_trace(lib, p)}}, "fig7");
+  } else {
+    h264::PhaseTraceParams p;
+    p.frames = point.get_u64("frames", 2);
+    p.macroblocks_per_frame = point.get_u64("mb", 60);
+    std::vector<sim::TaskDef> tasks;
+    if (workload == "enc" || workload == "encdec")
+      tasks.push_back({"enc", h264::make_phase_trace(lib, p,
+                                                     h264::fig1_phases())});
+    if (workload == "dec" || workload == "encdec")
+      tasks.push_back({"dec", h264::make_phase_trace(
+                                  lib, p, h264::decoder_phases())});
+    source = workload::TraceSource::make_fixed(std::move(tasks), workload);
+  }
+  auto tasks = source->tasks();
+
   // report_dir: stream this point's events through a Profiler and drop a
   // run report next to the sweep output. The report payload carries only
   // the point label (no paths, no times), so reports are byte-identical
   // for any --jobs value.
   std::vector<std::string> task_names;
-  if (workload == "fig7") {
-    task_names = {"encoder"};
-  } else {
-    if (workload == "enc" || workload == "encdec")
-      task_names.push_back("enc");
-    if (workload == "dec" || workload == "encdec")
-      task_names.push_back("dec");
-  }
+  for (const auto& task : tasks) task_names.push_back(task.name);
   const bool want_report = point.find("report_dir") != nullptr;
   obs::Profiler profiler(
       want_report ? sim::make_trace_meta(lib, cfg, task_names)
@@ -111,23 +231,9 @@ PointMetrics run_sim_point(const Platform& platform,
   if (want_report) cfg.rt.sink = &profiler;
 
   sim::Simulator sim(platform.library_ptr(), cfg);
-  const auto add = [&](const char* name, sim::Trace trace) {
-    if (jitter > 0.0) apply_jitter(trace, jitter, rng);
-    sim.add_task({name, std::move(trace)});
-  };
-
-  if (workload == "fig7") {
-    h264::TraceParams p;
-    p.macroblocks = point.get_u64("mb", 60);
-    add("encoder", h264::make_encode_trace(lib, p));
-  } else {
-    h264::PhaseTraceParams p;
-    p.frames = point.get_u64("frames", 2);
-    p.macroblocks_per_frame = point.get_u64("mb", 60);
-    if (workload == "enc" || workload == "encdec")
-      add("enc", h264::make_phase_trace(lib, p, h264::fig1_phases()));
-    if (workload == "dec" || workload == "encdec")
-      add("dec", h264::make_phase_trace(lib, p, h264::decoder_phases()));
+  for (auto& task : tasks) {
+    if (jitter > 0.0) apply_jitter(task.trace, jitter, rng);
+    sim.add_task(std::move(task));
   }
 
   const auto r = sim.run();

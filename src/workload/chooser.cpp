@@ -1,0 +1,134 @@
+#include "rispp/workload/chooser.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::workload {
+
+namespace {
+
+/// zeta(n, theta) = sum_{i=1..n} 1 / i^theta.
+double zeta(std::size_t n, double theta) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= n; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Chooser Chooser::uniform(std::size_t n) {
+  RISPP_REQUIRE(n >= 1, "uniform chooser needs a non-empty domain");
+  Chooser c;
+  c.kind_ = Kind::Uniform;
+  c.n_ = n;
+  return c;
+}
+
+Chooser Chooser::zipfian(std::size_t n, double theta) {
+  RISPP_REQUIRE(n >= 1, "zipfian chooser needs a non-empty domain");
+  RISPP_REQUIRE(theta > 0.0 && theta < 1.0, "zipfian theta must be in (0,1)");
+  Chooser c;
+  c.kind_ = Kind::Zipfian;
+  c.n_ = n;
+  c.theta_ = theta;
+  c.zetan_ = zeta(n, theta);
+  c.alpha_ = 1.0 / (1.0 - theta);
+  const double zeta2 = zeta(2, theta);
+  c.eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / c.zetan_);
+  return c;
+}
+
+Chooser Chooser::hot_set(std::size_t n, double hot_fraction,
+                         double hot_probability) {
+  RISPP_REQUIRE(n >= 1, "hot-set chooser needs a non-empty domain");
+  RISPP_REQUIRE(hot_fraction > 0.0 && hot_fraction <= 1.0,
+                "hot fraction must be in (0,1]");
+  RISPP_REQUIRE(hot_probability > 0.0 && hot_probability <= 1.0,
+                "hot probability must be in (0,1]");
+  Chooser c;
+  c.kind_ = Kind::HotSet;
+  c.n_ = n;
+  c.hot_fraction_ = hot_fraction;
+  c.hot_count_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(hot_fraction * static_cast<double>(n)));
+  c.hot_count_ = std::min(c.hot_count_, n);
+  c.hot_probability_ = hot_probability;
+  return c;
+}
+
+Chooser Chooser::weighted(std::vector<double> weights) {
+  RISPP_REQUIRE(!weights.empty(), "weighted chooser needs at least one weight");
+  Chooser c;
+  c.kind_ = Kind::Weighted;
+  c.n_ = weights.size();
+  c.cum_.reserve(weights.size());
+  double total = 0.0;
+  for (const double w : weights) {
+    RISPP_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+    c.cum_.push_back(total);
+  }
+  RISPP_REQUIRE(total > 0.0, "weights must not all be zero");
+  return c;
+}
+
+std::size_t Chooser::pick(util::Xoshiro256& rng) const {
+  switch (kind_) {
+    case Kind::Uniform:
+      return rng.below(n_);
+    case Kind::Zipfian: {
+      // Gray et al.'s "Quickly generating billion-record synthetic
+      // databases" rejection-free formula.
+      const double u = rng.uniform01();
+      const double uz = u * zetan_;
+      if (uz < 1.0) return 0;
+      if (n_ >= 2 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+      const auto idx = static_cast<std::size_t>(
+          static_cast<double>(n_) *
+          std::pow(eta_ * u - eta_ + 1.0, alpha_));
+      return std::min(idx, n_ - 1);
+    }
+    case Kind::HotSet: {
+      if (hot_count_ == n_ || rng.chance(hot_probability_))
+        return rng.below(hot_count_);
+      return hot_count_ + rng.below(n_ - hot_count_);
+    }
+    case Kind::Weighted: {
+      const double u = rng.uniform01() * cum_.back();
+      const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+      const auto idx =
+          static_cast<std::size_t>(std::distance(cum_.begin(), it));
+      return std::min(idx, n_ - 1);
+    }
+  }
+  return 0;  // unreachable
+}
+
+std::string Chooser::describe() const {
+  const std::string over = " over " + std::to_string(n_);
+  switch (kind_) {
+    case Kind::Uniform:
+      return "uniform" + over;
+    case Kind::Zipfian:
+      return "zipfian(" + fmt(theta_) + ")" + over;
+    case Kind::HotSet:
+      return "hotset(" + fmt(hot_fraction_) + "," + fmt(hot_probability_) +
+             ")" + over;
+    case Kind::Weighted:
+      return "weighted" + over;
+  }
+  return "?";
+}
+
+}  // namespace rispp::workload

@@ -5,11 +5,11 @@
 #include "rispp/util/error.hpp"
 #include "rispp/util/rng.hpp"
 
-namespace rispp::workload {
+namespace rispp::workload::detail {
 
-sim::Trace walk_graph(const cfg::BBGraph& g, const forecast::FcPlan& plan,
-                      const isa::SiLibrary& lib, const WalkParams& params,
-                      WalkStats* stats) {
+sim::Trace run_walk(const cfg::BBGraph& g, const forecast::FcPlan& plan,
+                    const isa::SiLibrary& lib, const WalkParams& params,
+                    WalkStats* stats) {
   g.validate();
   util::Xoshiro256 rng(params.seed);
 
@@ -72,6 +72,9 @@ sim::Trace walk_graph(const cfg::BBGraph& g, const forecast::FcPlan& plan,
     current = next;
   }
   flush_compute();
+  // The loop either broke at a sink or exhausted its step budget with exits
+  // still available — the latter is a truncation, not a completion.
+  local.truncated = !local.reached_sink && local.steps >= params.max_steps;
 
   if (params.release_at_sinks && local.reached_sink) {
     for (auto si : forecasted_sis)
@@ -81,4 +84,4 @@ sim::Trace walk_graph(const cfg::BBGraph& g, const forecast::FcPlan& plan,
   return trace;
 }
 
-}  // namespace rispp::workload
+}  // namespace rispp::workload::detail

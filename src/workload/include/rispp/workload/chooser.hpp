@@ -1,0 +1,81 @@
+#pragma once
+/// \file chooser.hpp
+/// \brief Seeded index choosers — the probability shapes of the phased
+/// workload generator.
+///
+/// A Chooser picks indices in [0, n) with a fixed distribution shape:
+/// uniform, zipfian (YCSB-style, rank 0 most popular), hot-set (a hot
+/// fraction of the domain absorbs a configurable share of the picks), or
+/// weighted (an explicit categorical distribution). The phased generator
+/// (phased.hpp) uses them over SIs *and* over tasks, which is how skew
+/// becomes a sweepable axis: a zipfian task chooser means a few tasks
+/// dominate the arrival stream, exactly the contention shape the rotation
+/// policy has to survive.
+///
+/// Every draw consumes the caller's util::Xoshiro256 stream and nothing
+/// else, so a (chooser, seed) pair reproduces its pick sequence exactly —
+/// the whole generator inherits byte-determinism from this.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rispp/util/rng.hpp"
+
+namespace rispp::workload {
+
+class Chooser {
+ public:
+  enum class Kind { Uniform, Zipfian, HotSet, Weighted };
+
+  /// Uniform over [0, n). n must be >= 1.
+  static Chooser uniform(std::size_t n);
+
+  /// Zipfian over [0, n) with skew theta in (0, 1): rank 0 is the most
+  /// popular index, frequencies fall off as 1/(rank+1)^theta (the classic
+  /// Gray et al. generator YCSB popularized). theta → 0 approaches
+  /// uniform; theta → 1 approaches maximal skew.
+  static Chooser zipfian(std::size_t n, double theta = 0.99);
+
+  /// Hot-set over [0, n): the first max(1, floor(hot_fraction * n)) indices
+  /// are "hot" and receive a pick with probability hot_probability; the
+  /// remaining picks spread uniformly over the cold rest. hot_fraction and
+  /// hot_probability must be in (0, 1].
+  static Chooser hot_set(std::size_t n, double hot_fraction,
+                         double hot_probability);
+
+  /// Explicit categorical distribution: index i is picked with probability
+  /// weights[i] / sum(weights). Weights must be non-negative with a
+  /// positive sum.
+  static Chooser weighted(std::vector<double> weights);
+
+  /// Draws one index from `rng`. Deterministic in the rng stream.
+  std::size_t pick(util::Xoshiro256& rng) const;
+
+  Kind kind() const { return kind_; }
+  std::size_t domain() const { return n_; }
+  /// Hot indices of a hot-set chooser (0 otherwise).
+  std::size_t hot_count() const { return hot_count_; }
+  /// Human-readable shape ("zipfian(0.99) over 512").
+  std::string describe() const;
+
+ private:
+  Chooser() = default;
+
+  Kind kind_ = Kind::Uniform;
+  std::size_t n_ = 1;
+  // Zipfian state (Gray's algorithm): precomputed constants.
+  double theta_ = 0.0;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+  // Hot-set state.
+  std::size_t hot_count_ = 0;
+  double hot_probability_ = 0.0;
+  double hot_fraction_ = 0.0;
+  // Weighted state: cumulative weights, cum_.back() is the total.
+  std::vector<double> cum_;
+};
+
+}  // namespace rispp::workload

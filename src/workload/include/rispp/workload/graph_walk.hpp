@@ -12,7 +12,7 @@
 ///
 /// The result: run_forecast_pass() output can be *executed*, not just
 /// inspected — the AES end-to-end experiment (bench/aes_end_to_end) runs on
-/// this.
+/// this, through the TraceSource seam (trace_source.hpp).
 
 #include <cstdint>
 
@@ -37,12 +37,34 @@ struct WalkStats {
   std::uint64_t si_invocations = 0;
   std::uint64_t forecasts = 0;
   bool reached_sink = false;          ///< walk ended at a block with no exits
+  /// The walk was cut short: max_steps ran out before any sink was reached.
+  /// Distinct from `!reached_sink` alone so callers can tell "the budget
+  /// truncated a longer walk" from other non-sink terminations.
+  bool truncated = false;
 };
+
+namespace detail {
+/// The walk itself — shared by the deprecated free function below and
+/// TraceSource::make_graph_walk. Not a public entry point.
+sim::Trace run_walk(const cfg::BBGraph& g, const forecast::FcPlan& plan,
+                    const isa::SiLibrary& lib, const WalkParams& params,
+                    WalkStats* stats);
+}  // namespace detail
 
 /// Walks `g` from its entry and builds the corresponding trace. Adjacent
 /// compute contributions are merged so the trace stays compact.
-sim::Trace walk_graph(const cfg::BBGraph& g, const forecast::FcPlan& plan,
-                      const isa::SiLibrary& lib, const WalkParams& params,
-                      WalkStats* stats = nullptr);
+///
+/// Deprecated: construct the walk through the unified producer seam —
+/// `TraceSource::make_graph_walk(...)` (trace_source.hpp) — which every
+/// bench and the experiment evaluator consume uniformly. This shim stays
+/// for source compatibility and forwards unchanged.
+[[deprecated("use workload::TraceSource::make_graph_walk instead")]]
+inline sim::Trace walk_graph(const cfg::BBGraph& g,
+                             const forecast::FcPlan& plan,
+                             const isa::SiLibrary& lib,
+                             const WalkParams& params,
+                             WalkStats* stats = nullptr) {
+  return detail::run_walk(g, plan, lib, params, stats);
+}
 
 }  // namespace rispp::workload

@@ -1,0 +1,79 @@
+#pragma once
+/// \file trace_source.hpp
+/// \brief The unified trace-producer seam: every way a simulator workload
+/// comes to exist, behind one interface.
+///
+/// Before this seam, every bench plumbed its own trace supply: fig06/fig11
+/// hand-built TraceOp vectors inline, the AES experiment called the
+/// graph-walk free function, the explorer parsed trace files, and the sweep
+/// evaluator hard-coded its H.264 constructors. A TraceSource is the common
+/// currency instead: *something that deterministically produces a multi-task
+/// workload*. Simulators, benches and the experiment evaluator consume any
+/// of them identically (`add_to`, or `tasks()` when the host wants to
+/// post-process, e.g. jitter), so a new producer — like the phased
+/// generator — plugs into every consumer at once.
+///
+/// Producers:
+///   make_fixed       a hand-built task list (the fig06/fig11 scenarios)
+///   make_from_text   the §2 trace text format, from a string
+///   make_from_file   the §2 trace text format, from a file
+///   make_graph_walk  a Markov walk over a forecast-annotated BB graph
+///   make_phased      the declarative phased generator (§8 configs)
+///
+/// Contract: `tasks()` is a pure function of the source's construction
+/// state — calling it twice yields identical task lists (byte-identical
+/// through sim::write_tasks). Stats out-parameters passed at construction
+/// are refreshed on every tasks() call.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rispp/cfg/graph.hpp"
+#include "rispp/forecast/forecast_pass.hpp"
+#include "rispp/isa/si_library.hpp"
+#include "rispp/sim/simulator.hpp"
+#include "rispp/sim/trace.hpp"
+#include "rispp/workload/graph_walk.hpp"
+#include "rispp/workload/phased.hpp"
+
+namespace rispp::workload {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produces the workload. Deterministic: same source, same result.
+  virtual std::vector<sim::TaskDef> tasks() const = 0;
+  /// One-line human-readable description of where the traces come from.
+  virtual std::string describe() const = 0;
+
+  /// The uniform consumption path: adds every produced task to `sim`, in
+  /// production order (task ids follow list positions).
+  void add_to(sim::Simulator& sim) const;
+
+  /// Wraps an already-built task list (hand-written scenarios).
+  static std::unique_ptr<TraceSource> make_fixed(
+      std::vector<sim::TaskDef> tasks, std::string label = "fixed");
+
+  /// Parses the §2 trace text format; SI names resolve against `lib`.
+  static std::unique_ptr<TraceSource> make_from_text(
+      const std::string& text, std::shared_ptr<const isa::SiLibrary> lib);
+  static std::unique_ptr<TraceSource> make_from_file(
+      const std::string& path, std::shared_ptr<const isa::SiLibrary> lib);
+
+  /// Markov-walks `g` under `plan` (single task named `task_name`). The
+  /// graph and plan are copied in — the source owns everything it needs.
+  /// When `stats` is non-null it is filled on every tasks() call.
+  static std::unique_ptr<TraceSource> make_graph_walk(
+      const cfg::BBGraph& g, const forecast::FcPlan& plan,
+      std::shared_ptr<const isa::SiLibrary> lib, WalkParams params,
+      WalkStats* stats = nullptr, std::string task_name = "walk");
+
+  /// The phased generator. When `stats` is non-null it is filled on every
+  /// tasks() call.
+  static std::unique_ptr<TraceSource> make_phased(
+      PhasedWorkload workload, PhasedStats* stats = nullptr);
+};
+
+}  // namespace rispp::workload

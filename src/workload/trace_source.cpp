@@ -1,0 +1,143 @@
+#include "rispp/workload/trace_source.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "rispp/sim/trace_io.hpp"
+#include "rispp/util/error.hpp"
+
+namespace rispp::workload {
+
+namespace {
+
+class FixedSource final : public TraceSource {
+ public:
+  FixedSource(std::vector<sim::TaskDef> tasks, std::string label)
+      : tasks_(std::move(tasks)), label_(std::move(label)) {}
+
+  std::vector<sim::TaskDef> tasks() const override { return tasks_; }
+  std::string describe() const override {
+    return label_ + " (" + std::to_string(tasks_.size()) + " fixed tasks)";
+  }
+
+ private:
+  std::vector<sim::TaskDef> tasks_;
+  std::string label_;
+};
+
+class ParsedSource final : public TraceSource {
+ public:
+  ParsedSource(std::vector<sim::TaskDef> tasks, std::string origin)
+      : tasks_(std::move(tasks)), origin_(std::move(origin)) {}
+
+  std::vector<sim::TaskDef> tasks() const override { return tasks_; }
+  std::string describe() const override {
+    return "trace text " + origin_ + " (" + std::to_string(tasks_.size()) +
+           " tasks)";
+  }
+
+ private:
+  std::vector<sim::TaskDef> tasks_;
+  std::string origin_;
+};
+
+class GraphWalkSource final : public TraceSource {
+ public:
+  GraphWalkSource(cfg::BBGraph g, forecast::FcPlan plan,
+                  std::shared_ptr<const isa::SiLibrary> lib, WalkParams params,
+                  WalkStats* stats, std::string task_name)
+      : graph_(std::move(g)),
+        plan_(std::move(plan)),
+        lib_(std::move(lib)),
+        params_(params),
+        stats_(stats),
+        task_name_(std::move(task_name)) {
+    RISPP_REQUIRE(lib_ != nullptr, "graph-walk source needs an SI library");
+  }
+
+  std::vector<sim::TaskDef> tasks() const override {
+    std::vector<sim::TaskDef> out;
+    out.push_back(
+        {task_name_, detail::run_walk(graph_, plan_, *lib_, params_, stats_)});
+    return out;
+  }
+
+  std::string describe() const override {
+    return "graph walk over " + std::to_string(graph_.block_count()) +
+           " blocks (seed " + std::to_string(params_.seed) + ", max_steps " +
+           std::to_string(params_.max_steps) + ")";
+  }
+
+ private:
+  cfg::BBGraph graph_;
+  forecast::FcPlan plan_;
+  std::shared_ptr<const isa::SiLibrary> lib_;
+  WalkParams params_;
+  WalkStats* stats_;
+  std::string task_name_;
+};
+
+class PhasedSource final : public TraceSource {
+ public:
+  PhasedSource(PhasedWorkload workload, PhasedStats* stats)
+      : workload_(std::move(workload)), stats_(stats) {}
+
+  std::vector<sim::TaskDef> tasks() const override {
+    return workload_.generate(stats_);
+  }
+
+  std::string describe() const override {
+    const auto& cfg = workload_.config();
+    return "phased workload " + cfg.name + " (" +
+           std::to_string(cfg.tasks) + " tasks, " +
+           std::to_string(cfg.phases.size()) + " phases, seed " +
+           std::to_string(cfg.seed) + ")";
+  }
+
+ private:
+  PhasedWorkload workload_;
+  PhasedStats* stats_;
+};
+
+}  // namespace
+
+void TraceSource::add_to(sim::Simulator& sim) const {
+  for (auto& task : tasks()) sim.add_task(std::move(task));
+}
+
+std::unique_ptr<TraceSource> TraceSource::make_fixed(
+    std::vector<sim::TaskDef> tasks, std::string label) {
+  return std::make_unique<FixedSource>(std::move(tasks), std::move(label));
+}
+
+std::unique_ptr<TraceSource> TraceSource::make_from_text(
+    const std::string& text, std::shared_ptr<const isa::SiLibrary> lib) {
+  RISPP_REQUIRE(lib != nullptr, "trace-text source needs an SI library");
+  return std::make_unique<ParsedSource>(sim::parse_tasks(text, *lib),
+                                        "string");
+}
+
+std::unique_ptr<TraceSource> TraceSource::make_from_file(
+    const std::string& path, std::shared_ptr<const isa::SiLibrary> lib) {
+  RISPP_REQUIRE(lib != nullptr, "trace-file source needs an SI library");
+  std::ifstream in(path);
+  if (!in.good())
+    throw util::PreconditionError("cannot open trace file '" + path + "'");
+  return std::make_unique<ParsedSource>(sim::parse_tasks(in, *lib), path);
+}
+
+std::unique_ptr<TraceSource> TraceSource::make_graph_walk(
+    const cfg::BBGraph& g, const forecast::FcPlan& plan,
+    std::shared_ptr<const isa::SiLibrary> lib, WalkParams params,
+    WalkStats* stats, std::string task_name) {
+  return std::make_unique<GraphWalkSource>(g, plan, std::move(lib), params,
+                                           stats, std::move(task_name));
+}
+
+std::unique_ptr<TraceSource> TraceSource::make_phased(PhasedWorkload workload,
+                                                      PhasedStats* stats) {
+  return std::make_unique<PhasedSource>(std::move(workload), stats);
+}
+
+}  // namespace rispp::workload

@@ -13,7 +13,7 @@
 #include "rispp/sim/observe.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/util/error.hpp"
-#include "rispp/workload/graph_walk.hpp"
+#include "rispp/workload/trace_source.hpp"
 
 namespace {
 
@@ -288,14 +288,15 @@ TEST(ProfilerInvariant, AesGraphWalk) {
   rispp::workload::WalkParams wp;
   wp.seed = 1;
   wp.emit_forecasts = true;
-  const auto trace = rispp::workload::walk_graph(g, plan, lib, wp);
+  const auto source = rispp::workload::TraceSource::make_graph_walk(
+      g, plan, borrow(lib), wp, nullptr, "aes");
 
   rispp::sim::SimConfig cfg;
   cfg.rt.atom_containers = 6;
   Profiler profiler(make_trace_meta(lib, cfg, {"aes"}));
   cfg.rt.sink = &profiler;
   rispp::sim::Simulator sim(borrow(lib), cfg);
-  sim.add_task({"aes", trace});
+  source->add_to(sim);
   sim.run();
   const auto r = profiler.finalize("aes");
   expect_attribution(r);

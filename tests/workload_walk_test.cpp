@@ -1,5 +1,6 @@
 /// Graph-driven workload generation: Markov-walk fidelity to the profile,
-/// determinism, forecast emission, and the end-to-end speed-up on AES.
+/// determinism, forecast emission, truncation reporting, and the end-to-end
+/// speed-up on AES — all through the TraceSource seam.
 
 #include <gtest/gtest.h>
 
@@ -7,13 +8,13 @@
 #include "rispp/cfg/dot.hpp"
 #include "rispp/forecast/forecast_pass.hpp"
 #include "rispp/sim/simulator.hpp"
-#include "rispp/workload/graph_walk.hpp"
+#include "rispp/workload/trace_source.hpp"
 
 namespace {
 
+using rispp::workload::TraceSource;
 using rispp::workload::WalkParams;
 using rispp::workload::WalkStats;
-using rispp::workload::walk_graph;
 
 struct AesSetup {
   rispp::isa::SiLibrary lib = rispp::aes::si_library();
@@ -28,14 +29,22 @@ struct AesSetup {
     cfg.alpha = 0.05;
     plan = rispp::forecast::run_forecast_pass(graph, lib, cfg);
   }
+
+  rispp::sim::Trace walk(const WalkParams& p, WalkStats* stats = nullptr) {
+    auto tasks =
+        TraceSource::make_graph_walk(graph, plan, borrow(lib), p, stats)
+            ->tasks();
+    EXPECT_EQ(tasks.size(), 1u);
+    return std::move(tasks[0].trace);
+  }
 };
 
 TEST(GraphWalk, DeterministicPerSeed) {
   AesSetup s(100);
   WalkParams p;
   p.seed = 3;
-  const auto a = walk_graph(s.graph, s.plan, s.lib, p);
-  const auto b = walk_graph(s.graph, s.plan, s.lib, p);
+  const auto a = s.walk(p);
+  const auto b = s.walk(p);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].kind, b[i].kind);
@@ -43,7 +52,7 @@ TEST(GraphWalk, DeterministicPerSeed) {
     EXPECT_EQ(a[i].si_index, b[i].si_index);
   }
   p.seed = 4;
-  const auto c = walk_graph(s.graph, s.plan, s.lib, p);
+  const auto c = s.walk(p);
   // Different seed → (almost surely) different walk length on this graph.
   EXPECT_NE(a.size(), c.size());
 }
@@ -57,8 +66,9 @@ TEST(GraphWalk, ReachesTheSinkAndCountsMatchStructure) {
   p.seed = 11;
   p.max_steps = 200000;
   WalkStats stats;
-  const auto trace = walk_graph(s.graph, s.plan, s.lib, p, &stats);
+  const auto trace = s.walk(p, &stats);
   EXPECT_TRUE(stats.reached_sink);
+  EXPECT_FALSE(stats.truncated);
   EXPECT_GT(stats.si_invocations, 0u);
 
   std::uint64_t subbytes = 0, mixcols = 0;
@@ -79,7 +89,7 @@ TEST(GraphWalk, ForecastsFireAtPlanBlocks) {
   ASSERT_GT(s.plan.total_points(), 0u);
   WalkParams p;
   WalkStats stats;
-  const auto trace = walk_graph(s.graph, s.plan, s.lib, p, &stats);
+  const auto trace = s.walk(p, &stats);
   EXPECT_GT(stats.forecasts, 0u);
   // With release_at_sinks, every forecasted SI is released at the end.
   std::set<std::size_t> forecasted, released;
@@ -97,7 +107,7 @@ TEST(GraphWalk, SilencedForecastsEmitNone) {
   WalkParams p;
   p.emit_forecasts = false;
   WalkStats stats;
-  const auto trace = walk_graph(s.graph, s.plan, s.lib, p, &stats);
+  const auto trace = s.walk(p, &stats);
   EXPECT_EQ(stats.forecasts, 0u);
   for (const auto& op : trace)
     EXPECT_NE(op.kind, rispp::sim::TraceOp::Kind::Forecast);
@@ -109,12 +119,12 @@ TEST(GraphWalk, EndToEndForecastingBeatsSilence) {
     WalkParams p;
     p.seed = 5;
     p.emit_forecasts = forecasts;
-    const auto trace = walk_graph(s.graph, s.plan, s.lib, p);
     rispp::sim::SimConfig cfg;
     cfg.rt.atom_containers = 6;
     cfg.rt.record_events = false;
     rispp::sim::Simulator sim(borrow(s.lib), cfg);
-    sim.add_task({"aes", trace});
+    TraceSource::make_graph_walk(s.graph, s.plan, borrow(s.lib), p)
+        ->add_to(sim);
     return sim.run().total_cycles;
   };
   const auto with_fc = run(true);
@@ -125,7 +135,7 @@ TEST(GraphWalk, EndToEndForecastingBeatsSilence) {
   EXPECT_LT(static_cast<double>(with_fc), 0.8 * static_cast<double>(without_fc));
 }
 
-TEST(GraphWalk, MaxStepsBoundsInfiniteLoops) {
+TEST(GraphWalk, MaxStepsBoundsInfiniteLoopsAndReportsTruncation) {
   rispp::cfg::BBGraph g;
   const auto a = g.add_block("spin", 10, 1);
   g.add_edge(a, a, 1);
@@ -133,12 +143,34 @@ TEST(GraphWalk, MaxStepsBoundsInfiniteLoops) {
   WalkParams p;
   p.max_steps = 50;
   WalkStats stats;
-  const auto trace = walk_graph(g, {}, lib, p, &stats);
+  const auto tasks =
+      TraceSource::make_graph_walk(g, {}, borrow(lib), p, &stats)->tasks();
+  const auto& trace = tasks.at(0).trace;
   EXPECT_EQ(stats.steps, 50u);
   EXPECT_FALSE(stats.reached_sink);
+  // The step budget ran out with the loop still spinning: a truncation.
+  EXPECT_TRUE(stats.truncated);
   // All compute merges into one op.
   ASSERT_EQ(trace.size(), 1u);
   EXPECT_EQ(trace[0].cycles, 500u);
+}
+
+TEST(GraphWalk, SourceRefreshesStatsOnEveryCall) {
+  AesSetup s(100);
+  WalkParams p;
+  p.seed = 7;
+  WalkStats stats;
+  const auto source =
+      TraceSource::make_graph_walk(s.graph, s.plan, borrow(s.lib), p, &stats);
+  (void)source->tasks();
+  const auto first = stats;
+  stats = WalkStats{};
+  (void)source->tasks();
+  EXPECT_EQ(stats.steps, first.steps);
+  EXPECT_EQ(stats.si_invocations, first.si_invocations);
+  EXPECT_EQ(stats.forecasts, first.forecasts);
+  EXPECT_EQ(stats.reached_sink, first.reached_sink);
+  EXPECT_EQ(stats.truncated, first.truncated);
 }
 
 TEST(Dot, RendersBlocksEdgesAndHighlights) {
