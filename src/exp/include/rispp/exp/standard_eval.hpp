@@ -7,7 +7,9 @@
 /// Understood parameters (all optional):
 ///   workload     enc | dec | encdec (phase traces; default encdec) |
 ///                fig7 (the Fig-7/Fig-12 encoder macroblock trace) |
-///                phased (the workload::PhasedWorkload generator)
+///                phased (the workload::PhasedWorkload generator) |
+///                generated (the library-derived sliding-hot-window
+///                workload; pairs with the lib_* axes)
 ///   containers   Atom Containers                     (default 10)
 ///   quantum      round-robin quantum in cycles       (default 10000)
 ///   frames       frames per task (phase workloads)   (default 2)
@@ -42,6 +44,26 @@
 ///   wl_skew      zipfian theta of the task chooser, in [0,1); 0 selects
 ///                the uniform chooser; overrides per-phase task choosers
 ///   wl_rate      multiplier applied to every phase's arrival-rate ramp
+///
+/// Generated-workload parameters (workload=generated; wl_seed/wl_tasks/
+/// wl_events/wl_skew/wl_rate as above, plus):
+///   wl_phases    sliding-hot-window phase count      (default 3)
+///
+/// Synthetic-library axes (any one of them makes the point run on a
+/// per-point isa::LibraryGenerator library instead of the Platform
+/// snapshot; requires workload=generated or workload=phased):
+///   lib_seed     generator seed                      (default point.seed)
+///   lib_atoms    rotatable atom count                (default 4)
+///   lib_static   static atom count                   (default 2)
+///   lib_sis      special-instruction count           (default 6)
+///   lib_shape    chains | flat | mixed               (default mixed)
+///   lib_mol_min  min molecules per SI                (default 2)
+///   lib_mol_max  max molecules per SI                (default 8)
+///   lib_bitstream  bitstream-size distribution spec, e.g.
+///                "uniform:40000,70000" | "lognormal:10.8,0.3" |
+///                "pareto:30000,2.5"    (default uniform:40000,70000)
+///   lib_speedup  hw-speedup distribution spec        (default lognormal:3,0.5)
+///   lib_max_count per-atom molecule determinant cap  (default 4)
 ///
 /// Reported metrics: cycles, rotations, si_hw, si_sw, energy_nj,
 /// reallocations, selector_plans, then hw_<SI>/sw_<SI> per invoked SI.

@@ -8,6 +8,7 @@
 
 #include "rispp/h264/phases.hpp"
 #include "rispp/h264/workload.hpp"
+#include "rispp/isa/generator.hpp"
 #include "rispp/obs/profiler.hpp"
 #include "rispp/obs/report.hpp"
 #include "rispp/sim/observe.hpp"
@@ -127,6 +128,55 @@ workload::PhasedConfig phased_config_for(const isa::SiLibrary& lib,
   return cfg;
 }
 
+/// The lib_* axis family: any of these present means the point runs on a
+/// synthetic library generated per point instead of the Platform snapshot.
+constexpr const char* kLibAxes[] = {
+    "lib_seed",    "lib_atoms",     "lib_static",  "lib_sis",
+    "lib_shape",   "lib_mol_min",   "lib_mol_max", "lib_bitstream",
+    "lib_speedup", "lib_max_count"};
+
+bool has_lib_axes(const SweepPoint& point) {
+  for (const auto* axis : kLibAxes)
+    if (point.find(axis) != nullptr) return true;
+  return false;
+}
+
+/// Builds (and validates) the per-point generator config from the lib_*
+/// axes. Called from sim_config_for so a bad axis value fails in --dry-run
+/// validation, before any worker generates anything.
+isa::GeneratorConfig generator_config_for(const SweepPoint& point) {
+  isa::GeneratorConfig cfg;
+  cfg.name = "genlib";
+  cfg.seed = point.get_u64("lib_seed", point.seed);
+  cfg.rotatable_atoms = point.get_u64("lib_atoms", 4);
+  cfg.static_atoms = point.get_u64("lib_static", 2);
+  cfg.sis = point.get_u64("lib_sis", 6);
+  cfg.molecules_min = point.get_u64("lib_mol_min", 2);
+  cfg.molecules_max = point.get_u64("lib_mol_max", 8);
+  cfg.shape = isa::parse_lattice_shape(point.get("lib_shape", "mixed"));
+  if (const auto* spec = point.find("lib_bitstream"))
+    cfg.bitstream = isa::Distribution::parse(*spec);
+  if (const auto* spec = point.find("lib_speedup"))
+    cfg.speedup = isa::Distribution::parse(*spec);
+  cfg.max_count =
+      static_cast<atom::Count>(point.get_u64("lib_max_count", 4));
+  cfg.validate();
+  return cfg;
+}
+
+/// Resolves a point's generated-workload params from the wl_* axes.
+workload::GeneratedWorkloadParams generated_params_for(
+    const SweepPoint& point) {
+  workload::GeneratedWorkloadParams p;
+  p.seed = point.get_u64("wl_seed", point.seed);
+  p.tasks = point.get_u64("wl_tasks", p.tasks);
+  p.phases = point.get_u64("wl_phases", p.phases);
+  p.events_per_phase = point.get_u64("wl_events", p.events_per_phase);
+  p.task_skew = point.get_f64("wl_skew", 0.0);
+  p.rate = point.get_f64("wl_rate", 1.0);
+  return p;
+}
+
 }  // namespace
 
 sim::SimConfig sim_config_for(const SweepPoint& point) {
@@ -161,10 +211,11 @@ sim::SimConfig sim_config_for(const SweepPoint& point) {
   RISPP_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0,1)");
   const auto workload = point.get("workload", "encdec");
   if (workload != "enc" && workload != "dec" && workload != "encdec" &&
-      workload != "fig7" && workload != "phased")
-    throw util::PreconditionError("unknown workload '" + workload +
-                                  "' (known: enc, dec, encdec, fig7, phased)");
-  if (workload == "phased") {
+      workload != "fig7" && workload != "phased" && workload != "generated")
+    throw util::PreconditionError(
+        "unknown workload '" + workload +
+        "' (known: enc, dec, encdec, fig7, phased, generated)");
+  if (workload == "phased" || workload == "generated") {
     // The wl_* axes are range-checked here so a bad grid fails in --dry-run
     // validation, before any worker generates anything.
     const double skew = point.get_f64("wl_skew", 0.0);
@@ -174,6 +225,18 @@ sim::SimConfig sim_config_for(const SweepPoint& point) {
                   "wl_events must be >= 1");
     RISPP_REQUIRE(point.get_f64("wl_rate", 1.0) > 0.0,
                   "wl_rate must be > 0");
+    RISPP_REQUIRE(point.get_u64("wl_phases", 1) >= 1,
+                  "wl_phases must be >= 1");
+  }
+  if (has_lib_axes(point)) {
+    // Synthetic-library points must carry a workload that resolves its SI
+    // names against the generated library; the H.264 trace builders would
+    // ask the library for CAVLC/MC/... and fail deep inside a worker.
+    if (workload != "phased" && workload != "generated")
+      throw util::PreconditionError(
+          "lib_* axes require workload=generated or workload=phased "
+          "(H.264 traces name SIs a synthetic library does not have)");
+    (void)generator_config_for(point);  // throws on a bad lib_* value
   }
   rt::validate(cfg.rt);
   return cfg;
@@ -186,7 +249,14 @@ void validate_sim_sweep(const Sweep& sweep) {
 PointMetrics run_sim_point(const Platform& platform,
                            const SweepPoint& point) {
   auto cfg = sim_config_for(point);
-  const auto& lib = platform.library();
+  // lib_* axes swap the platform snapshot's library for a per-point
+  // synthetic one; points without them keep the snapshot, so existing
+  // sweep output stays byte-identical.
+  auto lib_ptr = platform.library_ptr();
+  if (has_lib_axes(point))
+    lib_ptr =
+        isa::share(isa::LibraryGenerator(generator_config_for(point)).generate());
+  const auto& lib = *lib_ptr;
   const auto workload = point.get("workload", "encdec");
   const double jitter = point.get_f64("jitter", 0.0);
   util::Xoshiro256 rng(point.seed);
@@ -196,8 +266,11 @@ PointMetrics run_sim_point(const Platform& platform,
   // stream — same seed, same workload, bit for bit), and feeds the sim.
   std::unique_ptr<workload::TraceSource> source;
   if (workload == "phased") {
-    source = workload::TraceSource::make_phased(workload::PhasedWorkload(
-        phased_config_for(lib, point), platform.library_ptr()));
+    source = workload::TraceSource::make_phased(
+        workload::PhasedWorkload(phased_config_for(lib, point), lib_ptr));
+  } else if (workload == "generated") {
+    source =
+        workload::TraceSource::make_generated(lib_ptr, generated_params_for(point));
   } else if (workload == "fig7") {
     h264::TraceParams p;
     p.macroblocks = point.get_u64("mb", 60);
@@ -230,7 +303,7 @@ PointMetrics run_sim_point(const Platform& platform,
                   : obs::TraceMeta{});
   if (want_report) cfg.rt.sink = &profiler;
 
-  sim::Simulator sim(platform.library_ptr(), cfg);
+  sim::Simulator sim(lib_ptr, cfg);
   for (auto& task : tasks) {
     if (jitter > 0.0) apply_jitter(task.trace, jitter, rng);
     sim.add_task(std::move(task));

@@ -1,0 +1,127 @@
+#pragma once
+/// \file generator.hpp
+/// \brief Seeded generation of synthetic SI libraries — the evaluation
+/// dimension the paper's fixed Table-2 catalog closes off.
+///
+/// Every scenario in the paper (and in this repo until now) runs the same
+/// 7-Atom / 30-Molecule H.264 library, so every policy, forecast and kernel
+/// result is conditioned on one library *shape*. Following the automatic
+/// instruction-set-extension line (ARISE and the RISC-V custom-instruction
+/// generators in PAPERS.md), LibraryGenerator produces whole families of
+/// valid `SiLibrary` instances parameterized by:
+///
+///   * Atom count (rotatable compute Atoms + static data movers),
+///   * bitstream-size and speedup distributions (uniform / lognormal /
+///     pareto — heavy tails are where rotation economics get interesting),
+///   * Molecule-lattice shape: deep nested upgrade *chains* (like the
+///     paper's Table 2), wide *flat* fronts of incomparable alternatives,
+///     or a *mixed* population of both.
+///
+/// Determinism contract: generate() is a pure function of the config —
+/// identical (config, seed) produce byte-identical libraries (through
+/// isa::write_si_library) on any host, any thread count, any generator
+/// instance. Every library doubles as a fuzz case for the lattice,
+/// selection and I/O invariants (tests/genlib_property_test.cpp).
+
+#include <cstdint>
+#include <string>
+
+#include "rispp/isa/si_library.hpp"
+#include "rispp/util/rng.hpp"
+
+namespace rispp::isa {
+
+/// A seeded distribution over positive reals, sampled by inverse transform /
+/// Box–Muller over the caller's Xoshiro256 stream (no std::*_distribution —
+/// their output is implementation-defined and would break byte determinism
+/// across standard libraries).
+struct Distribution {
+  enum class Kind { Uniform, Lognormal, Pareto };
+  Kind kind = Kind::Uniform;
+  /// Uniform: [a, b]. Lognormal: a = μ, b = σ of the underlying normal.
+  /// Pareto: a = scale x_m (minimum), b = shape α (> 0; smaller = heavier
+  /// tail).
+  double a = 0.0;
+  double b = 0.0;
+
+  static Distribution uniform(double lo, double hi);
+  static Distribution lognormal(double mu, double sigma);
+  static Distribution pareto(double xm, double alpha);
+
+  /// Parses the CLI/axis spelling: "uniform:LO,HI", "lognormal:MU,SIGMA",
+  /// "pareto:XM,ALPHA". Throws util::PreconditionError on malformed specs
+  /// or out-of-range parameters.
+  static Distribution parse(const std::string& spec);
+
+  /// One draw. Consumes a fixed number of rng values per kind (uniform and
+  /// pareto: 1, lognormal: 2) so generation stays stream-stable.
+  double sample(util::Xoshiro256& rng) const;
+
+  /// Canonical spelling, parse(describe()) round-trips.
+  std::string describe() const;
+};
+
+/// The Molecule-lattice shape of a generated SI (§3.1 structures):
+///   Chains — every SI's hardware Molecules form one nested upgrade chain
+///            m₁ ≤ m₂ ≤ … with strictly decreasing latency, the Table-2
+///            pattern rotation incrementally climbs;
+///   Flat   — every SI's Molecules are pairwise ≤-incomparable at similar
+///            container cost: a wide front of alternatives where upgrades
+///            replace rather than extend;
+///   Mixed  — a deterministic per-SI blend of the two.
+enum class LatticeShape { Chains, Flat, Mixed };
+
+/// Parses "chains" | "flat" | "mixed"; throws util::PreconditionError
+/// listing the valid spellings.
+LatticeShape parse_lattice_shape(const std::string& spec);
+const char* to_string(LatticeShape shape);
+
+struct GeneratorConfig {
+  std::string name = "genlib";
+  std::uint64_t seed = 1;
+  /// Rotatable compute Atoms ("G0", "G1", …) — the ones competing for Atom
+  /// Containers.
+  std::size_t rotatable_atoms = 4;
+  /// Static data movers ("M0", …) — appear in Molecules, never rotate
+  /// (Load/Add/Store in Table 2).
+  std::size_t static_atoms = 2;
+  std::size_t sis = 6;
+  /// Hardware Molecules per SI, drawn uniformly from [min, max].
+  std::size_t molecules_min = 2;
+  std::size_t molecules_max = 8;
+  LatticeShape shape = LatticeShape::Mixed;
+  /// Partial-bitstream bytes per rotatable Atom (Table 1's column; clamped
+  /// to [1, 16 MiB]). Default brackets the measured 57–66 KB.
+  Distribution bitstream = Distribution::uniform(40000.0, 70000.0);
+  /// Max speedup of an SI's fastest Molecule vs its software routine
+  /// (clamped to [1.1, 10000]). Lognormal default: most SIs gain ~10–30×,
+  /// a tail gains much more — the paper's ">22×" regime.
+  Distribution speedup = Distribution::lognormal(3.0, 0.5);
+  /// Per-Atom instance-count ceiling inside one Molecule (Table 2 tops out
+  /// at 4).
+  atom::Count max_count = 4;
+
+  /// Throws util::PreconditionError on unsatisfiable parameters (zero
+  /// rotatable atoms, molecules_min > molecules_max, …).
+  void validate() const;
+  /// Canonical one-line parameter summary.
+  std::string describe() const;
+};
+
+class LibraryGenerator {
+ public:
+  /// Validates the config up front; generation itself cannot fail.
+  explicit LibraryGenerator(GeneratorConfig cfg);
+
+  /// Generates the library. Pure function of the config: every call returns
+  /// the same library, byte for byte through write_si_library.
+  SiLibrary generate() const;
+
+  const GeneratorConfig& config() const { return cfg_; }
+  std::string describe() const { return cfg_.describe(); }
+
+ private:
+  GeneratorConfig cfg_;
+};
+
+}  // namespace rispp::isa

@@ -49,6 +49,12 @@ std::pair<std::string, std::string> split_kv(const Line& line,
 
 std::uint64_t parse_u64(const Line& line, const std::string& key,
                         const std::string& value) {
+  // std::stoull accepts a leading sign and wraps "-1" to 2^64-1 without
+  // throwing; require a digit-leading value (the trace parser's rule) so
+  // signed input is a parse error, not a silently-huge count.
+  if (value.empty() || value.front() < '0' || value.front() > '9')
+    throw ParseError(line.number,
+                     "invalid number for " + key + ": '" + value + "'");
   try {
     std::size_t pos = 0;
     const auto v = std::stoull(value, &pos);

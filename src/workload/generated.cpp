@@ -1,0 +1,60 @@
+#include "rispp/workload/generated.hpp"
+
+#include <algorithm>
+
+#include "rispp/util/error.hpp"
+
+namespace rispp::workload {
+
+PhasedConfig make_generated_config(const isa::SiLibrary& lib,
+                                   const GeneratedWorkloadParams& params) {
+  RISPP_REQUIRE(params.tasks >= 1, "generated workload needs tasks >= 1");
+  RISPP_REQUIRE(params.phases >= 1, "generated workload needs phases >= 1");
+  RISPP_REQUIRE(params.events_per_phase >= 1,
+                "generated workload needs events_per_phase >= 1");
+  RISPP_REQUIRE(params.task_skew >= 0.0 && params.task_skew < 1.0,
+                "task_skew must be in [0,1)");
+  RISPP_REQUIRE(params.rate > 0.0, "rate must be > 0");
+  RISPP_REQUIRE(params.si_theta >= 0.0 && params.si_theta < 1.0,
+                "si_theta must be in [0,1)");
+
+  PhasedConfig cfg;
+  cfg.name = "generated";
+  cfg.tasks = params.tasks;
+  cfg.seed = params.seed;
+  cfg.task_chooser =
+      params.task_skew > 0.0
+          ? [&] {
+              ChooserSpec s{Chooser::Kind::Zipfian};
+              s.theta = params.task_skew;
+              return s;
+            }()
+          : ChooserSpec{Chooser::Kind::Uniform};
+
+  // The hot window: half the catalog (at least one SI), sliding one SI per
+  // phase. Zipfian rank follows window order, so the front of the window is
+  // the hot spot and each slide genuinely moves it.
+  const std::size_t n = lib.size();
+  const std::size_t window = std::max<std::size_t>(1, (n + 1) / 2);
+  for (std::uint64_t p = 0; p < params.phases; ++p) {
+    PhaseConfig phase;
+    phase.name = "hot" + std::to_string(p);
+    phase.events = params.events_per_phase;
+    for (std::size_t w = 0; w < window; ++w)
+      phase.mix.emplace_back(lib.at((p + w) % n).name(), 1.0);
+    if (params.si_theta > 0.0) {
+      phase.si_chooser.kind = Chooser::Kind::Zipfian;
+      phase.si_chooser.theta = params.si_theta;
+    } else {
+      phase.si_chooser.kind = Chooser::Kind::Uniform;
+    }
+    phase.compute_min = 2000;
+    phase.compute_max = 8000;
+    phase.rate_begin = params.rate;
+    phase.rate_end = params.rate;
+    cfg.phases.push_back(std::move(phase));
+  }
+  return cfg;
+}
+
+}  // namespace rispp::workload

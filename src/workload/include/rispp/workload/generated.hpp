@@ -1,0 +1,44 @@
+#pragma once
+/// \file generated.hpp
+/// \brief Forecast-annotated workloads matched to a synthetic SI library.
+///
+/// A generated library (isa::LibraryGenerator) is only useful if something
+/// exercises it: this module derives a phased workload *from the library
+/// itself* — phases whose SI mixes slide across the catalog (a rotating hot
+/// window, so the "application hot spot moved" moments rotation exists for
+/// happen whatever the library shape), with the phased generator's full
+/// forecast semantics (first touch per phase forecasts, phase boundaries
+/// release). The derivation is a pure function of (library, params): same
+/// library, same params — byte-identical traces, any host, any --jobs.
+///
+/// The TraceSource producer (`TraceSource::make_generated`) rides on this so
+/// benches, the `rispp_genlib` tool and the `workload=generated` sweep axis
+/// all consume the exact same derivation.
+
+#include <cstdint>
+#include <memory>
+
+#include "rispp/isa/si_library.hpp"
+#include "rispp/workload/phased.hpp"
+
+namespace rispp::workload {
+
+struct GeneratedWorkloadParams {
+  std::uint64_t tasks = 4;
+  std::uint64_t phases = 3;           ///< hot-window positions to visit
+  std::uint64_t events_per_phase = 150;
+  std::uint64_t seed = 1;             ///< chooser/draw seed (wl_seed axis)
+  double task_skew = 0.0;   ///< zipfian theta of the task chooser, in [0,1);
+                            ///< 0 selects the uniform chooser
+  double rate = 1.0;        ///< arrival-rate multiplier (> 0)
+  double si_theta = 0.8;    ///< zipfian skew inside a phase's hot window
+};
+
+/// Derives the phased config: `params.phases` phases, each mixing a window
+/// of ⌈|SIs|/2⌉ consecutive SIs (wrapping) whose start slides by one SI per
+/// phase — every phase retargets the hot set, forcing re-rotation on any
+/// library. Throws util::PreconditionError on out-of-range params.
+PhasedConfig make_generated_config(const isa::SiLibrary& lib,
+                                   const GeneratedWorkloadParams& params);
+
+}  // namespace rispp::workload

@@ -19,6 +19,8 @@
 ///   make_from_file   the §2 trace text format, from a file
 ///   make_graph_walk  a Markov walk over a forecast-annotated BB graph
 ///   make_phased      the declarative phased generator (§8 configs)
+///   make_generated   a library-derived sliding-hot-window workload (the
+///                    companion of isa::LibraryGenerator; generated.hpp)
 ///
 /// Contract: `tasks()` is a pure function of the source's construction
 /// state — calling it twice yields identical task lists (byte-identical
@@ -34,6 +36,7 @@
 #include "rispp/isa/si_library.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/sim/trace.hpp"
+#include "rispp/workload/generated.hpp"
 #include "rispp/workload/graph_walk.hpp"
 #include "rispp/workload/phased.hpp"
 
@@ -74,6 +77,15 @@ class TraceSource {
   /// tasks() call.
   static std::unique_ptr<TraceSource> make_phased(
       PhasedWorkload workload, PhasedStats* stats = nullptr);
+
+  /// The library-derived workload for synthetic libraries: derives a phased
+  /// config from `lib` itself (make_generated_config) and generates through
+  /// the phased machinery — forecast-annotated, byte-deterministic in
+  /// (lib, params). When `stats` is non-null it is filled on every tasks()
+  /// call.
+  static std::unique_ptr<TraceSource> make_generated(
+      std::shared_ptr<const isa::SiLibrary> lib,
+      const GeneratedWorkloadParams& params, PhasedStats* stats = nullptr);
 };
 
 }  // namespace rispp::workload

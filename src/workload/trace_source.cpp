@@ -100,6 +100,31 @@ class PhasedSource final : public TraceSource {
   PhasedStats* stats_;
 };
 
+/// Same engine as PhasedSource, but the description names the derivation —
+/// the config was computed from the library, not written by a user.
+class GeneratedSource final : public TraceSource {
+ public:
+  GeneratedSource(PhasedWorkload workload, PhasedStats* stats)
+      : workload_(std::move(workload)), stats_(stats) {}
+
+  std::vector<sim::TaskDef> tasks() const override {
+    return workload_.generate(stats_);
+  }
+
+  std::string describe() const override {
+    const auto& cfg = workload_.config();
+    return "generated workload over " +
+           std::to_string(workload_.library().size()) + " SIs (" +
+           std::to_string(cfg.tasks) + " tasks, " +
+           std::to_string(cfg.phases.size()) + " sliding phases, seed " +
+           std::to_string(cfg.seed) + ")";
+  }
+
+ private:
+  PhasedWorkload workload_;
+  PhasedStats* stats_;
+};
+
 }  // namespace
 
 void TraceSource::add_to(sim::Simulator& sim) const {
@@ -138,6 +163,15 @@ std::unique_ptr<TraceSource> TraceSource::make_graph_walk(
 std::unique_ptr<TraceSource> TraceSource::make_phased(PhasedWorkload workload,
                                                       PhasedStats* stats) {
   return std::make_unique<PhasedSource>(std::move(workload), stats);
+}
+
+std::unique_ptr<TraceSource> TraceSource::make_generated(
+    std::shared_ptr<const isa::SiLibrary> lib,
+    const GeneratedWorkloadParams& params, PhasedStats* stats) {
+  RISPP_REQUIRE(lib != nullptr, "generated source needs an SI library");
+  auto cfg = make_generated_config(*lib, params);
+  return std::make_unique<GeneratedSource>(
+      PhasedWorkload(std::move(cfg), std::move(lib)), stats);
 }
 
 }  // namespace rispp::workload

@@ -1,0 +1,68 @@
+#pragma once
+/// Shared fixture for the generator-driven property suites: one seed ↦ one
+/// deterministic GeneratorConfig covering the whole parameter matrix (all
+/// three lattice shapes, all three distribution families for bitstream and
+/// speedup, catalog/SI/molecule sizes from degenerate to saturated). Any
+/// failure reproduces from the seed alone:
+///
+///   ./rispp_genlib describe --seed=N ...   (flags from matrix_config below)
+///
+/// Used by genlib_property_test.cpp, atom_lattice_property_test.cpp and
+/// rt_selection_property_test.cpp so every suite fuzzes the same library
+/// population.
+
+#include <cstdint>
+
+#include "rispp/isa/generator.hpp"
+
+namespace genlib_fixture {
+
+/// Deterministic seed → config map. The moduli are coprime-ish so a
+/// contiguous seed range steps through the cross product of shape ×
+/// bitstream family × speedup family × sizes rather than repeating one
+/// combination.
+inline rispp::isa::GeneratorConfig matrix_config(std::uint64_t seed) {
+  using rispp::isa::Distribution;
+  using rispp::isa::LatticeShape;
+  rispp::isa::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.name = "fuzz" + std::to_string(seed);
+  cfg.shape = seed % 3 == 0   ? LatticeShape::Chains
+              : seed % 3 == 1 ? LatticeShape::Flat
+                              : LatticeShape::Mixed;
+  cfg.rotatable_atoms = 2 + seed % 5;                       // 2..6
+  cfg.static_atoms = seed % 4;                              // 0..3
+  cfg.sis = 1 + seed % 9;                                   // 1..9
+  cfg.molecules_min = 1 + seed % 3;                         // 1..3
+  cfg.molecules_max = cfg.molecules_min + (seed / 3) % 7;   // +0..6
+  cfg.max_count = static_cast<rispp::atom::Count>(2 + seed % 4);  // 2..5
+  switch ((seed / 7) % 3) {
+    case 0:
+      cfg.bitstream = Distribution::uniform(30000.0, 80000.0);
+      break;
+    case 1:
+      cfg.bitstream = Distribution::lognormal(10.9, 0.4);
+      break;
+    default:
+      cfg.bitstream = Distribution::pareto(30000.0, 2.2);
+      break;
+  }
+  switch ((seed / 11) % 3) {
+    case 0:
+      cfg.speedup = Distribution::lognormal(3.0, 0.7);
+      break;
+    case 1:
+      cfg.speedup = Distribution::uniform(2.0, 60.0);
+      break;
+    default:
+      cfg.speedup = Distribution::pareto(4.0, 1.5);
+      break;
+  }
+  return cfg;
+}
+
+inline rispp::isa::SiLibrary generated_library(std::uint64_t seed) {
+  return rispp::isa::LibraryGenerator(matrix_config(seed)).generate();
+}
+
+}  // namespace genlib_fixture

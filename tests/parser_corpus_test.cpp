@@ -102,6 +102,22 @@ TEST(ParserCorpus, TraceDiagnosticsCarryLineNumbers) {
   }
 }
 
+TEST(ParserCorpus, SignedCountsAreRejectedNotWrapped) {
+  // std::stoull accepts "-1" and wraps it to 2^64-1 with no exception; the
+  // library parser must reject signed values the way the trace parser does
+  // (found by minimizing generator output — genlib_negative_count.si).
+  try {
+    (void)rispp::isa::parse_si_library(
+        "catalog\n  atom A slices=1 luts=2 bitstream=100\nend\n"
+        "si X software=5\n  molecule cycles=1 A=-1\nend\n");
+    FAIL() << "signed atom count accepted";
+  } catch (const rispp::isa::ParseError& e) {
+    EXPECT_EQ(e.line(), 5u);
+    EXPECT_NE(std::string(e.what()).find("invalid number"),
+              std::string::npos);
+  }
+}
+
 TEST(ParserCorpus, GiantCountsOverflowToErrorsNotWraparound) {
   // 26 nines overflows uint64_t; both parsers must say "invalid number"
   // instead of wrapping modulo 2^64 into a silently-wrong value.

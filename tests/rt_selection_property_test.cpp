@@ -4,9 +4,16 @@
 /// fault-aware properties — selection plans around quarantined Atom
 /// Containers, and replacement never evicts mid-rotation or targets a
 /// blocked container.
+///
+/// Every property body takes the library as a parameter, so the same checks
+/// run twice: over the ad-hoc random_library() instances (the original
+/// population — rng streams unchanged) and over isa::LibraryGenerator
+/// libraries from the genlib_fixture matrix, whose chains and flat fronts
+/// have the correlated structure the ad-hoc generator never produces.
 
 #include <gtest/gtest.h>
 
+#include "genlib_fixture.hpp"
 #include "rispp/hw/fault.hpp"
 #include "rispp/rt/manager.hpp"
 #include "rispp/rt/selection.hpp"
@@ -59,11 +66,10 @@ SiLibrary random_library(rispp::util::Xoshiro256& rng) {
   return SiLibrary(std::move(cat), std::move(list));
 }
 
-class SelectionProperties : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(SelectionProperties, PlanInvariantsOnRandomLibraries) {
-  rispp::util::Xoshiro256 rng(GetParam());
-  const auto lib = random_library(rng);
+/// Plan feasibility, step soundness and budget monotonicity for one library;
+/// demands are drawn from `rng`.
+void check_plan_invariants(const SiLibrary& lib,
+                           rispp::util::Xoshiro256& rng) {
   const GreedySelector sel(lib);
 
   std::vector<ForecastDemand> demands;
@@ -101,13 +107,9 @@ TEST_P(SelectionProperties, PlanInvariantsOnRandomLibraries) {
   }
 }
 
-TEST_P(SelectionProperties, GreedyWithinHalfOfExhaustive) {
-  // Greedy marginal-gain selection has no universal optimality guarantee on
-  // arbitrary molecule lattices, but on these random instances it must stay
-  // within 50 % of the exhaustive optimum (empirically it is far closer;
-  // the H.264 library is exact — see rt_selection_test).
-  rispp::util::Xoshiro256 rng(GetParam() * 7919);
-  const auto lib = random_library(rng);
+/// Greedy stays within 50 % of the exhaustive optimum (and never beats it).
+void check_greedy_within_half(const SiLibrary& lib,
+                              rispp::util::Xoshiro256& rng) {
   const GreedySelector sel(lib);
   std::vector<ForecastDemand> demands;
   for (std::size_t s = 0; s < lib.size(); ++s)
@@ -124,19 +126,26 @@ TEST_P(SelectionProperties, GreedyWithinHalfOfExhaustive) {
   }
 }
 
-/// Fault-aware replacement property: whatever the random container state —
-/// loaded, mid-rotation, in fault backoff, quarantined — choose_victim
-/// never sacrifices a container whose transfer is still in flight, never
-/// targets a blocked one, and never evicts an Atom the target still needs.
-TEST_P(SelectionProperties, ReplacementNeverEvictsMidRotationOrBlocked) {
-  rispp::util::Xoshiro256 rng(GetParam() * 104729);
-  const auto lib = random_library(rng);
+/// Whatever the random container state — loaded, mid-rotation, in fault
+/// backoff, quarantined — choose_victim never sacrifices a container whose
+/// transfer is still in flight, never targets a blocked one, and never
+/// evicts an Atom the target still needs.
+void check_replacement_victims(const SiLibrary& lib,
+                               rispp::util::Xoshiro256& rng) {
   const auto& cat = lib.catalog();
   const Cycle now = 10000;
 
+  // Only rotatable Atoms ever enter a container; generated catalogs also
+  // carry static movers. For the all-rotatable random_library catalogs the
+  // index map is the identity, so the historical rng stream is unchanged.
+  std::vector<std::size_t> rotatable;
+  for (std::size_t a = 0; a < cat.size(); ++a)
+    if (cat.at(a).rotatable) rotatable.push_back(a);
+  ASSERT_FALSE(rotatable.empty());
+
   ContainerFile file(6, cat);
   for (unsigned c = 0; c < file.size(); ++c) {
-    const auto kind = rng.below(cat.size());
+    const auto kind = rotatable[rng.below(rotatable.size())];
     switch (rng.below(5)) {
       case 0:  // empty
         break;
@@ -159,9 +168,13 @@ TEST_P(SelectionProperties, ReplacementNeverEvictsMidRotationOrBlocked) {
   file.refresh(now);
 
   for (int trial = 0; trial < 20; ++trial) {
+    // Draw a count for every component (keeps the stream), but the target
+    // configuration itself only ever demands rotatable Atoms.
     Molecule target(cat.size());
-    for (std::size_t a = 0; a < cat.size(); ++a)
-      target.set(a, static_cast<rispp::atom::Count>(rng.below(3)));
+    for (std::size_t a = 0; a < cat.size(); ++a) {
+      const auto c = static_cast<rispp::atom::Count>(rng.below(3));
+      if (cat.at(a).rotatable) target.set(a, c);
+    }
     for (const auto policy :
          {VictimPolicy::LruExcess, VictimPolicy::MruExcess,
           VictimPolicy::RoundRobinExcess}) {
@@ -182,18 +195,15 @@ TEST_P(SelectionProperties, ReplacementNeverEvictsMidRotationOrBlocked) {
   }
 }
 
-/// Fault-aware selection property: under a hostile fault schedule that
-/// quarantines containers as the run progresses, the platform never counts
-/// on a quarantined AC — quarantined containers stay empty forever and the
-/// committed configuration always fits into the surviving budget.
-TEST_P(SelectionProperties, SelectionPlansAroundQuarantinedContainers) {
-  const std::uint64_t seed = GetParam();
-  rispp::util::Xoshiro256 rng(seed * 31337);
-  const auto lib = random_library(rng);
-
+/// Under a hostile fault schedule that quarantines containers as the run
+/// progresses, the platform never counts on a quarantined AC — quarantined
+/// containers stay empty forever and the committed configuration always
+/// fits into the surviving budget.
+void check_quarantine_planning(const SiLibrary& lib, std::uint64_t fault_seed,
+                               rispp::util::Xoshiro256& rng) {
   RtConfig cfg;
   cfg.atom_containers = 4;
-  cfg.faults = rispp::hw::FaultModel::probabilistic(seed, 0.6);
+  cfg.faults = rispp::hw::FaultModel::probabilistic(fault_seed, 0.6);
   cfg.max_rotation_retries = 0;  // first failure quarantines
   cfg.retry_backoff_cycles = 200;
   RisppManager mgr(rispp::isa::borrow(lib), cfg);
@@ -227,7 +237,82 @@ TEST_P(SelectionProperties, SelectionPlansAroundQuarantinedContainers) {
   }
 }
 
+class SelectionProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectionProperties, PlanInvariantsOnRandomLibraries) {
+  rispp::util::Xoshiro256 rng(GetParam());
+  const auto lib = random_library(rng);
+  check_plan_invariants(lib, rng);
+}
+
+TEST_P(SelectionProperties, GreedyWithinHalfOfExhaustive) {
+  // Greedy marginal-gain selection has no universal optimality guarantee on
+  // arbitrary molecule lattices, but on these random instances it must stay
+  // within 50 % of the exhaustive optimum (empirically it is far closer;
+  // the H.264 library is exact — see rt_selection_test).
+  rispp::util::Xoshiro256 rng(GetParam() * 7919);
+  const auto lib = random_library(rng);
+  check_greedy_within_half(lib, rng);
+}
+
+TEST_P(SelectionProperties, ReplacementNeverEvictsMidRotationOrBlocked) {
+  rispp::util::Xoshiro256 rng(GetParam() * 104729);
+  const auto lib = random_library(rng);
+  check_replacement_victims(lib, rng);
+}
+
+TEST_P(SelectionProperties, SelectionPlansAroundQuarantinedContainers) {
+  const std::uint64_t seed = GetParam();
+  rispp::util::Xoshiro256 rng(seed * 31337);
+  const auto lib = random_library(rng);
+  check_quarantine_planning(lib, seed, rng);
+}
+
 INSTANTIATE_TEST_SUITE_P(RandomLibraries, SelectionProperties,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+/// The same properties over the genlib_fixture population. The failure
+/// message names the generator seed (the gtest param) and the full
+/// parameter line.
+class GeneratedSelectionProperties
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    SCOPED_TRACE("genlib " + genlib_fixture::matrix_config(GetParam())
+                                 .describe());
+  }
+};
+
+TEST_P(GeneratedSelectionProperties, PlanInvariants) {
+  rispp::util::Xoshiro256 rng(GetParam() * 6151);
+  check_plan_invariants(genlib_fixture::generated_library(GetParam()), rng);
+}
+
+TEST_P(GeneratedSelectionProperties, GreedyWithinHalfOfExhaustive) {
+  // Exhaustive selection enumerates Molecule combinations; bound the
+  // instance size so the optimum stays tractable.
+  const auto lib = genlib_fixture::generated_library(GetParam());
+  std::size_t options = 0;
+  for (const auto& si : lib.sis()) options += si.options().size();
+  if (lib.size() > 4 || options > 16) GTEST_SKIP() << "instance too large";
+  rispp::util::Xoshiro256 rng(GetParam() * 7919);
+  check_greedy_within_half(lib, rng);
+}
+
+TEST_P(GeneratedSelectionProperties, ReplacementNeverEvictsMidRotationOrBlocked) {
+  rispp::util::Xoshiro256 rng(GetParam() * 104729);
+  check_replacement_victims(genlib_fixture::generated_library(GetParam()),
+                            rng);
+}
+
+TEST_P(GeneratedSelectionProperties, SelectionPlansAroundQuarantine) {
+  const std::uint64_t seed = GetParam();
+  rispp::util::Xoshiro256 rng(seed * 31337);
+  check_quarantine_planning(genlib_fixture::generated_library(seed), seed,
+                            rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(GeneratedLibraries, GeneratedSelectionProperties,
                          ::testing::Range<std::uint64_t>(1, 41));
 
 }  // namespace

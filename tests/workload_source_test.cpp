@@ -86,24 +86,54 @@ TEST(TraceSource, MissingTraceFileThrows) {
 }
 
 TEST(TraceSource, DeprecatedWalkGraphShimMatchesTheSeam) {
+  // The shim must forward *unchanged*: same trace bytes AND same WalkStats,
+  // over several walk seeds and with forecasts ablated. Anything less and
+  // "deprecated but source-compatible" would be a lie.
   const auto lib = rispp::aes::si_library();
-  const auto graph = rispp::aes::build_graph(150);
+  const auto graph = rispp::aes::build_graph(300);
   rispp::forecast::ForecastConfig fc;
   fc.atom_containers = 6;
+  fc.alpha = 0.05;  // keep the plan non-empty so forecasts actually fire
   const auto plan = rispp::forecast::run_forecast_pass(graph, lib, fc);
-  WalkParams p;
-  p.seed = 9;
+  ASSERT_GT(plan.total_points(), 0u);
 
-  const auto seam =
-      TraceSource::make_graph_walk(graph, plan, borrow(lib), p)->tasks();
-  ASSERT_EQ(seam.size(), 1u);
+  for (const std::uint64_t seed : {9ull, 23ull, 77ull}) {
+    for (const bool emit_forecasts : {true, false}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " emit_forecasts=" + (emit_forecasts ? "true" : "false"));
+      WalkParams p;
+      p.seed = seed;
+      p.emit_forecasts = emit_forecasts;
 
+      WalkStats seam_stats;
+      const auto seam =
+          TraceSource::make_graph_walk(graph, plan, borrow(lib), p,
+                                       &seam_stats)
+              ->tasks();
+      ASSERT_EQ(seam.size(), 1u);
+
+      WalkStats legacy_stats;
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = rispp::workload::walk_graph(graph, plan, lib, p);
+      const auto legacy =
+          rispp::workload::walk_graph(graph, plan, lib, p, &legacy_stats);
 #pragma GCC diagnostic pop
 
-  EXPECT_EQ(serialize({{"walk", legacy}}, lib), serialize(seam, lib));
+      EXPECT_EQ(serialize({{"walk", legacy}}, lib), serialize(seam, lib));
+      EXPECT_EQ(legacy_stats.steps, seam_stats.steps);
+      EXPECT_EQ(legacy_stats.si_invocations, seam_stats.si_invocations);
+      EXPECT_EQ(legacy_stats.forecasts, seam_stats.forecasts);
+      EXPECT_EQ(legacy_stats.reached_sink, seam_stats.reached_sink);
+      EXPECT_EQ(legacy_stats.truncated, seam_stats.truncated);
+      if (!emit_forecasts) {
+        EXPECT_EQ(seam_stats.forecasts, 0u);
+        for (const auto& op : seam[0].trace)
+          EXPECT_NE(op.kind, rispp::sim::TraceOp::Kind::Forecast);
+      } else {
+        EXPECT_GT(seam_stats.forecasts, 0u);
+      }
+    }
+  }
 }
 
 TEST(TraceSource, PhasedSourceMatchesGenerateAndRefreshesStats) {
@@ -195,6 +225,33 @@ TEST(StandardEvalPhased, ValidationRejectsBadParameters) {
 
   rispp::exp::Sweep good;
   good.axis("workload", {"phased"}).axis("wl_skew", {"0.5"});
+  EXPECT_NO_THROW(rispp::exp::validate_sim_sweep(good));
+}
+
+TEST(StandardEvalGenerated, LibAxesValidateUpFront) {
+  // lib_* axes swap in a generated library, which only makes sense for the
+  // synthetic workloads; pairing them with a builtin trace must fail in
+  // validation (--dry-run), not midway through a sweep.
+  rispp::exp::Sweep bad_workload;
+  bad_workload.axis("workload", {"encdec"}).axis("lib_seed", {"3"});
+  EXPECT_THROW(rispp::exp::validate_sim_sweep(bad_workload),
+               PreconditionError);
+
+  const auto check_throws = [](const char* axis, const char* value) {
+    rispp::exp::Sweep sweep;
+    sweep.axis("workload", {"generated"}).axis(axis, {value});
+    EXPECT_THROW(rispp::exp::validate_sim_sweep(sweep), PreconditionError)
+        << axis << "=" << value;
+  };
+  check_throws("lib_atoms", "0");
+  check_throws("lib_sis", "0");
+  check_throws("lib_shape", "spiral");
+  check_throws("lib_bitstream", "nonsense(1,2)");
+
+  rispp::exp::Sweep good;
+  good.axis("workload", {"generated"})
+      .axis("lib_seed", {"3"})
+      .axis("lib_shape", {"chains"});
   EXPECT_NO_THROW(rispp::exp::validate_sim_sweep(good));
 }
 
