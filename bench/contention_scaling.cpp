@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "rispp/bench/meta_block.hpp"
 #include "rispp/hw/fault.hpp"
 #include "rispp/isa/si_library.hpp"
 #include "rispp/obs/event.hpp"
@@ -341,7 +342,10 @@ int main(int argc, char** argv) try {
             << no_retry.quarantined << " containers quarantined\n";
 
   std::ofstream out(out_path);
-  out << "{\n  \"bench\": \"contention_scaling\",\n"
+  out << "{\n"
+      << "  \"meta\": " << rispp::bench::meta_block("contention_scaling")
+      << ",\n"
+      << "  \"bench\": \"contention_scaling\",\n"
       << "  \"events\": " << events << ",\n"
       << "  \"containers\": " << containers << ",\n"
       << "  \"max_tasks\": " << max_tasks << ",\n"

@@ -26,6 +26,7 @@
 #include <iostream>
 #include <string>
 
+#include "rispp/bench/meta_block.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
 
@@ -183,6 +184,8 @@ int main(int argc, char** argv) try {
 
   std::ofstream json(out_path);
   json << "{\n"
+       << "  \"meta\": " << rispp::bench::meta_block("kernel_throughput")
+       << ",\n"
        << "  \"scenario\": \"fig06\",\n"
        << "  \"reps\": " << reps << ",\n"
        << "  \"fig06_sim_cycles\": " << fig06.sim_cycles << ",\n"

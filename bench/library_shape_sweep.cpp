@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "rispp/bench/meta_block.hpp"
 #include "rispp/exp/platform.hpp"
 #include "rispp/exp/standard_eval.hpp"
 #include "rispp/util/table.hpp"
@@ -128,6 +129,8 @@ int main(int argc, char** argv) try {
 
   std::ofstream out(out_path);
   out << "{\n"
+      << "  \"meta\": " << rispp::bench::meta_block("library_shape_sweep")
+      << ",\n"
       << "  \"grid\": \"shape x seed x containers x bandwidth, "
          "workload=generated, "
       << sweep.points().size() << " points\",\n"

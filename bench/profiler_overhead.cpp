@@ -14,6 +14,7 @@
 #include <iostream>
 #include <optional>
 
+#include "rispp/bench/meta_block.hpp"
 #include "rispp/obs/profiler.hpp"
 #include "rispp/sim/observe.hpp"
 #include "rispp/sim/simulator.hpp"
@@ -122,6 +123,8 @@ int main(int argc, char** argv) try {
 
   std::ofstream json(out_path);
   json << "{\n"
+       << "  \"meta\": " << rispp::bench::meta_block("profiler_overhead")
+       << ",\n"
        << "  \"scenario\": \"fig06\",\n"
        << "  \"reps\": " << reps << ",\n"
        << "  \"events_per_run\": " << report.counts.events << ",\n"

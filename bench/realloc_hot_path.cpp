@@ -21,6 +21,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "rispp/bench/meta_block.hpp"
 #include "rispp/h264/phases.hpp"
 #include "rispp/sim/simulator.hpp"
 #include "rispp/util/table.hpp"
@@ -101,6 +102,8 @@ int main(int argc, char** argv) try {
 
   std::ofstream json(out_path);
   json << "{\n"
+       << "  \"meta\": " << rispp::bench::meta_block("realloc_hot_path")
+       << ",\n"
        << "  \"scenario\": \"h264_enc_dec_corun\",\n"
        << "  \"atom_containers\": 10,\n"
        << "  \"quantum\": 2000,\n"

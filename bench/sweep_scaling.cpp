@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "rispp/bench/meta_block.hpp"
 #include "rispp/exp/platform.hpp"
 #include "rispp/exp/runner.hpp"
 #include "rispp/exp/sink.hpp"
@@ -250,6 +251,8 @@ int main(int argc, char** argv) try {
 
   std::ofstream json(out_path);
   json << "{\n"
+       << "  \"meta\": " << rispp::bench::meta_block("sweep_scaling")
+       << ",\n"
        << "  \"grid\": \"fig13: si x budget 0..16, h264 library, 68 "
           "points\",\n"
        << "  \"reps\": " << reps << ",\n"

@@ -24,6 +24,7 @@
 /// *not* called, so spill files remain valid prefixes of a complete run.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -34,6 +35,7 @@
 #include "rispp/exp/result_table.hpp"
 #include "rispp/exp/sink.hpp"
 #include "rispp/exp/sweep.hpp"
+#include "rispp/obs/telemetry.hpp"
 
 namespace rispp::exp {
 
@@ -57,7 +59,8 @@ struct RunnerConfig {
 };
 
 /// What a run actually did — the checkpoint/resume and bounded-memory
-/// contracts are asserted against these numbers.
+/// contracts are asserted against these numbers, and `rispp_sweep` prints
+/// them in its end-of-run summary.
 struct RunStats {
   /// Points this run was asked to evaluate (the sweep view minus any
   /// `completed` skips, before the `max_points` cap).
@@ -69,6 +72,21 @@ struct RunStats {
   std::size_t max_reorder_buffered = 0;
   /// The resolved window (after defaulting/clamping).
   std::size_t reorder_window = 0;
+  /// Wall-clock time of the whole run (claim through join).
+  std::uint64_t wall_ns = 0;
+  /// Per-worker telemetry: points claimed, evaluator busy time, claim-gate
+  /// waits, sink-flush time. Always collected (the counters are relaxed
+  /// atomic bumps in worker-owned cache lines — they never perturb the
+  /// byte-identical-at-any-jobs contract, which covers *rows*, not stats).
+  /// The ticket-claim pool has no steal counter: work distribution shows up
+  /// as the per-worker `points` spread, contention as `gate_waits`.
+  std::vector<obs::WorkerStats> workers;
+
+  std::uint64_t total_gate_waits() const {
+    std::uint64_t n = 0;
+    for (const auto& w : workers) n += w.gate_waits;
+    return n;
+  }
 };
 
 class Runner {
@@ -87,6 +105,11 @@ class Runner {
     /// exactly as if the process had died after that many checkpoints.
     std::size_t max_points = 0;
     RunStats* stats = nullptr;  ///< filled when non-null
+    /// Optional host telemetry: spans per point, live per-worker counters,
+    /// heartbeats from the flush path, and a flight-recorder dump when the
+    /// run fails. Results are byte-identical with or without it (pinned by
+    /// tests/exp_telemetry_test).
+    obs::Telemetry* telemetry = nullptr;
   };
 
   /// Evaluates the sweep view (its shard's points, minus `completed`),

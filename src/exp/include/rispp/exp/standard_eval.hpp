@@ -29,6 +29,11 @@
 ///   fault_seed   fault-model RNG seed                (default point.seed)
 ///   retries      RtConfig::max_rotation_retries      (default 3)
 ///   backoff      RtConfig::retry_backoff_cycles      (default 1000)
+///   fail_point   global point index at which the evaluator throws a
+///                PreconditionError *instead of* simulating — the
+///                deliberate-failure axis that drives the flight-recorder
+///                path (telemetry dump, preserved exit code) from a plain
+///                grid; points with a different index are unaffected
 ///   report_dir   when set, stream the point's events through an
 ///                obs::Profiler and write a run report to
 ///                <report_dir>/point_<index>.report.json; the payload holds
@@ -106,9 +111,11 @@ ResultTable run_sim_sweep(std::shared_ptr<const Platform> platform,
 
 /// Sink-driven variant: validates, then streams the sweep view into `sink`
 /// (see Runner::run for the ordering contract and RunOptions for
-/// resume/max_points).
+/// resume/max_points). `reorder_window` is RunnerConfig::reorder_window
+/// (0 = the default 4x-jobs window).
 void run_sim_sweep_into(std::shared_ptr<const Platform> platform,
                         const Sweep& sweep, unsigned jobs, ResultSink& sink,
-                        const Runner::RunOptions& opts = Runner::RunOptions());
+                        const Runner::RunOptions& opts = Runner::RunOptions(),
+                        std::size_t reorder_window = 0);
 
 }  // namespace rispp::exp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <map>
@@ -11,6 +12,29 @@
 #include "rispp/util/error.hpp"
 
 namespace rispp::exp {
+
+namespace {
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Extracts a printable message from the in-flight exception (for the
+/// flight-recorder note; the exception itself is rethrown untouched).
+std::string current_exception_what() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-std exception";
+  }
+}
+
+}  // namespace
 
 Runner::Runner(std::shared_ptr<const Platform> platform, RunnerConfig cfg)
     : platform_(std::move(platform)),
@@ -51,6 +75,18 @@ void Runner::run(const Sweep& sweep, const PointFn& fn, ResultSink& sink,
   window = std::max<std::size_t>(window, workers);
   stats.reorder_window = window;
 
+  // Host telemetry: per-worker counters are collected for every run (relaxed
+  // bumps in worker-owned cache lines — they feed RunStats and the sweep
+  // CLI's summary); spans, heartbeats and the flight recorder only engage
+  // when a Telemetry is attached.
+  obs::Telemetry* const tel = opts.telemetry;
+  std::vector<obs::WorkerCounters> counters(workers);
+  if (tel != nullptr) {
+    tel->begin_run(todo.size(), workers, window);
+    tel->attach_workers(counters.data(), counters.size());
+  }
+  const auto run_start_ns = mono_ns();
+
   // Shared run state. `positions` are indices into `todo` (dense), so the
   // claim-gate arithmetic is independent of shard striding.
   std::atomic<std::size_t> next_claim{0};
@@ -61,10 +97,17 @@ void Runner::run(const Sweep& sweep, const PointFn& fn, ResultSink& sink,
   std::size_t max_buffered = 0;
   bool cancelled = false;
   std::exception_ptr first_error;
+  std::string first_error_what;
+  const char* first_error_stage = "";
 
-  const auto fail = [&](std::unique_lock<std::mutex>& lock) {
+  const auto fail = [&](std::unique_lock<std::mutex>& lock,
+                        const char* stage) {
     (void)lock;  // must be held
-    if (!first_error) first_error = std::current_exception();
+    if (!first_error) {
+      first_error = std::current_exception();
+      first_error_what = current_exception_what();
+      first_error_stage = stage;
+    }
     cancelled = true;
     admitted.notify_all();
   };
@@ -75,6 +118,7 @@ void Runner::run(const Sweep& sweep, const PointFn& fn, ResultSink& sink,
     row.point = point.index;
     row.seed = point.seed;
     row.cells = point.params;
+    obs::ScopedSpan span("point", "#" + std::to_string(point.index));
     auto metrics = fn(*platform_, point);
     row.cells.insert(row.cells.end(),
                      std::make_move_iterator(metrics.begin()),
@@ -82,7 +126,14 @@ void Runner::run(const Sweep& sweep, const PointFn& fn, ResultSink& sink,
     return row;
   };
 
-  const auto worker = [&] {
+  const auto worker = [&](unsigned w) {
+    // Worker threads bind to telemetry ordinal w+1 (ordinal 0 is the host
+    // thread); the binding also covers the inline single-worker path, which
+    // temporarily rebinds the caller's thread.
+    std::unique_ptr<obs::Telemetry::Binding> binding;
+    if (tel != nullptr)
+      binding = std::make_unique<obs::Telemetry::Binding>(*tel, w + 1);
+    auto& ctr = counters[w];
     for (;;) {
       const auto pos = next_claim.fetch_add(1, std::memory_order_relaxed);
       if (pos >= todo.size()) return;
@@ -92,55 +143,105 @@ void Runner::run(const Sweep& sweep, const PointFn& fn, ResultSink& sink,
         // holding position `next_flush` always passes, so the window
         // always slides and waiters always wake.
         std::unique_lock<std::mutex> lock(mutex);
-        admitted.wait(lock,
-                      [&] { return cancelled || pos < next_flush + window; });
+        if (cancelled) return;
+        if (pos >= next_flush + window) {
+          ctr.gate_waits.fetch_add(1, std::memory_order_relaxed);
+          const auto t0 = mono_ns();
+          {
+            obs::ScopedSpan wait_span("gate.wait");
+            admitted.wait(
+                lock, [&] { return cancelled || pos < next_flush + window; });
+          }
+          ctr.gate_wait_ns.fetch_add(mono_ns() - t0,
+                                     std::memory_order_relaxed);
+        }
         if (cancelled) return;
       }
       ResultRow row;
+      const auto busy0 = mono_ns();
       try {
         row = evaluate(pos);
       } catch (...) {
+        ctr.busy_ns.fetch_add(mono_ns() - busy0, std::memory_order_relaxed);
         std::unique_lock<std::mutex> lock(mutex);
-        fail(lock);
+        fail(lock, "evaluator exception");
         return;
       }
+      ctr.busy_ns.fetch_add(mono_ns() - busy0, std::memory_order_relaxed);
+      ctr.points.fetch_add(1, std::memory_order_relaxed);
       {
         std::unique_lock<std::mutex> lock(mutex);
         if (cancelled) return;
         buffer.emplace(pos, std::move(row));
         max_buffered = std::max(max_buffered, buffer.size());
+        std::size_t flushed = 0;
+        const auto flush0 = mono_ns();
         try {
           // Drain every in-order row. Sink calls run under the lock: they
           // are serialized, ordered, and any sink exception cancels the
           // run exactly like an evaluator exception.
+          obs::ScopedSpan flush_span("sink.flush");
           for (auto it = buffer.find(next_flush); it != buffer.end();
                it = buffer.find(next_flush)) {
             sink.on_row(it->second);
             buffer.erase(it);
             ++next_flush;
+            ++flushed;
           }
         } catch (...) {
-          fail(lock);
+          ctr.flush_ns.fetch_add(mono_ns() - flush0,
+                                 std::memory_order_relaxed);
+          fail(lock, "sink exception");
           return;
+        }
+        if (flushed > 0) {
+          ctr.flush_ns.fetch_add(mono_ns() - flush0,
+                                 std::memory_order_relaxed);
+          ctr.rows_flushed.fetch_add(flushed, std::memory_order_relaxed);
+          // Heartbeats ride the flush path: already serialized (the lock is
+          // held), `next_flush` is monotone, and nothing here ever touches
+          // a row — results stay byte-identical with telemetry on or off.
+          if (tel != nullptr) tel->on_progress(next_flush);
         }
         admitted.notify_all();
       }
     }
   };
 
-  if (workers <= 1 || todo.size() <= 1) {
-    worker();  // inline: already ordered, gate always open
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+  {
+    obs::ScopedSpan run_span("run", sweep.spec());
+    if (workers <= 1 || todo.size() <= 1) {
+      worker(0);  // inline: already ordered, gate always open
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back([&worker, w] { worker(w); });
+      for (auto& t : pool) t.join();
+    }
   }
 
   stats.points_evaluated = next_flush;
   stats.max_reorder_buffered = max_buffered;
+  stats.wall_ns = mono_ns() - run_start_ns;
+  stats.workers.reserve(counters.size());
+  for (const auto& c : counters)
+    stats.workers.push_back(obs::WorkerStats::snapshot(c));
   if (opts.stats != nullptr) *opts.stats = stats;
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    // Workers are joined: the flight rings are quiescent, so the dump sees
+    // every worker's last moments. end_run is *not* called — mirroring the
+    // sink contract (no finish() on a failed run).
+    if (tel != nullptr) {
+      tel->record_failure(first_error_stage, first_error_what);
+      tel->attach_workers(nullptr, 0);
+    }
+    std::rethrow_exception(first_error);
+  }
+  if (tel != nullptr) {
+    tel->end_run(next_flush, max_buffered);
+    tel->attach_workers(nullptr, 0);
+  }
   sink.finish();
 }
 

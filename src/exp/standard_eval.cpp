@@ -11,6 +11,7 @@
 #include "rispp/isa/generator.hpp"
 #include "rispp/obs/profiler.hpp"
 #include "rispp/obs/report.hpp"
+#include "rispp/obs/telemetry.hpp"
 #include "rispp/sim/observe.hpp"
 #include "rispp/util/error.hpp"
 #include "rispp/util/rng.hpp"
@@ -209,6 +210,7 @@ sim::SimConfig sim_config_for(const SweepPoint& point) {
 
   const double jitter = point.get_f64("jitter", 0.0);
   RISPP_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0,1)");
+  (void)point.get_u64("fail_point", 0);  // parse-checked here for --dry-run
   const auto workload = point.get("workload", "encdec");
   if (workload != "enc" && workload != "dec" && workload != "encdec" &&
       workload != "fig7" && workload != "phased" && workload != "generated")
@@ -249,6 +251,14 @@ void validate_sim_sweep(const Sweep& sweep) {
 PointMetrics run_sim_point(const Platform& platform,
                            const SweepPoint& point) {
   auto cfg = sim_config_for(point);
+  // Deliberate-failure axis: a point whose index matches `fail_point` throws
+  // before simulating. Exists so the flight-recorder path (telemetry dump on
+  // evaluator exception, preserved exit code) can be driven from a plain
+  // sweep grid — CI's telemetry smoke uses it.
+  if (point.find("fail_point") != nullptr &&
+      point.get_u64("fail_point", 0) == point.index)
+    throw util::PreconditionError("fail_point: deliberate failure at point #" +
+                                  std::to_string(point.index));
   // lib_* axes swap the platform snapshot's library for a per-point
   // synthetic one; points without them keep the snapshot, so existing
   // sweep output stays byte-identical.
@@ -264,32 +274,36 @@ PointMetrics run_sim_point(const Platform& platform,
   // Every workload arrives through the TraceSource seam; the evaluator only
   // materializes the tasks once, jitters them in list order (one shared rng
   // stream — same seed, same workload, bit for bit), and feeds the sim.
-  std::unique_ptr<workload::TraceSource> source;
-  if (workload == "phased") {
-    source = workload::TraceSource::make_phased(
-        workload::PhasedWorkload(phased_config_for(lib, point), lib_ptr));
-  } else if (workload == "generated") {
-    source =
-        workload::TraceSource::make_generated(lib_ptr, generated_params_for(point));
-  } else if (workload == "fig7") {
-    h264::TraceParams p;
-    p.macroblocks = point.get_u64("mb", 60);
-    source = workload::TraceSource::make_fixed(
-        {{"encoder", h264::make_encode_trace(lib, p)}}, "fig7");
-  } else {
-    h264::PhaseTraceParams p;
-    p.frames = point.get_u64("frames", 2);
-    p.macroblocks_per_frame = point.get_u64("mb", 60);
-    std::vector<sim::TaskDef> tasks;
-    if (workload == "enc" || workload == "encdec")
-      tasks.push_back({"enc", h264::make_phase_trace(lib, p,
-                                                     h264::fig1_phases())});
-    if (workload == "dec" || workload == "encdec")
-      tasks.push_back({"dec", h264::make_phase_trace(
-                                  lib, p, h264::decoder_phases())});
-    source = workload::TraceSource::make_fixed(std::move(tasks), workload);
+  std::vector<sim::TaskDef> tasks;
+  {
+    obs::ScopedSpan wl_span("point.workload");
+    std::unique_ptr<workload::TraceSource> source;
+    if (workload == "phased") {
+      source = workload::TraceSource::make_phased(
+          workload::PhasedWorkload(phased_config_for(lib, point), lib_ptr));
+    } else if (workload == "generated") {
+      source = workload::TraceSource::make_generated(
+          lib_ptr, generated_params_for(point));
+    } else if (workload == "fig7") {
+      h264::TraceParams p;
+      p.macroblocks = point.get_u64("mb", 60);
+      source = workload::TraceSource::make_fixed(
+          {{"encoder", h264::make_encode_trace(lib, p)}}, "fig7");
+    } else {
+      h264::PhaseTraceParams p;
+      p.frames = point.get_u64("frames", 2);
+      p.macroblocks_per_frame = point.get_u64("mb", 60);
+      std::vector<sim::TaskDef> fixed;
+      if (workload == "enc" || workload == "encdec")
+        fixed.push_back(
+            {"enc", h264::make_phase_trace(lib, p, h264::fig1_phases())});
+      if (workload == "dec" || workload == "encdec")
+        fixed.push_back(
+            {"dec", h264::make_phase_trace(lib, p, h264::decoder_phases())});
+      source = workload::TraceSource::make_fixed(std::move(fixed), workload);
+    }
+    tasks = source->tasks();
   }
-  auto tasks = source->tasks();
 
   // report_dir: stream this point's events through a Profiler and drop a
   // run report next to the sweep output. The report payload carries only
@@ -309,7 +323,10 @@ PointMetrics run_sim_point(const Platform& platform,
     sim.add_task(std::move(task));
   }
 
-  const auto r = sim.run();
+  const auto r = [&] {
+    obs::ScopedSpan sim_span("point.sim");
+    return sim.run();
+  }();
   std::uint64_t hw = 0, sw = 0;
   for (const auto& [name, st] : r.per_si) {
     hw += st.hw_invocations;
@@ -344,6 +361,7 @@ PointMetrics run_sim_point(const Platform& platform,
     m.emplace_back("sw_" + name, std::to_string(st.sw_invocations));
   }
   if (want_report) {
+    obs::ScopedSpan report_span("point.report");
     const auto label = "point_" + std::to_string(point.index);
     obs::write_report_file(point.get("report_dir", ".") + "/" + label +
                                ".report.json",
@@ -361,9 +379,10 @@ ResultTable run_sim_sweep(std::shared_ptr<const Platform> platform,
 
 void run_sim_sweep_into(std::shared_ptr<const Platform> platform,
                         const Sweep& sweep, unsigned jobs, ResultSink& sink,
-                        const Runner::RunOptions& opts) {
+                        const Runner::RunOptions& opts,
+                        std::size_t reorder_window) {
   validate_sim_sweep(sweep);
-  const Runner runner(std::move(platform), {jobs});
+  const Runner runner(std::move(platform), {jobs, reorder_window});
   runner.run(sweep, run_sim_point, sink, opts);
 }
 

@@ -276,4 +276,46 @@ void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
   w.close();
 }
 
+void write_host_chrome_trace(std::ostream& out,
+                             const std::vector<TelemetrySpan>& spans) {
+  // Separate process (pid 2, "rispp host"): wall-clock spans next to the
+  // pid-1 simulated-cycle tracks. One tid per telemetry thread ordinal.
+  constexpr int kHostPid = 2;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto raw = [&](const std::string& obj) {
+    out << (first ? "\n" : ",\n") << obj;
+    first = false;
+  };
+  raw("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+      std::to_string(kHostPid) +
+      ",\"tid\":0,\"args\":{\"name\":\"rispp host\"}}");
+  std::uint32_t max_thread = 0;
+  for (const auto& s : spans) max_thread = std::max(max_thread, s.thread);
+  for (std::uint32_t t = 0; t <= max_thread; ++t)
+    raw("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+        std::to_string(kHostPid) + ",\"tid\":" + std::to_string(t) +
+        ",\"args\":{\"name\":\"" +
+        (t == 0 ? std::string("host") : "worker " + std::to_string(t)) +
+        "\"}}");
+  const auto ns_to_us = [](std::uint64_t ns) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
+    std::string s(buf);
+    s.erase(s.find_last_not_of('0') + 1);
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+  };
+  for (const auto& s : spans) {
+    std::string name = s.name;
+    if (!s.detail.empty()) name += " " + s.detail;
+    raw("{\"name\":\"" + esc(name) + "\",\"ph\":\"X\",\"pid\":" +
+        std::to_string(kHostPid) + ",\"tid\":" + std::to_string(s.thread) +
+        ",\"ts\":" + ns_to_us(s.start_ns) +
+        ",\"dur\":" + ns_to_us(s.end_ns - s.start_ns) +
+        ",\"args\":{\"depth\":" + std::to_string(s.depth) + "}}");
+  }
+  out << "\n]}\n";
+}
+
 }  // namespace rispp::obs

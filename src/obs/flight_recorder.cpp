@@ -1,0 +1,255 @@
+#include "rispp/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "rispp/obs/json.hpp"
+
+#ifdef __unix__
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace rispp::obs {
+
+const char* FlightEvent::kind_name() const {
+  switch (kind) {
+    case Kind::Enter: return "enter";
+    case Kind::Exit: return "exit";
+    case Kind::Note: return "note";
+  }
+  return "?";
+}
+
+void FlightRing::push(std::uint64_t t_ns, FlightEvent::Kind kind,
+                      const char* name, std::string_view detail) {
+  const auto h = head_.load(std::memory_order_relaxed);
+  auto& e = events_[h % kCapacity];
+  e.t_ns = t_ns;
+  e.kind = kind;
+  e.name = name;
+  const auto n = std::min(detail.size(), sizeof e.detail - 1);
+  std::memcpy(e.detail, detail.data(), n);
+  e.detail[n] = '\0';
+  head_.store(h + 1, std::memory_order_relaxed);
+}
+
+std::size_t FlightRing::retained() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(pushed(), kCapacity));
+}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+  const auto h = pushed();
+  const auto n = retained();
+  std::vector<FlightEvent> out;
+  out.reserve(n);
+  // Oldest first: the ring holds pushes [h - n, h).
+  for (std::uint64_t i = h - n; i < h; ++i)
+    out.push_back(events_[i % kCapacity]);
+  return out;
+}
+
+FlightRecorder::FlightRecorder(std::size_t threads) {
+  ensure_threads(std::max<std::size_t>(threads, 1));
+}
+
+FlightRecorder::~FlightRecorder() { uninstall_crash_handler(); }
+
+void FlightRecorder::ensure_threads(std::size_t threads) {
+  while (rings_.size() < threads)
+    rings_.push_back(std::make_unique<FlightRing>());
+}
+
+void FlightRecorder::note(std::size_t thread, std::uint64_t t_ns,
+                          const char* name, std::string_view detail) {
+  ring(thread).push(t_ns, FlightEvent::Kind::Note, name, detail);
+}
+
+void FlightRecorder::dump(std::ostream& out, std::string_view reason) const {
+  // Merge all rings, sorted by timestamp (stable across equal stamps:
+  // thread ordinal, then ring order — snapshot() is already oldest-first).
+  struct Tagged {
+    FlightEvent e;
+    std::uint32_t thread;
+    std::uint64_t seq;
+  };
+  std::vector<Tagged> merged;
+  std::uint64_t dropped = 0;
+  for (std::size_t t = 0; t < rings_.size(); ++t) {
+    const auto& r = *rings_[t];
+    dropped += r.pushed() - r.retained();
+    std::uint64_t seq = 0;
+    for (const auto& e : r.snapshot())
+      merged.push_back({e, static_cast<std::uint32_t>(t), seq++});
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     if (a.e.t_ns != b.e.t_ns) return a.e.t_ns < b.e.t_ns;
+                     if (a.thread != b.thread) return a.thread < b.thread;
+                     return a.seq < b.seq;
+                   });
+
+  auto doc = json::Value::object();
+  doc.add("schema", json::Value::string("rispp.flight/1"));
+  doc.add("reason", json::Value::string(std::string(reason)));
+  doc.add("threads", json::Value::number(
+                         static_cast<std::uint64_t>(rings_.size())));
+  doc.add("dropped_events", json::Value::number(dropped));
+  auto& events = doc.add("events", json::Value::array());
+  for (const auto& [e, thread, seq] : merged) {
+    (void)seq;
+    auto rec = json::Value::object();
+    rec.add("t_ns", json::Value::number(e.t_ns));
+    rec.add("thread", json::Value::number(static_cast<std::uint64_t>(thread)));
+    rec.add("kind", json::Value::string(e.kind_name()));
+    rec.add("name", json::Value::string(e.name));
+    if (e.detail[0] != '\0')
+      rec.add("detail", json::Value::string(e.detail));
+    events.push_back(std::move(rec));
+  }
+  out << doc.dump(2);
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path,
+                                  std::string_view reason) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  dump(out, reason);
+  return out.good();
+}
+
+#ifdef __unix__
+
+namespace {
+
+/// snprintf into `buf` then write(2) everything out; false on short write.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const auto w = ::write(fd, data, n);
+    if (w <= 0) return false;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// JSON-escapes `in` into `out` keeping only printable ASCII (everything
+/// else becomes '?') — enough for span names and details, allocation-free.
+void escape_ascii(const char* in, char* out, std::size_t cap) {
+  std::size_t o = 0;
+  for (std::size_t i = 0; in[i] != '\0' && o + 2 < cap; ++i) {
+    const char c = in[i];
+    if (c == '"' || c == '\\') {
+      out[o++] = '\\';
+      out[o++] = c;
+    } else if (c >= 0x20 && c < 0x7f) {
+      out[o++] = c;
+    } else {
+      out[o++] = '?';
+    }
+  }
+  out[o] = '\0';
+}
+
+/// The single active crash-handler owner. Plain pointer + sig_atomic_t
+/// guard: the handler only reads it, installation happens before any
+/// instrumented thread can crash-dump.
+FlightRecorder* g_crash_recorder = nullptr;
+const char* g_crash_path = nullptr;
+volatile std::sig_atomic_t g_crash_busy = 0;
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+void crash_handler(int sig) {
+  // Re-entrancy guard: a second fault while dumping falls through to the
+  // default disposition immediately.
+  if (!g_crash_busy) {
+    g_crash_busy = 1;
+    if (g_crash_recorder != nullptr && g_crash_path != nullptr) {
+      const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        g_crash_recorder->dump_signal_safe(fd, sig);
+        ::close(fd);
+      }
+    }
+  }
+  // Restore the default disposition and re-raise: the process dies with the
+  // original signal, so wrappers and CI see the true exit status.
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+bool FlightRecorder::dump_signal_safe(int fd, int signal) const {
+  char buf[512];
+  char esc[128];
+  int n = std::snprintf(buf, sizeof buf,
+                        "{\n  \"schema\": \"rispp.flight/1\",\n"
+                        "  \"reason\": \"signal %d\",\n"
+                        "  \"threads\": %zu,\n  \"events\": [",
+                        signal, rings_.size());
+  if (n < 0 || !write_all(fd, buf, static_cast<std::size_t>(n))) return false;
+  // Per-thread in ring order (no sort — the merged order is a luxury the
+  // signal path skips; consumers sort by t_ns).
+  bool first = true;
+  for (std::size_t t = 0; t < rings_.size(); ++t) {
+    const auto& r = *rings_[t];
+    const auto head = r.pushed();
+    const auto kept =
+        std::min<std::uint64_t>(head, FlightRing::kCapacity);
+    for (std::uint64_t i = head - kept; i < head; ++i) {
+      const auto& e = r.slot(static_cast<std::size_t>(i % FlightRing::kCapacity));
+      escape_ascii(e.detail, esc, sizeof esc);
+      char name[96];
+      escape_ascii(e.name, name, sizeof name);
+      n = std::snprintf(buf, sizeof buf,
+                        "%s\n    {\"t_ns\": %llu, \"thread\": %zu, "
+                        "\"kind\": \"%s\", \"name\": \"%s\", "
+                        "\"detail\": \"%s\"}",
+                        first ? "" : ",",
+                        static_cast<unsigned long long>(e.t_ns), t,
+                        e.kind_name(), name, esc);
+      if (n < 0 || !write_all(fd, buf, static_cast<std::size_t>(n)))
+        return false;
+      first = false;
+    }
+  }
+  return write_all(fd, "\n  ]\n}\n", 7);
+}
+
+void FlightRecorder::install_crash_handler(std::string path) {
+  crash_path_ = std::move(path);
+  g_crash_recorder = this;
+  g_crash_path = crash_path_.c_str();
+  for (const int sig : kCrashSignals) std::signal(sig, crash_handler);
+  handler_installed_ = true;
+}
+
+void FlightRecorder::uninstall_crash_handler() {
+  if (!handler_installed_ || g_crash_recorder != this) {
+    handler_installed_ = false;
+    return;
+  }
+  for (const int sig : kCrashSignals) std::signal(sig, SIG_DFL);
+  g_crash_recorder = nullptr;
+  g_crash_path = nullptr;
+  handler_installed_ = false;
+}
+
+#else  // !__unix__
+
+bool FlightRecorder::dump_signal_safe(int, int) const { return false; }
+void FlightRecorder::install_crash_handler(std::string path) {
+  crash_path_ = std::move(path);
+}
+void FlightRecorder::uninstall_crash_handler() {}
+
+#endif
+
+}  // namespace rispp::obs

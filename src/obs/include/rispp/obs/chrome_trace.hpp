@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "rispp/obs/event.hpp"
+#include "rispp/obs/telemetry.hpp"
 
 namespace rispp::obs {
 
@@ -34,5 +35,14 @@ void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
                         const ChromeTraceOptions& options);
 void write_chrome_trace(std::ostream& out, const std::vector<Event>& events,
                         const TraceMeta& meta);
+
+/// Host-telemetry export: renders wall-clock spans (obs::Telemetry) as
+/// complete ("ph":"X") events under a separate "rispp host" process — pid 2,
+/// one tid per telemetry thread (tid 0 "host", tid 1+ "worker N") — so a
+/// sweep's serving-path timeline opens in Perfetto next to the simulated-
+/// cycle tracks of the pid-1 trace. Timestamps are microseconds since the
+/// Telemetry epoch.
+void write_host_chrome_trace(std::ostream& out,
+                             const std::vector<TelemetrySpan>& spans);
 
 }  // namespace rispp::obs

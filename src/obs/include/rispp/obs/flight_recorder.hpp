@@ -1,0 +1,133 @@
+#pragma once
+/// \file flight_recorder.hpp
+/// \brief Crash-safe flight recorder: a bounded per-thread ring of recent
+/// host-side span/note events, dumpable as JSON after an uncaught evaluator
+/// exception or from a fatal-signal handler.
+///
+/// The recorder is the post-mortem half of the host telemetry layer
+/// (telemetry.hpp): every ScopedSpan enter/exit and every explicit note()
+/// lands in a fixed-size single-writer ring for its thread, so when a sweep
+/// dies mid-run the last ~256 things each worker did are still in memory —
+/// and can be written out next to the torn-tail manifest as a diagnosable
+/// artifact ("rispp.flight/1", docs/FORMATS.md §9).
+///
+/// Two dump paths, one schema:
+///  * dump() / dump_to_file() — the exception path. Runs after workers have
+///    joined (the Runner cancels, joins, dumps, rethrows), so it may use the
+///    full iostream/JSON machinery.
+///  * dump_signal_safe(fd) — the fatal-signal path. Entries are fixed-size
+///    PODs with static-string names, so the handler can walk the rings and
+///    render with snprintf + write(2) only: no allocation, no locks, no
+///    iostreams. The handler then re-raises with the default disposition so
+///    the process still dies with the original signal (exit code preserved).
+///
+/// Threading: each ring has exactly one writer (its thread); rings are
+/// created up front by the owner, never reallocated. Readers are safe after
+/// the writers have joined; the signal path is best-effort by design.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rispp::obs {
+
+/// One recorded moment. Fixed size, no heap pointers except the static-
+/// duration `name`, so a signal handler can format entries safely.
+struct FlightEvent {
+  enum class Kind : std::uint8_t { Enter, Exit, Note };
+
+  std::uint64_t t_ns = 0;     ///< nanoseconds since the recorder's epoch
+  Kind kind = Kind::Note;
+  const char* name = "";      ///< static string (span/note site name)
+  char detail[48] = {};       ///< truncated, NUL-terminated free text
+
+  const char* kind_name() const;
+};
+
+/// Bounded single-writer ring of FlightEvents. `head_` counts total pushes;
+/// the ring holds the last kCapacity of them (oldest silently dropped —
+/// that is the point of a flight recorder).
+class FlightRing {
+ public:
+  static constexpr std::size_t kCapacity = 256;
+
+  void push(std::uint64_t t_ns, FlightEvent::Kind kind, const char* name,
+            std::string_view detail);
+
+  /// Total events ever pushed (>= retained()).
+  std::uint64_t pushed() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  std::size_t retained() const;
+  /// Retained events, oldest first. Call only when the writer is quiescent
+  /// (joined, or this thread).
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Raw slot access for the signal-safe dump path.
+  const FlightEvent& slot(std::size_t i) const { return events_[i]; }
+
+ private:
+  std::array<FlightEvent, kCapacity> events_{};
+  /// Relaxed: single writer; readers only need eventual visibility (the
+  /// exception path reads after a join, the signal path is best-effort).
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Owns one ring per registered thread plus the crash-handler plumbing.
+class FlightRecorder {
+ public:
+  /// `threads` rings are allocated up front (stable addresses — rings are
+  /// handed out by reference and written lock-free).
+  explicit FlightRecorder(std::size_t threads = 1);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Grows to at least `threads` rings. Must not race recording threads —
+  /// the Runner calls it before spawning its pool.
+  void ensure_threads(std::size_t threads);
+  std::size_t threads() const { return rings_.size(); }
+
+  FlightRing& ring(std::size_t thread) { return *rings_.at(thread); }
+  const FlightRing& ring(std::size_t thread) const {
+    return *rings_.at(thread);
+  }
+
+  /// Convenience: record a Note event on `thread`'s ring.
+  void note(std::size_t thread, std::uint64_t t_ns, const char* name,
+            std::string_view detail);
+
+  /// Merged dump, all threads, sorted by timestamp (ties by thread then ring
+  /// order): one "rispp.flight/1" JSON document. `reason` states why the
+  /// dump exists ("evaluator exception: ...", "signal 11", ...).
+  void dump(std::ostream& out, std::string_view reason) const;
+  /// dump() to a file; returns false (never throws) when the file cannot be
+  /// written — the recorder must not mask the error it is reporting.
+  bool dump_to_file(const std::string& path, std::string_view reason) const;
+
+  /// Async-signal-safe dump: snprintf + write(2) only, same schema as
+  /// dump(). Returns false on a write failure.
+  bool dump_signal_safe(int fd, int signal) const;
+
+  /// Installs a SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT handler that writes
+  /// dump_signal_safe() to `path`, then re-raises with the default
+  /// disposition (the process still dies with the original signal). One
+  /// recorder owns the handler at a time; installing again replaces the
+  /// previous owner. The destructor uninstalls automatically.
+  void install_crash_handler(std::string path);
+  /// Restores the default signal dispositions (no-op when this recorder is
+  /// not the installed owner).
+  void uninstall_crash_handler();
+
+ private:
+  std::vector<std::unique_ptr<FlightRing>> rings_;
+  std::string crash_path_;
+  bool handler_installed_ = false;
+};
+
+}  // namespace rispp::obs

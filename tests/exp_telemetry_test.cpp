@@ -1,0 +1,164 @@
+/// Engine-level telemetry contracts: sweep results are byte-identical with
+/// telemetry on or off at any --jobs (the observability layer must never
+/// perturb rows), per-worker counters account for every evaluated point,
+/// heartbeats ride the serialized flush path, and a failing evaluator leaves
+/// a well-formed "rispp.flight/1" dump behind.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rispp/exp/platform.hpp"
+#include "rispp/exp/sink.hpp"
+#include "rispp/exp/standard_eval.hpp"
+#include "rispp/obs/json.hpp"
+#include "rispp/obs/telemetry.hpp"
+#include "rispp/util/error.hpp"
+
+namespace {
+
+using namespace rispp::exp;
+namespace obs = rispp::obs;
+
+constexpr const char* kGrid =
+    "workload=enc;frames=1;mb=8;containers=4,5,6,7;quantum=10000,20000";
+
+/// Runs the standard evaluator over kGrid and returns the spilled CSV.
+std::string sweep_csv(unsigned jobs, obs::Telemetry* tel) {
+  auto sweep = Sweep::parse_grid(kGrid);
+  std::ostringstream csv;
+  CsvSpillSink sink(csv);
+  Runner::RunOptions opts;
+  opts.telemetry = tel;
+  run_sim_sweep_into(Platform::builtin("h264_frame"), sweep, jobs, sink,
+                     opts);
+  return csv.str();
+}
+
+TEST(ExpTelemetry, ResultsAreByteIdenticalWithTelemetryOnOrOff) {
+  const auto reference = sweep_csv(1, nullptr);
+  ASSERT_FALSE(reference.empty());
+  for (const unsigned jobs : {1u, 4u}) {
+    std::ostringstream heartbeats;
+    obs::Telemetry::Config cfg;
+    cfg.heartbeat_every = 1;
+    cfg.heartbeat_out = &heartbeats;
+    obs::Telemetry tel(cfg);
+    obs::Telemetry::Binding bind(tel, 0);
+    EXPECT_EQ(sweep_csv(jobs, &tel), reference)
+        << "telemetry perturbed rows at jobs=" << jobs;
+    EXPECT_EQ(sweep_csv(jobs, nullptr), reference)
+        << "plain run diverged at jobs=" << jobs;
+  }
+}
+
+TEST(ExpTelemetry, WorkerCountersAccountForEveryPoint) {
+  auto sweep = Sweep::parse_grid(kGrid);
+  std::ostringstream csv;
+  CsvSpillSink sink(csv);
+  RunStats stats;
+  Runner::RunOptions opts;
+  opts.stats = &stats;
+  run_sim_sweep_into(Platform::builtin("h264_frame"), sweep, 4, sink, opts);
+  ASSERT_EQ(stats.points_evaluated, 8u);
+  ASSERT_EQ(stats.workers.size(), 4u);
+  std::uint64_t points = 0, flushed = 0, busy_ns = 0;
+  for (const auto& w : stats.workers) {
+    points += w.points;
+    flushed += w.rows_flushed;
+    busy_ns += w.busy_ns;
+  }
+  EXPECT_EQ(points, stats.points_evaluated);
+  EXPECT_EQ(flushed, stats.points_evaluated);
+  EXPECT_GT(busy_ns, 0u);
+  EXPECT_GT(stats.wall_ns, 0u);
+}
+
+TEST(ExpTelemetry, HeartbeatsRideTheFlushPathInOrder) {
+  std::ostringstream jsonl;
+  obs::Telemetry::Config cfg;
+  cfg.heartbeat_every = 1;
+  cfg.heartbeat_out = &jsonl;
+  obs::Telemetry tel(cfg);
+  obs::Telemetry::Binding bind(tel, 0);
+  (void)sweep_csv(4, &tel);
+
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::vector<obs::json::Value> records;
+  while (std::getline(lines, line)) records.push_back(obs::json::parse(line));
+  ASSERT_GE(records.size(), 3u);
+  EXPECT_EQ(records.front().at("kind").as_string(), "start");
+  EXPECT_EQ(records.back().at("kind").as_string(), "finish");
+  EXPECT_EQ(records.back().at("done").as_u64(), 8u);
+  EXPECT_EQ(records.back().at("total").as_u64(), 8u);
+  // Heartbeat `done` values are strictly increasing: emission happens under
+  // the flush lock, in sink order, no matter which worker triggered it.
+  std::uint64_t prev = 0;
+  for (std::size_t i = 1; i + 1 < records.size(); ++i) {
+    const auto done = records[i].at("done").as_u64();
+    EXPECT_GT(done, prev);
+    prev = done;
+  }
+}
+
+TEST(ExpTelemetry, FailPointAxisProducesAFlightDumpAndRethrows) {
+  const auto flight_path = testing::TempDir() + "/exp_flight_dump.json";
+  std::remove(flight_path.c_str());
+  obs::Telemetry::Config cfg;
+  cfg.flight_path = flight_path;
+  obs::Telemetry tel(cfg);
+  obs::Telemetry::Binding bind(tel, 0);
+
+  auto sweep = Sweep::parse_grid(std::string(kGrid) + ";fail_point=3");
+  std::ostringstream csv;
+  CsvSpillSink sink(csv);
+  Runner::RunOptions opts;
+  opts.telemetry = &tel;
+  EXPECT_THROW(run_sim_sweep_into(Platform::builtin("h264_frame"), sweep, 2,
+                                  sink, opts),
+               rispp::util::PreconditionError);
+
+  std::ifstream in(flight_path);
+  ASSERT_TRUE(in.good()) << "no flight dump at " << flight_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = obs::json::parse(buf.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "rispp.flight/1");
+  const auto& reason = doc.at("reason").as_string();
+  EXPECT_NE(reason.find("evaluator exception"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("fail_point"), std::string::npos) << reason;
+  EXPECT_FALSE(doc.at("events").items().empty());
+}
+
+TEST(ExpTelemetry, ReorderWindowFlagReachesTheRunner) {
+  auto sweep = Sweep::parse_grid(kGrid);
+  std::ostringstream csv;
+  CsvSpillSink sink(csv);
+  RunStats stats;
+  Runner::RunOptions opts;
+  opts.stats = &stats;
+  run_sim_sweep_into(Platform::builtin("h264_frame"), sweep, 2, sink, opts,
+                     /*reorder_window=*/5);
+  EXPECT_EQ(stats.reorder_window, 5u);
+}
+
+TEST(ExpTelemetry, SpansCoverEveryEvaluatedPoint) {
+  obs::Telemetry tel(obs::Telemetry::Config{});
+  obs::Telemetry::Binding bind(tel, 0);
+  (void)sweep_csv(2, &tel);
+  std::size_t point_spans = 0, sim_spans = 0;
+  for (const auto& s : tel.spans()) {
+    if (std::string_view(s.name) == "point") ++point_spans;
+    if (std::string_view(s.name) == "point.sim") ++sim_spans;
+  }
+  EXPECT_EQ(point_spans, 8u);
+  EXPECT_EQ(sim_spans, 8u);
+}
+
+}  // namespace

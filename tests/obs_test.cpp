@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "rispp/obs/chrome_trace.hpp"
 #include "rispp/obs/csv_trace.hpp"
@@ -348,6 +351,80 @@ TEST_F(InstrumentedSim, MetaNamesResolveAndExportersRun) {
   TraceMeta learned;
   const auto back = read_csv_trace(is, &learned);
   EXPECT_EQ(back.size(), recorder.events().size());
+}
+
+
+// --- EventBatch / sink delivery contracts --------------------------------
+
+/// Records which sink instance saw each event, in arrival order — the probe
+/// for batch fan-out and unroll ordering.
+struct TaggedSink final : EventSink {
+  TaggedSink(int id, std::vector<std::pair<int, std::uint64_t>>& log)
+      : id_(id), log_(&log) {}
+  void on_event(const Event& e) override { log_->emplace_back(id_, e.at); }
+
+  int id_;
+  std::vector<std::pair<int, std::uint64_t>>* log_;
+};
+
+Event at(std::uint64_t t) {
+  Event e;
+  e.at = t;
+  e.kind = EventKind::TaskSwitch;
+  return e;
+}
+
+TEST(EventBatch, DestructorFlushesBufferedEventsDuringUnwind) {
+  // The batch lives on an instrumented hot path; if the evaluator throws
+  // mid-run, the buffered prefix must still reach the sink (the flight
+  // recorder and torn-tail diagnostics depend on a complete stream).
+  TraceRecorder recorder;
+  EXPECT_THROW(
+      {
+        EventBatch batch(&recorder);
+        batch.emit(at(1));
+        batch.emit(at(2));
+        throw std::runtime_error("evaluator died");
+      },
+      std::runtime_error);
+  ASSERT_EQ(recorder.events().size(), 2u);
+  EXPECT_EQ(recorder.events()[0].at, 1u);
+  EXPECT_EQ(recorder.events()[1].at, 2u);
+}
+
+TEST(EventBatch, CapacityFlushPreservesEmissionOrder) {
+  TraceRecorder recorder;
+  EventBatch batch(&recorder);
+  const std::size_t n = EventBatch::kCapacity + 5;
+  for (std::size_t i = 0; i < n; ++i) batch.emit(at(i));
+  // Capacity flush happened mid-stream; the tail is still buffered.
+  EXPECT_EQ(recorder.events().size(), EventBatch::kCapacity);
+  batch.flush();
+  ASSERT_EQ(recorder.events().size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(recorder.events()[i].at, i);
+}
+
+TEST(TeeSink, BatchGoesToAFullyBeforeBAndInOrder) {
+  std::vector<std::pair<int, std::uint64_t>> log;
+  TaggedSink a(1, log), b(2, log);
+  TeeSink tee(&a, &b);
+  const std::vector<Event> events{at(10), at(20), at(30)};
+  tee.on_batch(events);
+  // Default on_batch unrolls to on_event, so the shared log shows a's whole
+  // run first, then b's — each in emission order.
+  const std::vector<std::pair<int, std::uint64_t>> want{
+      {1, 10}, {1, 20}, {1, 30}, {2, 10}, {2, 20}, {2, 30}};
+  EXPECT_EQ(log, want);
+}
+
+TEST(TeeSink, NullSidesAreSkipped) {
+  std::vector<std::pair<int, std::uint64_t>> log;
+  TaggedSink b(2, log);
+  TeeSink tee(nullptr, &b);
+  tee.on_event(at(1));
+  tee.on_batch(std::vector<Event>{at(2)});
+  const std::vector<std::pair<int, std::uint64_t>> want{{2, 1}, {2, 2}};
+  EXPECT_EQ(log, want);
 }
 
 }  // namespace

@@ -31,7 +31,9 @@ int usage(const char* argv0) {
       << "  --format=csv|json override the format choice\n"
       << "  --allow-partial   merge even when points are missing\n"
       << "  --summary         also print the streaming-aggregator summary\n"
-      << "                    JSON (stderr)\n";
+      << "                    JSON (stderr)\n"
+      << "  --progress        print a line per manifest as it is read\n"
+      << "                    (large shard sets are no longer silent)\n";
   return 2;
 }
 
@@ -40,7 +42,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) try {
   std::vector<std::string> shards;
   std::string out, format;
-  bool allow_partial = false, summary = false;
+  bool allow_partial = false, summary = false, progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,6 +50,7 @@ int main(int argc, char** argv) try {
     else if (arg.rfind("--format=", 0) == 0) format = arg.substr(9);
     else if (arg == "--allow-partial") allow_partial = true;
     else if (arg == "--summary") summary = true;
+    else if (arg == "--progress") progress = true;
     else if (arg.rfind("--", 0) == 0) return usage(argv[0]);
     else shards.push_back(arg);
   }
@@ -66,6 +69,9 @@ int main(int argc, char** argv) try {
     if (manifests.back().torn_tail)
       std::cerr << "note: dropped a torn final line in " << path << "\n";
     rows += manifests.back().rows.size();
+    if (progress)
+      std::cerr << "[rispp] read " << manifests.size() << "/" << shards.size()
+                << " manifests (" << rows << " rows): " << path << "\n";
   }
   const auto table = rispp::exp::merge_manifests(manifests, allow_partial);
 

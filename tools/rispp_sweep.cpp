@@ -22,6 +22,7 @@
 /// exp/standard_eval.hpp for the full list and defaults.
 
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -33,6 +34,8 @@
 #include "rispp/exp/platform.hpp"
 #include "rispp/exp/sink.hpp"
 #include "rispp/exp/standard_eval.hpp"
+#include "rispp/obs/chrome_trace.hpp"
+#include "rispp/obs/telemetry.hpp"
 #include "rispp/util/error.hpp"
 
 namespace {
@@ -63,7 +66,16 @@ int usage(const char* argv0) {
       << "  --max-points=K    stop after K points (checkpoint testing;\n"
       << "                    exits 3 when the run is left incomplete)\n"
       << "  --dry-run         print the resolved plan (points, axes, seeds)\n"
-      << "                    and validate it without evaluating anything\n";
+      << "                    and validate it without evaluating anything\n"
+      << "  --progress[=N]    print a progress/ETA line to stderr every N\n"
+      << "                    completed points (default: ~64 per run)\n"
+      << "  --telemetry-out=F stream rispp.telemetry/1 JSONL heartbeats to F\n"
+      << "                    (docs/FORMATS.md §9)\n"
+      << "  --telemetry-trace=F  write host-side spans as a Chrome trace to\n"
+      << "                    F (open in Perfetto; pid 2 = rispp host)\n"
+      << "  --flight-out=F    on evaluator/sink failure or a fatal signal,\n"
+      << "                    dump the flight recorder (rispp.flight/1) to F\n"
+      << "                    (exit code is preserved)\n";
   return 2;
 }
 
@@ -86,10 +98,11 @@ bool parse_shard(const std::string& spec, std::size_t& index,
 int main(int argc, char** argv) try {
   std::string grid, platform_name = "h264_frame", lib_file, out, format;
   std::string out_shard, resume, agg_out, spill_csv, shard_spec;
+  std::string telemetry_out, telemetry_trace, flight_out;
   unsigned jobs = 1;
   std::uint64_t seed = 1;
-  std::size_t window = 0, max_points = 0;
-  bool dry_run = false;
+  std::size_t window = 0, max_points = 0, progress_every = 0;
+  bool dry_run = false, progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,6 +131,16 @@ int main(int argc, char** argv) try {
     else if (arg.rfind("--max-points=", 0) == 0)
       max_points = std::stoull(value("--max-points="));
     else if (arg == "--dry-run") dry_run = true;
+    else if (arg == "--progress") progress = true;
+    else if (arg.rfind("--progress=", 0) == 0) {
+      progress = true;
+      progress_every = std::stoull(value("--progress="));
+    } else if (arg.rfind("--telemetry-out=", 0) == 0)
+      telemetry_out = value("--telemetry-out=");
+    else if (arg.rfind("--telemetry-trace=", 0) == 0)
+      telemetry_trace = value("--telemetry-trace=");
+    else if (arg.rfind("--flight-out=", 0) == 0)
+      flight_out = value("--flight-out=");
     else return usage(argv[0]);
   }
   if (grid.empty()) return usage(argv[0]);
@@ -216,7 +239,59 @@ int main(int argc, char** argv) try {
   if (want_table) sinks.push_back(&table_sink);
   rispp::exp::MultiSink multi(sinks);
 
-  rispp::exp::run_sim_sweep_into(platform, sweep, jobs, multi, opts);
+  // Host telemetry (tentpole of the observability PR): heartbeats, spans and
+  // the flight recorder all ride *side* channels — rows and sinks are
+  // untouched, so output stays byte-identical with telemetry on or off.
+  const bool want_telemetry = progress || !telemetry_out.empty() ||
+                              !telemetry_trace.empty() || !flight_out.empty();
+  std::ofstream telemetry_file;
+  std::unique_ptr<rispp::obs::Telemetry> telemetry;
+  std::unique_ptr<rispp::obs::Telemetry::Binding> binding;
+  if (want_telemetry) {
+    rispp::obs::Telemetry::Config tcfg;
+    tcfg.heartbeat_every = progress_every;
+    if (!telemetry_out.empty()) {
+      telemetry_file.open(telemetry_out, std::ios::binary);
+      if (!telemetry_file.good()) {
+        std::cerr << "error: cannot open " << telemetry_out
+                  << " for writing\n";
+        return 1;
+      }
+      tcfg.heartbeat_out = &telemetry_file;
+    }
+    if (progress) tcfg.progress_out = &std::cerr;
+    tcfg.flight_path = flight_out;
+    tcfg.crash_handler = !flight_out.empty();
+    tcfg.keep_spans = !telemetry_trace.empty();
+    telemetry = std::make_unique<rispp::obs::Telemetry>(tcfg);
+    binding =
+        std::make_unique<rispp::obs::Telemetry::Binding>(*telemetry, 0);
+    opts.telemetry = telemetry.get();
+  }
+
+  try {
+    rispp::obs::ScopedSpan sweep_span(
+        "sweep", "shard " + std::to_string(shard_index) + "/" +
+                     std::to_string(shard_count));
+    rispp::exp::run_sim_sweep_into(platform, sweep, jobs, multi, opts,
+                                   window);
+  } catch (...) {
+    if (!flight_out.empty())
+      std::cerr << "note: flight recorder dumped to " << flight_out << "\n";
+    throw;  // main's catch keeps the exit code at 1
+  }
+
+  if (!telemetry_trace.empty()) {
+    std::ofstream tf(telemetry_trace, std::ios::binary);
+    if (!tf.good()) {
+      std::cerr << "error: cannot open " << telemetry_trace
+                << " for writing\n";
+      return 1;
+    }
+    rispp::obs::write_host_chrome_trace(tf, telemetry->spans());
+    std::cerr << "wrote host trace to " << telemetry_trace
+              << " (open in Perfetto)\n";
+  }
 
   if (!agg_out.empty()) {
     std::ofstream f(agg_out, std::ios::binary);
@@ -248,10 +323,38 @@ int main(int argc, char** argv) try {
     }
   }
 
+  // End-of-run summary: the full RunStats, not just the point count. All of
+  // this is collected unconditionally (relaxed per-worker counters), so the
+  // summary costs nothing extra and needs no telemetry flags.
+  const double wall_s = static_cast<double>(stats.wall_ns) / 1e9;
+  char rate_buf[64];
+  std::snprintf(rate_buf, sizeof rate_buf, "%.3f s, %.1f pt/s", wall_s,
+                wall_s > 0.0 ? static_cast<double>(stats.points_evaluated) /
+                                   wall_s
+                             : 0.0);
   std::cerr << "evaluated " << stats.points_evaluated << "/"
-            << stats.points_total << " points (reorder window "
-            << stats.reorder_window << ", peak buffered "
-            << stats.max_reorder_buffered << " rows)\n";
+            << stats.points_total << " points in " << rate_buf
+            << " (reorder window " << stats.reorder_window
+            << ", peak buffered " << stats.max_reorder_buffered
+            << " rows, gate waits " << stats.total_gate_waits() << ")\n";
+  for (std::size_t w = 0; w < stats.workers.size(); ++w) {
+    const auto& ws = stats.workers[w];
+    const double busy_ms = static_cast<double>(ws.busy_ns) / 1e6;
+    const double util =
+        stats.wall_ns > 0
+            ? 100.0 * static_cast<double>(ws.busy_ns) /
+                  static_cast<double>(stats.wall_ns)
+            : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  worker %zu: %llu points, busy %.1f ms (%.0f%%), "
+                  "%llu gate waits (%.1f ms), flush %.1f ms\n",
+                  w, static_cast<unsigned long long>(ws.points), busy_ms,
+                  util, static_cast<unsigned long long>(ws.gate_waits),
+                  static_cast<double>(ws.gate_wait_ns) / 1e6,
+                  static_cast<double>(ws.flush_ns) / 1e6);
+    std::cerr << line;
+  }
   if (stats.points_evaluated < stats.points_total) {
     std::cerr << "sweep incomplete (--max-points); resume with --resume="
               << (out_shard.empty() ? std::string("<manifest>") : out_shard)
